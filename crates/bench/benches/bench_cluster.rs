@@ -1,0 +1,38 @@
+//! UPGMA clustering throughput (the Table 5 engine) and the A-ABL2
+//! linkage comparison hook.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htmlsim::distance::FeatureWeights;
+use htmlsim::gen::{self, PageCtx, SiteCategory};
+use htmlsim::{PageFeatures, TagInterner};
+
+fn pages(n: usize) -> Vec<PageFeatures> {
+    let mut interner = TagInterner::new();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let html = match i % 4 {
+            0 => gen::legit_site(SiteCategory::Banking, &PageCtx::new("b.example", i as u64)),
+            1 => gen::http_error(404, &PageCtx::new("e.example", i as u64)),
+            2 => gen::parking_page("parkco", &PageCtx::new(&format!("d{i}.example"), i as u64)),
+            _ => gen::router_login(gen::RouterVendor::ZyRouter, &PageCtx::new("r.local", i as u64)),
+        };
+        out.push(PageFeatures::extract(&html, &mut interner));
+    }
+    out
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let weights = FeatureWeights::default();
+    let mut g = c.benchmark_group("cluster_pages");
+    g.sample_size(10);
+    for n in [50usize, 150, 400] {
+        let items = pages(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
+            b.iter(|| classify::cluster_pages(items, &weights, 0.32))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! The seven-feature page distance — the inner loop of Table 5's
+//! clustering — plus the Myers diff of the fine-grained stage.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use htmlsim::distance::{page_distance, FeatureWeights};
+use htmlsim::gen::{self, PageCtx, SiteCategory};
+use htmlsim::{diff, PageFeatures, TagInterner};
+
+fn bench_distance(c: &mut Criterion) {
+    let mut interner = TagInterner::new();
+    let a = PageFeatures::extract(
+        &gen::legit_site(SiteCategory::Banking, &PageCtx::new("bank.example", 1)),
+        &mut interner,
+    );
+    let b = PageFeatures::extract(
+        &gen::legit_site(SiteCategory::Alexa, &PageCtx::new("news.example", 2)),
+        &mut interner,
+    );
+    let weights = FeatureWeights::default();
+
+    c.bench_function("page_distance_cross_family", |bch| {
+        bch.iter(|| page_distance(black_box(&a), black_box(&b), &weights))
+    });
+
+    let page = gen::legit_site(SiteCategory::Alexa, &PageCtx::new("site.example", 3));
+    c.bench_function("feature_extraction", |bch| {
+        let mut i = TagInterner::new();
+        bch.iter(|| PageFeatures::extract(black_box(&page), &mut i))
+    });
+
+    let gt = a.tag_sequence.clone();
+    let mut unk = gt.clone();
+    unk.insert(gt.len() / 2, 6);
+    c.bench_function("myers_tag_delta", |bch| {
+        bch.iter(|| diff::tag_delta(black_box(&gt), black_box(&unk)))
+    });
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Wire-codec throughput: every scan response passes through these.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dnswire::{Message, MessageBuilder, Name, Rcode, RecordType};
+use std::net::Ipv4Addr;
+
+fn bench_codec(c: &mut Criterion) {
+    let query = MessageBuilder::query(
+        0x1234,
+        Name::parse("r4nd0m.0b00010a.scan.gwild.example").unwrap(),
+        RecordType::A,
+    )
+    .build();
+    let response = MessageBuilder::response_to(&query, Rcode::NoError)
+        .answer_a(query.questions[0].qname.clone(), 300, Ipv4Addr::new(198, 51, 100, 1))
+        .answer_a(query.questions[0].qname.clone(), 300, Ipv4Addr::new(198, 51, 100, 2))
+        .build();
+    let wire = response.encode();
+
+    let mut g = c.benchmark_group("dnswire");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_response", |b| {
+        b.iter(|| black_box(response.encode()))
+    });
+    g.bench_function("decode_response", |b| {
+        b.iter(|| Message::decode(black_box(&wire)).unwrap())
+    });
+    g.bench_function("query_roundtrip", |b| {
+        b.iter(|| {
+            let w = query.encode();
+            Message::decode(black_box(&w)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! One full Internet-wide enumeration scan (the Figure 1 engine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scanner::enumerate;
+use worldgen::{build_world, WorldConfig};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumeration");
+    g.sample_size(10);
+    g.bench_function("full_scan_tiny_world", |b| {
+        b.iter_with_setup(
+            || build_world(WorldConfig::tiny(9)),
+            |mut world| {
+                let vantage = world.scanner_ip;
+                enumerate(&mut world, vantage, 1)
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

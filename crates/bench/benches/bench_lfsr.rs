@@ -1,0 +1,51 @@
+//! A-ABL5 — LFSR permutation vs sequential scanning: throughput and the
+//! politeness (per-/24 burst) metric the paper's scanner design targets.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use scanner::IpPermutation;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+fn max_slash24_burst(order: impl Iterator<Item = Ipv4Addr>, window: usize) -> usize {
+    let ips: Vec<Ipv4Addr> = order.collect();
+    let mut worst = 0usize;
+    for chunk in ips.windows(window) {
+        let mut per24: HashMap<u32, usize> = HashMap::new();
+        for ip in chunk {
+            *per24.entry(u32::from(*ip) >> 8).or_insert(0) += 1;
+        }
+        worst = worst.max(*per24.values().max().unwrap());
+    }
+    worst
+}
+
+fn bench_lfsr(c: &mut Criterion) {
+    let ranges = [(Ipv4Addr::new(11, 0, 0, 0), Ipv4Addr::new(11, 3, 255, 255))];
+    let span = 4 * 65536u64;
+
+    let mut g = c.benchmark_group("lfsr");
+    g.throughput(Throughput::Elements(span));
+    g.bench_function("permute_256k_addresses", |b| {
+        b.iter(|| {
+            let perm = IpPermutation::new(black_box(&ranges), 42);
+            let mut acc = 0u64;
+            for ip in perm {
+                acc = acc.wrapping_add(u32::from(ip) as u64);
+            }
+            acc
+        })
+    });
+    g.finish();
+
+    // Politeness ablation printed once (criterion has no table output).
+    let small = [(Ipv4Addr::new(11, 0, 0, 0), Ipv4Addr::new(11, 0, 15, 255))];
+    let burst_perm = max_slash24_burst(IpPermutation::new(&small, 42), 64);
+    let burst_seq = max_slash24_burst(
+        (0x0B000000u32..=0x0B000FFF).map(Ipv4Addr::from),
+        64,
+    );
+    eprintln!("[A-ABL5] worst per-/24 burst in a 64-probe window: LFSR={burst_perm} sequential={burst_seq}");
+}
+
+criterion_group!(benches, bench_lfsr);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! End-to-end Sections 3–4 pipeline on a focused domain set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goingwild::{run_analysis, AnalysisOptions, WorldConfig};
+use worldgen::build_world;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("analysis_5_domains_tiny_world", |b| {
+        b.iter_with_setup(
+            || build_world(WorldConfig::tiny(9)),
+            |mut world| {
+                let opts = AnalysisOptions {
+                    domains: Some(vec![
+                        "facebook.example".into(),
+                        "paypal.example".into(),
+                        "youporn.example".into(),
+                        "qzxkjv.example".into(),
+                        "gt.gwild.example".into(),
+                    ]),
+                    ..Default::default()
+                };
+                run_analysis(&mut world, &opts)
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Bench crate (criterion benches + repro binaries).

@@ -1,0 +1,254 @@
+//! Censorship analysis (Sec. 4.2): landing-page inventory, per-country
+//! compliance, and Great-Firewall double-response detection.
+
+use geodb::{Country, GeoDb};
+use scanner::TupleObs;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// Inventory of censorship landing pages: IPs whose served content was
+/// labeled Censorship, attributed to countries by GeoIP.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LandingInventory {
+    /// Landing IP → country (of the IP itself).
+    pub ips: BTreeMap<Ipv4Addr, Option<Country>>,
+}
+
+impl LandingInventory {
+    /// Record a censorship landing address.
+    pub fn add(&mut self, ip: Ipv4Addr, geo: &GeoDb) {
+        self.ips.entry(ip).or_insert_with(|| geo.country(ip));
+    }
+
+    /// Number of distinct landing-page addresses (paper: 299).
+    pub fn ip_count(&self) -> usize {
+        self.ips.len()
+    }
+
+    /// Number of distinct countries involved (paper: 34; note CN
+    /// censors via injection, not landing pages).
+    pub fn country_count(&self) -> usize {
+        let set: BTreeSet<Country> = self.ips.values().flatten().copied().collect();
+        set.len()
+    }
+}
+
+/// Per-(country, domain) compliance accumulator: how many resolvers in a
+/// country answered a domain legitimately vs. with censorship.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ComplianceReport {
+    /// `(country, domain) → (censored, legitimate)` resolver counts.
+    /// Serialized as a list of rows (JSON objects cannot key on tuples).
+    #[serde(with = "compliance_rows")]
+    pub counts: BTreeMap<(Country, String), (u64, u64)>,
+}
+
+/// Serde adapter: the tuple-keyed map round-trips as
+/// `[[country, domain, censored, legitimate], …]`.
+mod compliance_rows {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    type Counts = BTreeMap<(Country, String), (u64, u64)>;
+
+    pub fn serialize<S: Serializer>(map: &Counts, ser: S) -> Result<S::Ok, S::Error> {
+        let rows: Vec<(String, &String, u64, u64)> = map
+            .iter()
+            .map(|((c, d), (cen, leg))| (c.as_str().to_string(), d, *cen, *leg))
+            .collect();
+        serde::Serialize::serialize(&rows, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Counts, D::Error> {
+        let rows: Vec<(String, String, u64, u64)> = serde::Deserialize::deserialize(de)?;
+        Ok(rows
+            .into_iter()
+            .map(|(c, d, cen, leg)| ((Country::new(&c), d), (cen, leg)))
+            .collect())
+    }
+}
+
+impl ComplianceReport {
+    /// Record one resolver's answer for a censorship-relevant domain.
+    pub fn record(&mut self, country: Country, domain: &str, censored: bool) {
+        let e = self
+            .counts
+            .entry((country, domain.to_string()))
+            .or_insert((0, 0));
+        if censored {
+            e.0 += 1;
+        } else {
+            e.1 += 1;
+        }
+    }
+
+    /// Compliance rate for a country over a set of domains: fraction of
+    /// resolver-domain observations that were censored.
+    pub fn rate(&self, country: Country, domains: &[&str]) -> Option<f64> {
+        let mut censored = 0u64;
+        let mut total = 0u64;
+        for d in domains {
+            if let Some((c, l)) = self.counts.get(&(country, d.to_string())) {
+                censored += c;
+                total += c + l;
+            }
+        }
+        (total > 0).then(|| censored as f64 / total as f64)
+    }
+
+    /// Countries with any censored observation.
+    pub fn censoring_countries(&self) -> BTreeSet<Country> {
+        self.counts
+            .iter()
+            .filter(|(_, (c, _))| *c > 0)
+            .map(|((country, _), _)| *country)
+            .collect()
+    }
+}
+
+/// GFW double-response detection: resolvers that produced multiple
+/// answers for one probe where the *first* is bogus and a later one is
+/// legitimate (Sec. 4.2: 125,660 Chinese resolvers, 2.4%).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DoubleResponseReport {
+    /// Resolver indexes exhibiting forged-then-legit behaviour.
+    pub forged_then_legit: BTreeSet<u32>,
+    /// Resolver indexes with multiple (all-bogus) answers.
+    pub multi_bogus: BTreeSet<u32>,
+}
+
+/// Analyze a tuple stream for double responses. `is_legit(domain_idx,
+/// ips)` decides whether an answer matches the trusted resolution.
+pub fn detect_double_responses(
+    tuples: &[TupleObs],
+    is_legit: impl Fn(u16, &[Ipv4Addr]) -> bool,
+) -> DoubleResponseReport {
+    // Group by (resolver, domain).
+    let mut groups: HashMap<(u32, u16), Vec<&TupleObs>> = HashMap::new();
+    for t in tuples {
+        groups.entry((t.resolver_idx, t.domain_idx)).or_default().push(t);
+    }
+    let mut report = DoubleResponseReport::default();
+    for ((resolver, domain), mut group) in groups {
+        if group.len() < 2 {
+            continue;
+        }
+        group.sort_by_key(|t| t.response_ordinal);
+        let first_legit = is_legit(domain, &group[0].ips);
+        let any_later_legit = group[1..].iter().any(|t| is_legit(domain, &t.ips));
+        if !first_legit && any_later_legit {
+            report.forged_then_legit.insert(resolver);
+        } else if !first_legit {
+            report.multi_bogus.insert(resolver);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::Rcode;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn tup(resolver: u32, domain: u16, ordinal: u8, ips: Vec<Ipv4Addr>) -> TupleObs {
+        TupleObs {
+            resolver_idx: resolver,
+            resolver_ip: ip("5.5.5.5"),
+            domain_idx: domain,
+            rcode: Rcode::NoError,
+            ips,
+            response_ordinal: ordinal,
+            src_ip: ip("5.5.5.5"),
+            ns_only: false,
+        }
+    }
+
+    #[test]
+    fn compliance_rates() {
+        let mut r = ComplianceReport::default();
+        let tr = Country::new("TR");
+        for _ in 0..90 {
+            r.record(tr, "youporn.example", true);
+        }
+        for _ in 0..10 {
+            r.record(tr, "youporn.example", false);
+        }
+        assert!((r.rate(tr, &["youporn.example"]).unwrap() - 0.9).abs() < 1e-9);
+        assert_eq!(r.rate(Country::new("US"), &["youporn.example"]), None);
+        assert!(r.censoring_countries().contains(&tr));
+    }
+
+    #[test]
+    fn double_response_detection() {
+        let legit = ip("20.0.0.1");
+        let forged = ip("6.6.6.6");
+        let tuples = vec![
+            // Resolver 1: forged then legit (GFW escape).
+            tup(1, 0, 0, vec![forged]),
+            tup(1, 0, 1, vec![legit]),
+            // Resolver 2: two forged answers.
+            tup(2, 0, 0, vec![forged]),
+            tup(2, 0, 1, vec![ip("7.7.7.7")]),
+            // Resolver 3: single legit.
+            tup(3, 0, 0, vec![legit]),
+            // Resolver 4: legit then forged (not the GFW signature).
+            tup(4, 0, 0, vec![legit]),
+            tup(4, 0, 1, vec![forged]),
+        ];
+        let report = detect_double_responses(&tuples, |_, ips| ips.contains(&legit));
+        assert!(report.forged_then_legit.contains(&1));
+        assert!(report.multi_bogus.contains(&2));
+        assert!(!report.forged_then_legit.contains(&3));
+        assert!(!report.forged_then_legit.contains(&4));
+        assert!(!report.multi_bogus.contains(&4));
+    }
+
+    #[test]
+    fn compliance_report_json_round_trips() {
+        let mut r = ComplianceReport::default();
+        r.record(Country::new("TR"), "youporn.example", true);
+        r.record(Country::new("US"), "youporn.example", false);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ComplianceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counts, r.counts);
+    }
+
+    #[test]
+    fn landing_inventory_counts_countries() {
+        use geodb::{IpRangeMap, NetBlock};
+        let mut b = IpRangeMap::builder();
+        b.insert(
+            ip("60.0.0.0"),
+            ip("60.0.0.255"),
+            NetBlock {
+                country: Country::new("TR"),
+                asn: 1,
+                rdns: None,
+            },
+        )
+        .unwrap();
+        b.insert(
+            ip("61.0.0.0"),
+            ip("61.0.0.255"),
+            NetBlock {
+                country: Country::new("ID"),
+                asn: 2,
+                rdns: None,
+            },
+        )
+        .unwrap();
+        let geo = GeoDb::new(b.build(), vec![]);
+        let mut inv = LandingInventory::default();
+        inv.add(ip("60.0.0.1"), &geo);
+        inv.add(ip("60.0.0.2"), &geo);
+        inv.add(ip("60.0.0.2"), &geo); // duplicate
+        inv.add(ip("61.0.0.1"), &geo);
+        assert_eq!(inv.ip_count(), 3);
+        assert_eq!(inv.country_count(), 2);
+    }
+}

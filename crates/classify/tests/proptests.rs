@@ -1,0 +1,127 @@
+//! Property tests for the clustering engine.
+
+use classify::cluster::agglomerate;
+use proptest::prelude::*;
+
+/// Build a symmetric distance matrix from random points on a line.
+fn matrix(points: &[f64]) -> Vec<f32> {
+    let n = points.len();
+    let mut m = vec![0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            m[i * n + j] = (points[i] - points[j]).abs() as f32;
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A dendrogram over n items has exactly n−1 merges, every node id
+    /// is valid, and every leaf is merged exactly once.
+    #[test]
+    fn dendrogram_structure(points in proptest::collection::vec(0.0f64..1000.0, 2..40)) {
+        let n = points.len();
+        let d = agglomerate(n, matrix(&points), None);
+        prop_assert_eq!(d.n_leaves, n);
+        prop_assert_eq!(d.merges.len(), n - 1);
+        let mut used = vec![false; 2 * n - 1];
+        for (i, &(a, b, dist)) in d.merges.iter().enumerate() {
+            prop_assert!(a < n + i, "merge {i} references future node {a}");
+            prop_assert!(b < n + i, "merge {i} references future node {b}");
+            prop_assert!(!used[a], "node {a} merged twice");
+            prop_assert!(!used[b], "node {b} merged twice");
+            prop_assert!(dist >= 0.0);
+            used[a] = true;
+            used[b] = true;
+        }
+    }
+
+    /// Cutting at a higher threshold never yields more clusters.
+    #[test]
+    fn cut_is_monotone(
+        points in proptest::collection::vec(0.0f64..1000.0, 2..30),
+        t1 in 0.0f64..500.0,
+        t2 in 0.0f64..500.0,
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let d = agglomerate(points.len(), matrix(&points), None);
+        let c_lo = d.cut(lo);
+        let c_hi = d.cut(hi);
+        prop_assert!(c_hi.len() <= c_lo.len(),
+            "cut({hi})={} clusters > cut({lo})={}", c_hi.len(), c_lo.len());
+        // Refinement: items together at the low cut stay together at the
+        // high cut.
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                if c_lo.assignment[i] == c_lo.assignment[j] {
+                    prop_assert_eq!(c_hi.assignment[i], c_hi.assignment[j]);
+                }
+            }
+        }
+    }
+
+    /// Cluster assignments cover all leaves and cluster members agree
+    /// with assignments.
+    #[test]
+    fn flat_clusters_are_consistent(
+        points in proptest::collection::vec(0.0f64..1000.0, 1..30),
+        threshold in 0.0f64..500.0,
+    ) {
+        let n = points.len();
+        let d = agglomerate(n, matrix(&points), None);
+        let flat = d.cut(threshold);
+        prop_assert_eq!(flat.assignment.len(), n);
+        let total: usize = flat.clusters.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, n);
+        for (ci, members) in flat.clusters.iter().enumerate() {
+            for &m in members {
+                prop_assert_eq!(flat.assignment[m], ci);
+            }
+        }
+    }
+
+    /// Duplicated points always land in one cluster at any positive cut.
+    #[test]
+    fn identical_points_cluster_together(
+        value in 0.0f64..1000.0,
+        copies in 2usize..10,
+        outlier_offset in 500.0f64..2000.0,
+        threshold in 1.0f64..100.0,
+    ) {
+        let mut points = vec![value; copies];
+        points.push(value + outlier_offset);
+        let d = agglomerate(points.len(), matrix(&points), None);
+        let flat = d.cut(threshold);
+        for i in 1..copies {
+            prop_assert_eq!(flat.assignment[0], flat.assignment[i]);
+        }
+        if outlier_offset > threshold {
+            prop_assert_ne!(flat.assignment[0], flat.assignment[copies]);
+        }
+    }
+}
+
+proptest! {
+    /// The tuple-keyed compliance map round-trips through its row-based
+    /// JSON representation exactly.
+    #[test]
+    fn compliance_report_json_round_trips(
+        rows in proptest::collection::vec(
+            ("[A-Z]{2}", "[a-z]{1,12}\\.example", any::<bool>(), 1u32..50),
+            0..40,
+        ),
+    ) {
+        use classify::censorship::ComplianceReport;
+        let mut report = ComplianceReport::default();
+        for (cc, domain, censored, times) in &rows {
+            for _ in 0..*times {
+                report.record(geodb::Country::new(cc), domain, *censored);
+            }
+        }
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ComplianceReport = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back.counts, &report.counts);
+    }
+}

@@ -1,0 +1,584 @@
+//! One runner per paper artifact (see DESIGN.md's experiment index).
+
+use classify::snoopclass::{classify_snoop, estimate_full_ttls};
+use classify::{classify_version, fingerprint_device, SoftwareClass, UtilizationClass};
+use geodb::Rir;
+use scanner::campaign::enumerate::VerificationReport;
+use scanner::{banner_scan, chaos_scan, enumerate, snoop_scan, track_cohort, ChaosObservation, ChurnResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use worldgen::{build_world, World, WorldConfig};
+
+// =====================================================================
+// E-FIG1 — weekly resolver counts
+// =====================================================================
+
+/// One weekly scan's counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WeekRow {
+    /// Scan week (0-based).
+    pub week: u32,
+    /// All responding resolvers.
+    pub all: u64,
+    /// NOERROR responders.
+    pub noerror: u64,
+    /// REFUSED responders.
+    pub refused: u64,
+    /// SERVFAIL responders.
+    pub servfail: u64,
+    /// Responders whose answer arrived from a different source address
+    /// than the probed target — DNS proxies / multi-homed hosts
+    /// (Sec. 2.5: 630k-750k per scan, ~2.5% of responders).
+    pub proxy_responders: u64,
+}
+
+/// Figure 1 series, plus the per-country snapshots Table 1/2 need.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Fig1Report {
+    /// One row per weekly scan.
+    pub weeks: Vec<WeekRow>,
+    /// Country → NOERROR resolvers in the first scan.
+    pub first_by_country: BTreeMap<String, u64>,
+    /// Country → NOERROR resolvers in the last scan.
+    pub last_by_country: BTreeMap<String, u64>,
+    /// Ground-truth alive NOERROR population per week — the analogue of
+    /// the Open Resolver Project cross-check (Sec. 2.2: "the numbers
+    /// for each scan match within a 2% error margin"). Excludes
+    /// blacklisted (opted-out) resolvers, which the scan cannot see.
+    pub ground_truth_noerror: Vec<u64>,
+}
+
+impl Fig1Report {
+    /// Worst relative deviation between scan counts and ground truth.
+    pub fn max_cross_check_error(&self) -> f64 {
+        self.weeks
+            .iter()
+            .zip(&self.ground_truth_noerror)
+            .map(|(w, &truth)| {
+                if truth == 0 {
+                    0.0
+                } else {
+                    (w.noerror as f64 - truth as f64).abs() / truth as f64
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Run `weeks` weekly scans over a fresh world (E-FIG1, plus the
+/// snapshots feeding Tables 1–2).
+pub fn fig1_weekly_counts(cfg: WorldConfig, weeks: u32) -> Fig1Report {
+    let mut world = build_world(cfg);
+    let vantage = world.scanner_ip;
+    let blacklist = scanner::Blacklist::new(
+        world.blacklist_ranges.clone(),
+        world.blacklist_singles.clone(),
+    );
+    let mut report = Fig1Report::default();
+    for week in 0..weeks {
+        world.advance_to_week(week);
+        // Ground truth for the cross-check: alive NOERROR resolvers
+        // reachable by the scan (not opted out, not behind filters we
+        // cannot model from outside — filters are counted as reachable,
+        // which keeps the check honest about what scanning misses).
+        let truth = world
+            .resolvers
+            .iter()
+            .filter(|m| {
+                m.response_class == worldgen::world::ResponseClass::NoError
+                    && m.alive.load(std::sync::atomic::Ordering::Relaxed)
+                    && world
+                        .resolver_ip(m)
+                        .map(|ip| !blacklist.contains(ip))
+                        .unwrap_or(false)
+                    // ASes behind full border filters are invisible to
+                    // *every* outside observer (incl. the ORP).
+                    && !world
+                        .border_filtered_asns
+                        .iter()
+                        .any(|&(asn, w)| m.asn == asn && week >= w)
+            })
+            .count() as u64;
+        report.ground_truth_noerror.push(truth);
+        let result = enumerate(&mut world, vantage, 0xF161 + week as u64);
+        let counts = result.counts();
+        report.weeks.push(WeekRow {
+            week,
+            all: counts.get("ALL").copied().unwrap_or(0),
+            noerror: counts.get("NOERROR").copied().unwrap_or(0),
+            refused: counts.get("REFUSED").copied().unwrap_or(0),
+            servfail: counts.get("SERVFAIL").copied().unwrap_or(0),
+            proxy_responders: result.mismatched_sources(),
+        });
+        let snapshot = |world: &World, result: &scanner::EnumerationResult| {
+            let mut by_country: BTreeMap<String, u64> = BTreeMap::new();
+            for ip in result.noerror_ips() {
+                if let Some(cc) = world.geo.country(ip) {
+                    *by_country.entry(cc.as_str().to_string()).or_insert(0) += 1;
+                }
+            }
+            by_country
+        };
+        if week == 0 {
+            report.first_by_country = snapshot(&world, &result);
+        }
+        if week == weeks - 1 {
+            report.last_by_country = snapshot(&world, &result);
+        }
+    }
+    report
+}
+
+// =====================================================================
+// E-TAB1 / E-TAB2 — fluctuation per country / RIR
+// =====================================================================
+
+/// Fluctuation row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FluxRow {
+    /// Country code or AS key.
+    pub key: String,
+    /// Count in the first scan.
+    pub first: u64,
+    /// Count in the last scan.
+    pub last: u64,
+}
+
+impl FluxRow {
+    /// Absolute change `last - first`.
+    pub fn delta(&self) -> i64 {
+        self.last as i64 - self.first as i64
+    }
+
+    /// Relative change in percent.
+    pub fn pct(&self) -> f64 {
+        if self.first == 0 {
+            0.0
+        } else {
+            100.0 * self.delta() as f64 / self.first as f64
+        }
+    }
+}
+
+/// Table 1: top-`n` countries by first-scan population.
+pub fn table1_country_flux(fig1: &Fig1Report, n: usize) -> Vec<FluxRow> {
+    let mut rows: Vec<FluxRow> = fig1
+        .first_by_country
+        .iter()
+        .map(|(cc, &first)| FluxRow {
+            key: cc.clone(),
+            first,
+            last: fig1.last_by_country.get(cc).copied().unwrap_or(0),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.first.cmp(&a.first).then(a.key.cmp(&b.key)));
+    rows.truncate(n);
+    rows
+}
+
+/// Table 2: fluctuation per Regional Internet Registry.
+pub fn table2_rir_flux(fig1: &Fig1Report) -> Vec<FluxRow> {
+    let mut by_rir: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for (cc, &n) in &fig1.first_by_country {
+        let rir = Rir::for_country(geodb::Country::new(cc));
+        by_rir.entry(rir.name()).or_insert((0, 0)).0 += n;
+    }
+    for (cc, &n) in &fig1.last_by_country {
+        let rir = Rir::for_country(geodb::Country::new(cc));
+        by_rir.entry(rir.name()).or_insert((0, 0)).1 += n;
+    }
+    let mut rows: Vec<FluxRow> = by_rir
+        .into_iter()
+        .map(|(k, (first, last))| FluxRow {
+            key: k.to_string(),
+            first,
+            last,
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.first));
+    rows
+}
+
+// =====================================================================
+// E-TAB3 — CHAOS software fingerprinting
+// =====================================================================
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// CHAOS fingerprinting summary (Table 3).
+pub struct Table3Report {
+    /// Resolvers that answered the CHAOS scan.
+    pub responding: u64,
+    /// Error rcodes to version.bind.
+    pub errors: u64,
+    /// NOERROR with empty answer.
+    pub empty: u64,
+    /// Custom / hidden version strings.
+    pub custom: u64,
+    /// Parseable software banners.
+    pub genuine: u64,
+    /// `family version` → count among genuine-version responders.
+    pub versions: BTreeMap<String, u64>,
+}
+
+impl Table3Report {
+    /// Top-n versions with shares among version-leaking resolvers.
+    pub fn top_versions(&self, n: usize) -> Vec<(String, f64)> {
+        let total: u64 = self.versions.values().sum();
+        let mut v: Vec<(String, u64)> = self
+            .versions
+            .iter()
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v.into_iter()
+            .map(|(k, c)| (k, 100.0 * c as f64 / total.max(1) as f64))
+            .collect()
+    }
+
+    /// Share of resolvers leaking genuine-looking versions.
+    pub fn genuine_share(&self) -> f64 {
+        if self.responding == 0 {
+            0.0
+        } else {
+            self.genuine as f64 / self.responding as f64
+        }
+    }
+
+    /// BIND share among version leakers (paper: 60.2%).
+    pub fn bind_share(&self) -> f64 {
+        let total: u64 = self.versions.values().sum();
+        let bind: u64 = self
+            .versions
+            .iter()
+            .filter(|(k, _)| k.starts_with("BIND"))
+            .map(|(_, &c)| c)
+            .sum();
+        if total == 0 {
+            0.0
+        } else {
+            bind as f64 / total as f64
+        }
+    }
+}
+
+/// Run the CHAOS scan and classify the answers (E-TAB3).
+pub fn table3_software(world: &mut World, fleet: &[Ipv4Addr], seed: u64) -> Table3Report {
+    let vantage = world.scanner_ip;
+    let obs = chaos_scan(world, vantage, fleet, seed);
+    let mut report = Table3Report::default();
+    for o in obs.values() {
+        match o {
+            ChaosObservation::Silent => {}
+            ChaosObservation::Errors => {
+                report.responding += 1;
+                report.errors += 1;
+            }
+            ChaosObservation::EmptyAnswers => {
+                report.responding += 1;
+                report.empty += 1;
+            }
+            ChaosObservation::Version(v) => {
+                report.responding += 1;
+                match classify_version(v) {
+                    SoftwareClass::Known { family, version } => {
+                        report.genuine += 1;
+                        *report
+                            .versions
+                            .entry(format!("{family} {version}"))
+                            .or_insert(0) += 1;
+                    }
+                    SoftwareClass::Custom(_) => report.custom += 1,
+                }
+            }
+        }
+    }
+    report
+}
+
+// =====================================================================
+// E-TAB4 — device fingerprinting
+// =====================================================================
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Device fingerprinting summary (Table 4).
+pub struct Table4Report {
+    /// Resolvers probed.
+    pub fleet: u64,
+    /// Resolvers with at least one open TCP service.
+    pub tcp_responsive: u64,
+    /// Hardware label → share (%) of TCP-responsive hosts.
+    pub hardware: BTreeMap<String, f64>,
+    /// OS label → share (%).
+    pub os: BTreeMap<String, f64>,
+}
+
+/// Run the banner scan and fingerprint devices (E-TAB4).
+pub fn table4_devices(world: &mut World, fleet: &[Ipv4Addr]) -> Table4Report {
+    let banners = banner_scan(world, fleet);
+    let mut hardware: BTreeMap<String, u64> = BTreeMap::new();
+    let mut os: BTreeMap<String, u64> = BTreeMap::new();
+    for obs in banners.values() {
+        let fp = fingerprint_device(obs);
+        *hardware.entry(fp.class.label().to_string()).or_insert(0) += 1;
+        *os.entry(fp.os.label().to_string()).or_insert(0) += 1;
+    }
+    let total = banners.len().max(1) as f64;
+    Table4Report {
+        fleet: fleet.len() as u64,
+        tcp_responsive: banners.len() as u64,
+        hardware: hardware
+            .into_iter()
+            .map(|(k, v)| (k, 100.0 * v as f64 / total))
+            .collect(),
+        os: os
+            .into_iter()
+            .map(|(k, v)| (k, 100.0 * v as f64 / total))
+            .collect(),
+    }
+}
+
+// =====================================================================
+// E-FIG2 — IP churn
+// =====================================================================
+
+/// Figure 2 data plus the dynamic-rDNS attribution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Fig2Report {
+    /// Measured cohort survival.
+    pub churn: ChurnResult,
+}
+
+/// Track the initial cohort for `weeks` weeks (E-FIG2).
+pub fn fig2_churn(cfg: WorldConfig, weeks: u32) -> Fig2Report {
+    let mut world = build_world(cfg);
+    let vantage = world.scanner_ip;
+    let result = enumerate(&mut world, vantage, 0xF162);
+    let cohort = result.noerror_ips();
+    let churn = track_cohort(&mut world, vantage, &cohort, weeks, 0xF162);
+    Fig2Report { churn }
+}
+
+// =====================================================================
+// E-UTIL — cache snooping utilization
+// =====================================================================
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Cache-utilization summary (Sec. 2.6).
+pub struct UtilReport {
+    /// Resolvers snooped.
+    pub probed: u64,
+    /// Class → share (%) of probed resolvers.
+    pub shares: BTreeMap<String, f64>,
+    /// Estimated client query rates (queries/hour) for resolvers with
+    /// observable refreshes — the Rajab-style popularity follow-up.
+    pub popularity_median: Option<f64>,
+    /// 90th percentile of estimated TLD popularity (refresh rate).
+    pub popularity_p90: Option<f64>,
+}
+
+impl UtilReport {
+    /// Share of probed resolvers in `class`.
+    pub fn share(&self, class: UtilizationClass) -> f64 {
+        self.shares
+            .get(&format!("{class:?}"))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Combined in-use share (paper: 61.6%).
+    pub fn in_use_share(&self) -> f64 {
+        self.share(UtilizationClass::InUse) + self.share(UtilizationClass::InUseFrequent)
+    }
+}
+
+/// Snoop `sample` resolvers for `rounds` hourly rounds and classify
+/// utilization (E-UTIL). Advances world time by `rounds` hours.
+pub fn utilization(world: &mut World, fleet: &[Ipv4Addr], sample: usize, rounds: usize) -> UtilReport {
+    let vantage = world.scanner_ip;
+    let sample: Vec<Ipv4Addr> = fleet.iter().copied().take(sample).collect();
+    let snooped = snoop_scan(world, vantage, &sample, rounds, 0x5009);
+    // The TLD NS TTLs are public zone data (one authoritative query
+    // each); the survey-based estimator remains available for settings
+    // where that is not an option.
+    let full: Vec<u32> = world.universe.tlds().iter().map(|t| t.ttl).collect();
+    let results: Vec<&scanner::SnoopResult> = snooped.values().collect();
+    let _ = estimate_full_ttls(&results);
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut rates: Vec<f64> = Vec::new();
+    for r in snooped.values() {
+        let class = classify_snoop(r, &full);
+        *counts.entry(format!("{class:?}")).or_insert(0) += 1;
+        if let Some(rate) = classify::snoopclass::estimate_popularity(r, &full) {
+            rates.push(rate);
+        }
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| -> Option<f64> {
+        if rates.is_empty() {
+            None
+        } else {
+            Some(rates[((rates.len() - 1) as f64 * p) as usize])
+        }
+    };
+    let total = snooped.len().max(1) as f64;
+    UtilReport {
+        probed: snooped.len() as u64,
+        shares: counts
+            .into_iter()
+            .map(|(k, v)| (k, 100.0 * v as f64 / total))
+            .collect(),
+        popularity_median: pct(0.5),
+        popularity_p90: pct(0.9),
+    }
+}
+
+// =====================================================================
+// Closed-loop validation: generated ground truth vs recovered values
+// =====================================================================
+
+/// One validation row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClosedLoopRow {
+    /// Metric name.
+    pub metric: String,
+    /// Ground-truth (planted) value.
+    pub generated: f64,
+    /// Value the blind pipeline recovered.
+    pub recovered: f64,
+}
+
+impl ClosedLoopRow {
+    /// Relative error of the recovery.
+    pub fn rel_error(&self) -> f64 {
+        if self.generated == 0.0 {
+            if self.recovered == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.recovered - self.generated).abs() / self.generated.abs()
+        }
+    }
+}
+
+/// Compare what the generator planted against what the measurement
+/// pipeline recovered — the validation loop DESIGN.md promises. Uses
+/// the landscape campaigns (enumeration, CHAOS, banners, snooping).
+pub fn closed_loop(world: &mut World, snoop_sample: usize) -> Vec<ClosedLoopRow> {
+    use worldgen::world::ResponseClass;
+    let vantage = world.scanner_ip;
+    let mut rows = Vec::new();
+
+    // Ground truth from resolver metadata.
+    let truth_counts = world.alive_counts();
+    let truth_noerror = *truth_counts.get(&ResponseClass::NoError).unwrap_or(&0) as f64;
+    let truth_refused = *truth_counts.get(&ResponseClass::Refused).unwrap_or(&0) as f64;
+    let alive: Vec<&worldgen::ResolverMeta> = world
+        .resolvers
+        .iter()
+        .filter(|m| m.alive.load(std::sync::atomic::Ordering::Relaxed))
+        .collect();
+    let alive_noerror: Vec<&&worldgen::ResolverMeta> = alive
+        .iter()
+        .filter(|m| m.response_class == ResponseClass::NoError)
+        .collect();
+    // The device plan records only *recognizable* devices; hosts with
+    // unrecognizable banners are also TCP-exposed, so ground truth is
+    // the plan constant.
+    let truth_tcp = worldgen::plan::TCP_EXPOSED_FRACTION;
+    let truth_genuine = alive_noerror.iter().filter(|m| m.chaos_genuine).count() as f64
+        / alive_noerror.len().max(1) as f64;
+    let truth_zynos = alive_noerror
+        .iter()
+        .filter(|m| {
+            matches!(
+                m.device,
+                Some(worldgen::plan::DeviceClassPlan::RouterZyNos)
+            )
+        })
+        .count() as f64;
+
+    // Measurements.
+    let enumeration = enumerate(world, vantage, 0xC105ED);
+    let counts = enumeration.counts();
+    let fleet = enumeration.noerror_ips();
+    rows.push(ClosedLoopRow {
+        metric: "NOERROR resolvers".into(),
+        generated: truth_noerror,
+        recovered: counts.get("NOERROR").copied().unwrap_or(0) as f64,
+    });
+    rows.push(ClosedLoopRow {
+        metric: "REFUSED resolvers".into(),
+        generated: truth_refused,
+        recovered: counts.get("REFUSED").copied().unwrap_or(0) as f64,
+    });
+
+    let t3 = table3_software(world, &fleet, 0xC105ED);
+    rows.push(ClosedLoopRow {
+        metric: "genuine version share".into(),
+        generated: truth_genuine,
+        recovered: t3.genuine as f64 / t3.responding.max(1) as f64,
+    });
+
+    let t4 = table4_devices(world, &fleet);
+    rows.push(ClosedLoopRow {
+        metric: "TCP-exposed share".into(),
+        generated: truth_tcp,
+        recovered: t4.tcp_responsive as f64 / t4.fleet.max(1) as f64,
+    });
+    rows.push(ClosedLoopRow {
+        metric: "ZyNOS devices".into(),
+        generated: truth_zynos,
+        recovered: t4.os.get("ZyNOS").copied().unwrap_or(0.0) / 100.0
+            * t4.tcp_responsive as f64,
+    });
+
+    // Utilization: generated in-use share (frequent + slow profiles of
+    // the plan) vs recovered classification.
+    let util = utilization(world, &fleet, snoop_sample, 36);
+    let plan = worldgen::plan::UTILIZATION_PLAN;
+    rows.push(ClosedLoopRow {
+        metric: "in-use share".into(),
+        generated: plan.frequent + plan.in_use_slow,
+        recovered: util.in_use_share() / 100.0,
+    });
+
+    rows
+}
+
+/// Render the closed-loop table.
+pub fn render_closed_loop(rows: &[ClosedLoopRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Closed-loop validation — generated vs recovered");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>12} {:>8}",
+        "metric", "generated", "recovered", "err"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12.2} {:>12.2} {:>7.1}%",
+            r.metric,
+            r.generated,
+            r.recovered,
+            100.0 * r.rel_error()
+        );
+    }
+    out
+}
+
+// =====================================================================
+// E-VERIF — dual-vantage verification
+// =====================================================================
+
+/// Run the verification experiment at the world's current time.
+pub fn verification(world: &mut World, seed: u64) -> VerificationReport {
+    let vantage = world.scanner_ip;
+    let primary = enumerate(world, vantage, seed);
+    scanner::campaign::enumerate::verify_scan(world, &primary, seed)
+}

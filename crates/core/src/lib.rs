@@ -1,0 +1,35 @@
+//! # goingwild — reproduction of *Going Wild: Large-Scale Classification
+//! # of Open DNS Resolvers* (IMC 2015)
+//!
+//! This crate is the public façade: it glues the substrates together
+//! and exposes one runner per paper artifact (every table and figure).
+//!
+//! ```no_run
+//! use goingwild::{experiments, WorldConfig};
+//!
+//! // Build a 1:1000-scale Internet and regenerate Figure 1.
+//! let cfg = WorldConfig::default();
+//! let fig1 = experiments::fig1_weekly_counts(cfg, 55);
+//! println!("{}", goingwild::report::render_fig1(&fig1));
+//! ```
+//!
+//! Architecture (bottom-up):
+//!
+//! | crate | role |
+//! |---|---|
+//! | `dnswire` | DNS wire format (RFC 1035 subset, CHAOS, 0x20) |
+//! | `htmlsim` | HTML tokenizing, page features, distances, diff, generators |
+//! | `geodb` | GeoIP / ASN / RIR / rDNS databases |
+//! | `netsim` | deterministic event simulator: UDP, TCP, loss, injectors, churn |
+//! | `resolversim` | resolver/web/mail host behaviours + tokio loopback server |
+//! | `worldgen` | population synthesis calibrated to the paper |
+//! | `scanner` | scanning campaigns + tokio UDP driver |
+//! | `classify` | prefilter, clustering, labeling, fingerprinting, case studies |
+//! | `goingwild` | this crate: pipeline orchestration, experiments, reports |
+
+pub mod experiments;
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{run_analysis, AnalysisOptions, AnalysisReport};
+pub use worldgen::{build_world, World, WorldConfig};

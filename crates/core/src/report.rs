@@ -1,0 +1,364 @@
+//! Text rendering of experiment reports — the tables the `repro` binary
+//! prints next to the paper's numbers.
+
+use crate::experiments::{Fig1Report, Fig2Report, FluxRow, Table3Report, Table4Report, UtilReport};
+use crate::pipeline::AnalysisReport;
+use std::fmt::Write as _;
+
+/// Render Figure 1's weekly series as an aligned text table.
+pub fn render_fig1(report: &Fig1Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1 — responding DNS resolvers per weekly scan");
+    let _ = writeln!(
+        out,
+        "{:>5} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "week", "ALL", "NOERROR", "REFUSED", "SERVFAIL", "proxy%"
+    );
+    for w in &report.weeks {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>10} {:>10} {:>10} {:>10} {:>8.2}%",
+            w.week,
+            w.all,
+            w.noerror,
+            w.refused,
+            w.servfail,
+            100.0 * w.proxy_responders as f64 / w.all.max(1) as f64
+        );
+    }
+    if let (Some(first), Some(last)) = (report.weeks.first(), report.weeks.last()) {
+        let decline = 100.0 * (1.0 - last.noerror as f64 / first.noerror.max(1) as f64);
+        let _ = writeln!(
+            out,
+            "NOERROR decline over the study: {:.1}% (paper: 26.8M → 17.8M, −33.6%)",
+            decline
+        );
+    }
+    if let Some(last) = report.weeks.last() {
+        let _ = writeln!(
+            out,
+            "answers from a different source IP (DNS proxies / multi-homed, Sec. 2.5): {:.2}% of responders (paper: ~2.5%)",
+            100.0 * last.proxy_responders as f64 / last.all.max(1) as f64
+        );
+    }
+    if !report.ground_truth_noerror.is_empty() {
+        let _ = writeln!(
+            out,
+            "cross-check vs ground truth (Open-Resolver-Project analogue): max deviation {:.2}% (paper: within 2%)",
+            100.0 * report.max_cross_check_error()
+        );
+    }
+    out
+}
+
+/// Render a fluctuation table (Tables 1 and 2 share the shape).
+pub fn render_flux(title: &str, rows: &[FluxRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>10} {:>10} {:>8}",
+        "key", "first", "last", "delta", "pct"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>10} {:>+10} {:>7.1}%",
+            r.key,
+            r.first,
+            r.last,
+            r.delta(),
+            r.pct()
+        );
+    }
+    out
+}
+
+/// Render Table 3.
+pub fn render_table3(report: &Table3Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3 — CHAOS version fingerprinting");
+    let total = report.responding.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "responding: {}   errors: {:.1}%   empty: {:.1}%   custom: {:.1}%   genuine: {:.1}%",
+        report.responding,
+        100.0 * report.errors as f64 / total,
+        100.0 * report.empty as f64 / total,
+        100.0 * report.custom as f64 / total,
+        100.0 * report.genuine as f64 / total,
+    );
+    let _ = writeln!(out, "(paper: 42.7% errors, 4.6% empty, 18.8% custom, 33.9% genuine)");
+    let _ = writeln!(out, "{:<22} {:>8}  known CVE classes", "software", "share");
+    for (k, share) in report.top_versions(10) {
+        let cve = resolversim::software::TABLE3_SOFTWARE
+            .iter()
+            .find(|(f, v, _, _)| format!("{f} {v}") == k)
+            .map(|(_, _, _, c)| *c)
+            .unwrap_or("-");
+        let _ = writeln!(out, "{k:<22} {share:>7.1}%  {cve}");
+    }
+    let _ = writeln!(out, "BIND share among leakers: {:.1}% (paper: 60.2%)", 100.0 * report.bind_share());
+    out
+}
+
+/// Render Table 4.
+pub fn render_table4(report: &Table4Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4 — device fingerprinting");
+    let _ = writeln!(
+        out,
+        "TCP responsive: {} of {} ({:.1}%; paper: 26.3%)",
+        report.tcp_responsive,
+        report.fleet,
+        100.0 * report.tcp_responsive as f64 / report.fleet.max(1) as f64
+    );
+    let mut hw: Vec<_> = report.hardware.iter().collect();
+    hw.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
+    let _ = writeln!(out, "hardware:");
+    for (k, v) in hw {
+        let _ = writeln!(out, "  {k:<12} {v:>6.1}%");
+    }
+    let mut os: Vec<_> = report.os.iter().collect();
+    os.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
+    let _ = writeln!(out, "os:");
+    for (k, v) in os {
+        let _ = writeln!(out, "  {k:<12} {v:>6.1}%");
+    }
+    out
+}
+
+/// Render Figure 2.
+pub fn render_fig2(report: &Fig2Report) -> String {
+    let mut out = String::new();
+    let c = &report.churn;
+    let _ = writeln!(out, "Figure 2 — IP churn of the initial cohort ({} resolvers)", c.cohort);
+    let day1 = 100.0 * c.day1_survivors as f64 / c.cohort.max(1) as f64;
+    let _ = writeln!(out, "day-1 survival: {day1:.1}% (paper: <60%)");
+    for (i, s) in c.survivors.iter().enumerate() {
+        let pct = 100.0 * *s as f64 / c.cohort.max(1) as f64;
+        let _ = writeln!(out, "  week {:>2}: {:>6.1}% still at their address", i + 1, pct);
+    }
+    if c.day1_leavers_with_rdns > 0 {
+        let _ = writeln!(
+            out,
+            "day-1 leavers with dynamic rDNS tokens: {:.1}% (paper: 67.4%)",
+            100.0 * c.day1_leavers_dynamic_rdns as f64 / c.day1_leavers_with_rdns as f64
+        );
+    }
+    out
+}
+
+/// Render the utilization report.
+pub fn render_util(report: &UtilReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Sec. 2.6 — cache-snooping utilization ({} resolvers probed)", report.probed);
+    for (k, v) in &report.shares {
+        let _ = writeln!(out, "  {k:<20} {v:>6.1}%");
+    }
+    let _ = writeln!(out, "in-use total: {:.1}% (paper: 61.6%)", report.in_use_share());
+    if let (Some(med), Some(p90)) = (report.popularity_median, report.popularity_p90) {
+        let _ = writeln!(
+            out,
+            "estimated client load (queries/hour): median {med:.1}, p90 {p90:.1} (Rajab-style follow-up)"
+        );
+    }
+    out
+}
+
+/// Render Table 5 and the Sec. 4 headline stats.
+pub fn render_analysis(report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Sections 3–4 — bogus-resolution analysis");
+    let _ = writeln!(out, "fleet: {} open resolvers", report.fleet_size);
+    let _ = writeln!(out, "\nPrefiltering (Sec. 4.1):");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>9} {:>8} {:>8} {:>8} {:>10}",
+        "category", "responses", "legit%", "empty%", "error%", "unexpected%"
+    );
+    for (cat, s) in &report.per_category {
+        let total = s.responses.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{:<12} {:>9} {:>7.1} {:>7.1} {:>7.1} {:>10.2}",
+            cat,
+            s.responses,
+            100.0 * s.legit as f64 / total,
+            100.0 * s.empty as f64 / total,
+            100.0 * s.error as f64 / total,
+            100.0 * s.unexpected as f64 / total,
+        );
+    }
+    let o = &report.oddities;
+    let _ = writeln!(
+        out,
+        "\nOddities: suspicious={}  self-IP={}  static-single-IP={}  same-set={}  NS-only={}",
+        o.suspicious_resolvers, o.self_ip_everywhere, o.static_single_ip, o.same_set_multi_domain, o.ns_only
+    );
+    if o.self_ip_everywhere > 0 {
+        let _ = writeln!(
+            out,
+            "  self-IP content: {} router/CPE logins, {} IP cameras (paper: 65.9% / 7.0% of 8,194)",
+            o.self_ip_router_login, o.self_ip_camera
+        );
+    }
+    let _ = writeln!(
+        out,
+        "HTTP payload for {:.1}% of unexpected pairs (paper: 88.9%); LAN share of no-HTTP: {:.1}%",
+        100.0 * report.http_share,
+        100.0 * report.no_http_lan_share
+    );
+    let _ = writeln!(
+        out,
+        "clusters: {} ({} pages clustered, {} assigned to exemplars)",
+        report.clusters, report.clustered_directly, report.assigned_to_exemplar
+    );
+
+    let _ = writeln!(out, "\nTable 5 — label shares per category (avg% / max%):");
+    let labels = ["Blocking", "Censorship", "HTTP Error", "Login", "Misc.", "Parking", "Search"];
+    let _ = write!(out, "{:<12}", "category");
+    for l in labels {
+        let _ = write!(out, "{l:>19}");
+    }
+    let _ = writeln!(out);
+    for row in &report.table5 {
+        let _ = write!(out, "{:<12}", row.category);
+        for l in labels {
+            let (avg, max) = row.shares.get(l).copied().unwrap_or((0.0, 0.0));
+            let _ = write!(out, "{:>11.1} {:>5.1}", avg, max);
+            let _ = write!(out, "  ");
+        }
+        let _ = writeln!(out);
+    }
+
+    let _ = writeln!(out, "\nFigure 4 — country mix for Facebook/Twitter/YouTube (unexpected):");
+    let mut shares: Vec<(String, u64)> = report
+        .fig4
+        .unexpected
+        .iter()
+        .map(|(k, &v)| (k.clone(), v))
+        .collect();
+    shares.sort_by_key(|(_, v)| std::cmp::Reverse(*v));
+    let total: u64 = shares.iter().map(|(_, v)| *v).sum();
+    for (cc, v) in shares.iter().take(6) {
+        let _ = writeln!(out, "  {cc}: {:.1}%", 100.0 * *v as f64 / total.max(1) as f64);
+    }
+    let _ = writeln!(out, "(paper: CN 83.6%, IR 12.9%)");
+
+    let cen = &report.censorship;
+    let _ = writeln!(
+        out,
+        "\nCensorship: {} landing IPs across {} countries (paper: 299 / 34); GFW double responses from {} resolvers",
+        cen.landing.ip_count(),
+        cen.landing.country_count(),
+        cen.doubles.forged_then_legit.len()
+    );
+
+    if !report.modifications.is_empty() {
+        let _ = writeln!(out, "\nFine-grained page modifications (Sec. 3.6):");
+        for m in report.modifications.iter().take(8) {
+            let _ = writeln!(
+                out,
+                "  {} pages / {} tuples — added {:?}, removed {:?} (e.g. {})",
+                m.pages, m.tuples, m.added, m.removed, m.example_domain
+            );
+        }
+    }
+
+    let cases = &report.cases;
+    let _ = writeln!(out, "\nCase studies (Sec. 4.3):");
+    let _ = writeln!(
+        out,
+        "  transparent proxies: {} TLS IPs / {} resolvers, {} HTTP-only IPs / {} resolvers (paper: 10/99 and 10/10,179)",
+        cases.proxies.tls_proxy_ips.len(),
+        cases.proxies.resolvers_via_tls.len(),
+        cases.proxies.http_only_proxy_ips.len(),
+        cases.proxies.resolvers_via_http_only.len()
+    );
+    let _ = writeln!(
+        out,
+        "  phishing: {} (ip, domain) findings (paper: 39 hosts / 1,360 resolvers)",
+        cases.phishing.len()
+    );
+    let ad_ip_count: usize = cases.ads.by_class.values().map(|s| s.len()).sum();
+    let _ = writeln!(out, "  ad manipulation: {ad_ip_count} IPs across {} classes", cases.ads.by_class.len());
+    let _ = writeln!(
+        out,
+        "  mail interception: {} listening IPs, {} banner clones (paper: 1,135 / 8-resolver clones)",
+        cases.mail.listening_ips.len(),
+        cases.mail.clone_ips.len()
+    );
+    let _ = writeln!(
+        out,
+        "  malware droppers: {} IPs via {} resolvers (paper: 30 / 228)",
+        cases.malware.dropper_ips.len(),
+        cases.malware.resolvers.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{Fig1Report, FluxRow, Table3Report, WeekRow};
+
+    #[test]
+    fn fig1_rendering_contains_series_and_decline() {
+        let report = Fig1Report {
+            weeks: vec![
+                WeekRow { week: 0, all: 100, noerror: 90, refused: 8, servfail: 2, proxy_responders: 3 },
+                WeekRow { week: 1, all: 80, noerror: 60, refused: 8, servfail: 12, proxy_responders: 2 },
+            ],
+            ..Default::default()
+        };
+        let text = render_fig1(&report);
+        assert!(text.contains("NOERROR"));
+        assert!(text.contains("90"));
+        assert!(text.contains("decline"));
+        assert!(text.contains("33.3%"), "{text}");
+    }
+
+    #[test]
+    fn flux_rendering_signs_and_percentages() {
+        let rows = vec![
+            FluxRow { key: "US".into(), first: 200, last: 100 },
+            FluxRow { key: "IN".into(), first: 100, last: 150 },
+        ];
+        let text = render_flux("t", &rows);
+        assert!(text.contains("-100"));
+        assert!(text.contains("-50.0%"));
+        assert!(text.contains("+50"));
+        assert!(text.contains("50.0%"));
+    }
+
+    #[test]
+    fn table3_rendering_includes_cve_column() {
+        let mut report = Table3Report {
+            responding: 100,
+            errors: 40,
+            empty: 5,
+            custom: 20,
+            genuine: 35,
+            ..Default::default()
+        };
+        report.versions.insert("BIND 9.8.2".into(), 20);
+        report.versions.insert("Dnsmasq 2.40".into(), 5);
+        let text = render_table3(&report);
+        assert!(text.contains("BIND 9.8.2"));
+        assert!(text.contains("IP Bypass"), "CVE column: {text}");
+        assert!(text.contains("RCE, DoS"));
+    }
+
+    #[test]
+    fn analysis_rendering_smoke() {
+        let report = crate::pipeline::AnalysisReport {
+            fleet_size: 10,
+            ..Default::default()
+        };
+        let text = render_analysis(&report);
+        assert!(text.contains("fleet: 10 open resolvers"));
+        assert!(text.contains("Table 5"));
+        assert!(text.contains("Figure 4"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for wire decoding and name parsing.
+
+use std::fmt;
+
+/// Errors produced while decoding a DNS message from the wire.
+///
+/// The decoder treats all input as untrusted; every variant corresponds
+/// to a malformed packet that a hostile or buggy resolver could emit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The packet ended before a fixed-size field could be read.
+    Truncated {
+        /// What the decoder was trying to read.
+        context: &'static str,
+    },
+    /// A compression pointer referenced an offset at or beyond its own
+    /// position, or the pointer chain exceeded the loop budget.
+    BadPointer {
+        /// Offset of the offending pointer.
+        offset: usize,
+    },
+    /// A label length byte used the reserved `0b10xx_xxxx` / `0b01xx_xxxx`
+    /// prefixes (EDNS0 extended labels are not supported).
+    BadLabelType {
+        /// The offending length byte.
+        byte: u8,
+    },
+    /// A decoded name exceeded the RFC 1035 limit of 255 octets.
+    NameTooLong,
+    /// The RDLENGTH field disagreed with the actual record data size.
+    BadRdLength {
+        /// Octets the RDLENGTH announced.
+        expected: usize,
+        /// Octets actually available.
+        available: usize,
+    },
+    /// A TXT record character-string ran past the record boundary.
+    BadCharacterString,
+    /// Trailing garbage after all announced sections were decoded is
+    /// tolerated, but a section count pointing past the packet is not.
+    SectionOverrun {
+        /// Which section overran.
+        section: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { context } => {
+                write!(f, "packet truncated while reading {context}")
+            }
+            DecodeError::BadPointer { offset } => {
+                write!(f, "invalid compression pointer at offset {offset}")
+            }
+            DecodeError::BadLabelType { byte } => {
+                write!(f, "unsupported label type byte {byte:#04x}")
+            }
+            DecodeError::NameTooLong => write!(f, "domain name exceeds 255 octets"),
+            DecodeError::BadRdLength { expected, available } => write!(
+                f,
+                "RDLENGTH announces {expected} octets but only {available} are available"
+            ),
+            DecodeError::BadCharacterString => write!(f, "malformed character-string in RDATA"),
+            DecodeError::SectionOverrun { section } => {
+                write!(f, "{section} section count exceeds packet contents")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Errors produced while parsing a textual domain name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A single label exceeded 63 octets.
+    LabelTooLong {
+        /// The offending label.
+        label: String,
+    },
+    /// The whole name exceeded 255 octets in wire form.
+    NameTooLong,
+    /// An empty label appeared in the middle of the name (`a..b`).
+    EmptyLabel,
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::LabelTooLong { label } => {
+                write!(f, "label `{label}` exceeds 63 octets")
+            }
+            NameError::NameTooLong => write!(f, "name exceeds 255 octets"),
+            NameError::EmptyLabel => write!(f, "empty label inside name"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}

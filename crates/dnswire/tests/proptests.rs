@@ -1,0 +1,168 @@
+//! Property-based tests for the DNS wire codec.
+//!
+//! Two invariant families:
+//!  1. encode ∘ decode = identity for arbitrary structured messages;
+//!  2. the decoder never panics on arbitrary bytes (fuzz-shaped input).
+
+use dnswire::{
+    decode_0x20, encode_0x20, Header, Message, Name, Opcode, Question, RData, Rcode, RecordClass,
+    RecordType, ResourceRecord,
+};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_label() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (b'a'..=b'z').prop_map(|b| b),
+            (b'A'..=b'Z').prop_map(|b| b),
+            (b'0'..=b'9').prop_map(|b| b),
+            Just(b'-'),
+        ],
+        1..=12,
+    )
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..=5)
+        .prop_filter_map("valid name", |labels| Name::from_labels(labels).ok())
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(Ipv4Addr::from(o))),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+        (any::<u16>(), arb_name())
+            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..3)
+            .prop_map(RData::Txt),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa {
+                mname, rname, serial, refresh, retry, expire, minimum
+            }),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(RData::Opaque),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = ResourceRecord> {
+    (arb_name(), arb_rdata(), any::<u32>(), any::<u16>()).prop_map(|(name, rdata, ttl, class_raw)| {
+        // Type must agree with the rdata shape for a faithful round trip;
+        // Opaque uses an unknown type code to avoid structured decoding.
+        let rtype = rdata.record_type().unwrap_or(RecordType::Other(9999));
+        ResourceRecord {
+            name,
+            rtype,
+            rclass: if rtype == RecordType::Other(9999) {
+                RecordClass::from_u16(class_raw)
+            } else {
+                RecordClass::In
+            },
+            ttl,
+            rdata,
+        }
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::sample::select(vec![
+            Rcode::NoError,
+            Rcode::ServFail,
+            Rcode::NxDomain,
+            Rcode::Refused,
+            Rcode::FormErr,
+        ]),
+        proptest::collection::vec(arb_name(), 0..2),
+        proptest::collection::vec(arb_record(), 0..4),
+        proptest::collection::vec(arb_record(), 0..2),
+        proptest::collection::vec(arb_record(), 0..2),
+    )
+        .prop_map(
+            |(id, response, aa, rd, ra, rcode, qnames, answers, authorities, additionals)| {
+                Message {
+                    header: Header {
+                        id,
+                        response,
+                        opcode: Opcode::Query,
+                        authoritative: aa,
+                        truncated: false,
+                        recursion_desired: rd,
+                        recursion_available: ra,
+                        authentic_data: aa & rd, // arbitrary but varied
+                        checking_disabled: ra & aa,
+                        rcode,
+                    },
+                    questions: qnames
+                        .into_iter()
+                        .map(|qname| Question {
+                            qname,
+                            qtype: RecordType::A,
+                            qclass: RecordClass::In,
+                        })
+                        .collect(),
+                    answers,
+                    authorities,
+                    additionals,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_encode_decode_round_trip(msg in arb_message()) {
+        let wire = msg.encode();
+        let decoded = Message::decode(&wire).expect("self-encoded message must decode");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_valid_packets(
+        msg in arb_message(),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut wire = msg.encode();
+        if !wire.is_empty() {
+            let i = idx.index(wire.len());
+            wire[i] ^= 1 << bit;
+        }
+        let _ = Message::decode(&wire);
+    }
+
+    #[test]
+    fn name_text_round_trip(name in arb_name()) {
+        let text = name.to_string();
+        if text != "." {
+            let reparsed = Name::parse(&text).unwrap();
+            prop_assert_eq!(reparsed, name);
+        }
+    }
+
+    #[test]
+    fn zeroxtwenty_round_trip(name in arb_name(), value in any::<u32>(), bits in 1u32..=16) {
+        let cap = dnswire::zeroxtwenty::capacity_bits(&name);
+        let effective = bits.min(cap);
+        let enc = encode_0x20(&name, value, bits);
+        let decoded = decode_0x20(&enc, bits);
+        let mask = if effective >= 32 { u32::MAX } else { (1u32 << effective) - 1 };
+        prop_assert_eq!(decoded, value & mask);
+        // 0x20 encoding never changes which name is being queried.
+        prop_assert_eq!(enc, name);
+    }
+}

@@ -1,0 +1,62 @@
+//! ISO-3166-style two-letter country codes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A two-letter country code (upper-cased ASCII), stored inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Country([u8; 2]);
+
+impl Country {
+    /// Construct from a two-letter code. Panics on malformed codes —
+    /// country codes in this system are compile-time or generator
+    /// constants, never untrusted input.
+    pub fn new(code: &str) -> Self {
+        let bytes = code.as_bytes();
+        assert!(
+            bytes.len() == 2 && bytes.iter().all(|b| b.is_ascii_alphabetic()),
+            "invalid country code `{code}`"
+        );
+        Country([bytes[0].to_ascii_uppercase(), bytes[1].to_ascii_uppercase()])
+    }
+
+    /// The code as a string slice.
+    pub fn as_str(&self) -> &str {
+        // Invariant: always ASCII alphabetic.
+        std::str::from_utf8(&self.0).unwrap()
+    }
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_case() {
+        assert_eq!(Country::new("cn"), Country::new("CN"));
+        assert_eq!(Country::new("tr").as_str(), "TR");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid country code")]
+    fn rejects_long_codes() {
+        let _ = Country::new("USA");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid country code")]
+    fn rejects_non_alpha() {
+        let _ = Country::new("1X");
+    }
+
+    #[test]
+    fn ordering_is_alphabetical() {
+        assert!(Country::new("AR") < Country::new("US"));
+    }
+}

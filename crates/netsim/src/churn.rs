@@ -1,0 +1,288 @@
+//! DHCP-style IP address churn.
+//!
+//! Section 2.5 of the paper measures resolver IP churn: 40% of resolvers
+//! disappear from their IP within a day, 52.2% within a week — driven by
+//! consumer broadband devices with short DHCP/PPPoE leases that renumber
+//! inside their ISP's pool. [`LeasePool`] models exactly that: a set of
+//! member hosts sharing an address pool, each renumbering when its lease
+//! expires. Renumbering permutes hosts *within* the pool, so the pool's
+//! aggregate population is stable (the resolver count stays flat) while
+//! individual IP↔host associations decay — the effect Figure 2 plots.
+
+use crate::network::{HostId, Network};
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+/// Per-pool churn parameters.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Mean lease duration in milliseconds. Actual leases are drawn
+    /// uniformly from `[0.5 × mean, 1.5 × mean]`.
+    pub mean_lease_ms: u64,
+    /// Seed for this pool's renumbering decisions.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// The consumer-broadband default: ~1-day leases (the paper finds
+    /// >40% of resolvers gone within the first day).
+    pub fn consumer_daily(seed: u64) -> Self {
+        ChurnConfig {
+            mean_lease_ms: SimTime::DAY,
+            seed,
+        }
+    }
+
+    /// Long leases for mostly-static assignments.
+    pub fn stable(seed: u64) -> Self {
+        ChurnConfig {
+            mean_lease_ms: 52 * SimTime::WEEK,
+            seed,
+        }
+    }
+}
+
+struct Member {
+    host: HostId,
+    current_ip: Ipv4Addr,
+    lease_expires: SimTime,
+}
+
+/// A DHCP pool: `members` hosts sharing `addresses` (|addresses| ≥
+/// |members|; the surplus models the ISP's free address headroom).
+pub struct LeasePool {
+    cfg: ChurnConfig,
+    addresses: Vec<Ipv4Addr>,
+    members: Vec<Member>,
+    /// Indexes into `addresses` currently unassigned.
+    free: Vec<u32>,
+    rng: SmallRng,
+}
+
+impl LeasePool {
+    /// Create the pool and perform initial assignment: member `i` gets
+    /// `addresses[i]`, the rest go to the free list. Panics if the pool
+    /// is smaller than the membership — an impossible ISP.
+    pub fn new(
+        net: &mut Network,
+        cfg: ChurnConfig,
+        addresses: Vec<Ipv4Addr>,
+        members: Vec<HostId>,
+        now: SimTime,
+    ) -> Self {
+        assert!(
+            addresses.len() >= members.len(),
+            "pool of {} addresses cannot hold {} members",
+            addresses.len(),
+            members.len()
+        );
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut pool = LeasePool {
+            free: (members.len() as u32..addresses.len() as u32).collect(),
+            members: Vec::with_capacity(members.len()),
+            addresses,
+            rng,
+            cfg,
+        };
+        for (i, host) in members.into_iter().enumerate() {
+            let ip = pool.addresses[i];
+            net.bind_ip(ip, host);
+            let lease = pool.draw_lease();
+            pool.members.push(Member {
+                host,
+                current_ip: ip,
+                lease_expires: now + lease,
+            });
+        }
+        pool
+    }
+
+    fn draw_lease(&mut self) -> u64 {
+        let mean = self.cfg.mean_lease_ms;
+        let lo = mean / 2;
+        let hi = mean + mean / 2;
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Renumber every member whose lease expired by `now`. The expired
+    /// member's old address goes back to the free list and it draws a
+    /// fresh address — possibly, by chance, the same one. Returns the
+    /// number of members that changed address.
+    pub fn renumber_expired(&mut self, net: &mut Network, now: SimTime) -> usize {
+        let mut changed = 0;
+        for i in 0..self.members.len() {
+            if self.members[i].lease_expires > now {
+                continue;
+            }
+            // Release the old address.
+            let old_ip = self.members[i].current_ip;
+            net.unbind_ip(old_ip);
+            let old_idx = self
+                .addresses
+                .iter()
+                .position(|&a| a == old_ip)
+                .expect("member address must be in pool") as u32;
+            self.free.push(old_idx);
+            // Draw a new one.
+            let pick = self.rng.gen_range(0..self.free.len());
+            let new_idx = self.free.swap_remove(pick);
+            let new_ip = self.addresses[new_idx as usize];
+            net.bind_ip(new_ip, self.members[i].host);
+            self.members[i].current_ip = new_ip;
+            let lease = self.draw_lease();
+            self.members[i].lease_expires = now + lease;
+            if new_ip != old_ip {
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Current address of a member host.
+    pub fn address_of(&self, host: HostId) -> Option<Ipv4Addr> {
+        self.members
+            .iter()
+            .find(|m| m.host == host)
+            .map(|m| m.current_ip)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the pool has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The earliest pending lease expiry, for adaptive stepping.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.members.iter().map(|m| m.lease_expires).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::EchoHost;
+    use crate::network::NetworkConfig;
+
+    fn pool_addresses(n: usize) -> Vec<Ipv4Addr> {
+        (0..n as u32).map(|i| Ipv4Addr::from(0x0505_0000 + i)).collect()
+    }
+
+    fn build(net: &mut Network, members: usize, slack: usize, mean_lease: u64) -> LeasePool {
+        let hosts: Vec<HostId> = (0..members)
+            .map(|_| net.add_host(Box::new(EchoHost)))
+            .collect();
+        LeasePool::new(
+            net,
+            ChurnConfig {
+                mean_lease_ms: mean_lease,
+                seed: 42,
+            },
+            pool_addresses(members + slack),
+            hosts,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn initial_assignment_binds_all() {
+        let mut net = Network::new(NetworkConfig::default());
+        let pool = build(&mut net, 50, 20, SimTime::DAY);
+        assert_eq!(net.binding_count(), 50);
+        assert_eq!(pool.len(), 50);
+        for m in 0..50u32 {
+            let ip = pool.address_of(HostId(m)).unwrap();
+            assert_eq!(net.host_at(ip), Some(HostId(m)));
+        }
+    }
+
+    #[test]
+    fn renumbering_preserves_population() {
+        let mut net = Network::new(NetworkConfig::default());
+        let mut pool = build(&mut net, 100, 50, SimTime::DAY);
+        for day in 1..=30 {
+            pool.renumber_expired(&mut net, SimTime::from_days(day));
+            assert_eq!(net.binding_count(), 100, "population stable at day {day}");
+        }
+    }
+
+    #[test]
+    fn most_members_move_within_two_mean_leases() {
+        let mut net = Network::new(NetworkConfig::default());
+        let mut pool = build(&mut net, 200, 100, SimTime::DAY);
+        let initial: Vec<Ipv4Addr> = (0..200u32)
+            .map(|m| pool.address_of(HostId(m)).unwrap())
+            .collect();
+        // Step hourly for 2 days.
+        for h in 1..=48 {
+            pool.renumber_expired(&mut net, SimTime::from_hours(h));
+        }
+        let moved = (0..200u32)
+            .filter(|&m| pool.address_of(HostId(m)).unwrap() != initial[m as usize])
+            .count();
+        assert!(moved > 150, "moved={moved}");
+    }
+
+    #[test]
+    fn stable_config_rarely_moves() {
+        let mut net = Network::new(NetworkConfig::default());
+        let mut pool = build(&mut net, 100, 10, 52 * SimTime::WEEK);
+        for w in 1..=10 {
+            pool.renumber_expired(&mut net, SimTime::from_weeks(w));
+        }
+        let initial_still: usize = (0..100u32)
+            .filter(|&m| {
+                pool.address_of(HostId(m)).unwrap() == Ipv4Addr::from(0x0505_0000 + m)
+            })
+            .count();
+        assert!(initial_still >= 95, "still={initial_still}");
+    }
+
+    #[test]
+    fn old_address_becomes_unbound_or_reassigned() {
+        let mut net = Network::new(NetworkConfig::default());
+        let mut pool = build(&mut net, 10, 40, SimTime::HOUR);
+        let before = pool.address_of(HostId(0)).unwrap();
+        // Push far past the lease.
+        pool.renumber_expired(&mut net, SimTime::from_days(1));
+        let after = pool.address_of(HostId(0)).unwrap();
+        if before != after {
+            // The vacated IP either is free or now belongs to someone else.
+            match net.host_at(before) {
+                None => {}
+                Some(h) => assert_ne!(h, HostId(0)),
+            }
+        }
+        assert_eq!(net.host_at(after), Some(HostId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn oversubscribed_pool_rejected() {
+        let mut net = Network::new(NetworkConfig::default());
+        let hosts: Vec<HostId> = (0..5).map(|_| net.add_host(Box::new(EchoHost))).collect();
+        let _ = LeasePool::new(
+            &mut net,
+            ChurnConfig::consumer_daily(1),
+            pool_addresses(3),
+            hosts,
+            SimTime::ZERO,
+        );
+    }
+
+    #[test]
+    fn next_expiry_advances() {
+        let mut net = Network::new(NetworkConfig::default());
+        let mut pool = build(&mut net, 10, 10, SimTime::DAY);
+        let first = pool.next_expiry().unwrap();
+        pool.renumber_expired(&mut net, first + SimTime::HOUR);
+        let second = pool.next_expiry().unwrap();
+        assert!(second > first);
+    }
+}

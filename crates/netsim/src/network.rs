@@ -1,0 +1,767 @@
+//! The event-driven network core.
+
+use crate::host::{Host, HostCtx, TcpError, TcpRequest, TcpResponse};
+use crate::packet::Datagram;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+/// Identifier of a simulated host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+/// Handle of a measurement socket (used by scanners — endpoints that
+/// are driven from outside the simulation rather than by a [`Host`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SocketHandle(pub(crate) u32);
+
+/// Which traffic a network filter drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterDirection {
+    /// Drop traffic destined *to* the range (ingress filtering).
+    Inbound,
+    /// Drop traffic originating *from* the range (egress filtering).
+    Outbound,
+    /// Drop both directions.
+    Both,
+}
+
+/// An on-path observer that can inject packets in response to traffic it
+/// sees — the Great Firewall model. Returned tuples are
+/// `(delay_ms, datagram)`; injected datagrams are delivered directly
+/// (the injector is on-path, so it wins races against end-to-end paths
+/// when its delay is smaller).
+pub trait PathObserver {
+    /// Observe a datagram at send time; return `(delay_ms, datagram)`
+    /// injections to deliver.
+    fn on_transit(&mut self, now: SimTime, dgram: &Datagram) -> Vec<(u64, Datagram)>;
+}
+
+/// Tunables for the transport model.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Seed for all deterministic pseudo-random decisions.
+    pub seed: u64,
+    /// Probability that a UDP datagram is lost en route.
+    pub udp_loss: f64,
+    /// One-way path latency range in milliseconds; the concrete value is
+    /// a deterministic function of the (src /16, dst /16) pair.
+    pub latency_ms: (u64, u64),
+    /// Probability that a TCP request times out.
+    pub tcp_loss: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            seed: 0x60176,
+            udp_loss: 0.01,
+            latency_ms: (10, 180),
+            tcp_loss: 0.005,
+        }
+    }
+}
+
+/// Counters exposed for tests and the politeness ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// UDP datagrams handed to the transport.
+    pub udp_sent: u64,
+    /// Datagrams delivered to a host or socket.
+    pub udp_delivered: u64,
+    /// Datagrams dropped by the loss model.
+    pub udp_lost: u64,
+    /// Datagrams dropped by active filters.
+    pub udp_filtered: u64,
+    /// Datagrams addressed to unbound space.
+    pub udp_unbound: u64,
+    /// Datagrams injected by on-path observers.
+    pub injected: u64,
+    /// Synchronous TCP requests issued.
+    pub tcp_queries: u64,
+}
+
+struct Filter {
+    lo: u32,
+    hi: u32,
+    direction: FilterDirection,
+    active_from: SimTime,
+    /// When set, the filter only applies to traffic whose *other*
+    /// endpoint falls in this range — e.g. a network that blocks one
+    /// scanning /8 but is otherwise reachable (Sec. 2.3, explanation i).
+    peer: Option<(u32, u32)>,
+}
+
+struct SocketState {
+    queue: VecDeque<(SimTime, Datagram)>,
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    dgram: Datagram,
+}
+
+// Order events by (time, seq) — BinaryHeap is a max-heap, so wrap in
+// Reverse at the call sites.
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulated network.
+pub struct Network {
+    cfg: NetworkConfig,
+    now: SimTime,
+    seq: u64,
+    tcp_seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    hosts: Vec<Box<dyn Host>>,
+    bindings: HashMap<Ipv4Addr, HostId>,
+    host_ips: Vec<Vec<Ipv4Addr>>,
+    sockets: Vec<SocketState>,
+    socket_bindings: HashMap<(Ipv4Addr, u16), u32>,
+    injectors: Vec<Box<dyn PathObserver>>,
+    filters: Vec<Filter>,
+    stats: NetStats,
+    scratch: Vec<(u64, Datagram)>,
+}
+
+impl Network {
+    /// A fresh, empty network.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        Network {
+            cfg,
+            now: SimTime::ZERO,
+            seq: 0,
+            tcp_seq: 0,
+            events: BinaryHeap::new(),
+            hosts: Vec::new(),
+            bindings: HashMap::new(),
+            host_ips: Vec::new(),
+            sockets: Vec::new(),
+            socket_bindings: HashMap::new(),
+            injectors: Vec::new(),
+            filters: Vec::new(),
+            stats: NetStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the clock without processing (no events may be pending
+    /// before `t`; events before `t` are still processed first on the
+    /// next run call). Useful to jump between weekly scans.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Transport statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    // ---- topology -------------------------------------------------
+
+    /// Register a host behaviour. The host starts with no IP bindings.
+    pub fn add_host(&mut self, host: Box<dyn Host>) -> HostId {
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(host);
+        self.host_ips.push(Vec::new());
+        id
+    }
+
+    /// Bind `ip` to `host`, displacing any previous binding of that IP.
+    pub fn bind_ip(&mut self, ip: Ipv4Addr, host: HostId) {
+        assert!((host.0 as usize) < self.hosts.len(), "unknown host");
+        if let Some(prev) = self.bindings.insert(ip, host) {
+            if prev != host {
+                self.host_ips[prev.0 as usize].retain(|&i| i != ip);
+            }
+        }
+        let ips = &mut self.host_ips[host.0 as usize];
+        if !ips.contains(&ip) {
+            ips.push(ip);
+        }
+    }
+
+    /// Remove the binding of `ip`, if any.
+    pub fn unbind_ip(&mut self, ip: Ipv4Addr) {
+        if let Some(host) = self.bindings.remove(&ip) {
+            self.host_ips[host.0 as usize].retain(|&i| i != ip);
+        }
+    }
+
+    /// Host currently bound to `ip`.
+    pub fn host_at(&self, ip: Ipv4Addr) -> Option<HostId> {
+        self.bindings.get(&ip).copied()
+    }
+
+    /// IPs currently bound to `host`.
+    pub fn ips_of(&self, host: HostId) -> &[Ipv4Addr] {
+        &self.host_ips[host.0 as usize]
+    }
+
+    /// Number of bound IPs.
+    pub fn binding_count(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Mutable access to a host behaviour (world evolution hooks).
+    pub fn host_mut(&mut self, host: HostId) -> &mut dyn Host {
+        &mut *self.hosts[host.0 as usize]
+    }
+
+    /// Install an on-path observer.
+    pub fn add_injector(&mut self, injector: Box<dyn PathObserver>) {
+        self.injectors.push(injector);
+    }
+
+    /// Install a network filter over the inclusive range `[lo, hi]`,
+    /// active from `active_from` onwards. Models ISPs introducing DNS
+    /// ingress/egress filtering mid-study (Sec. 2.3).
+    pub fn add_filter(
+        &mut self,
+        lo: Ipv4Addr,
+        hi: Ipv4Addr,
+        direction: FilterDirection,
+        active_from: SimTime,
+    ) {
+        self.filters.push(Filter {
+            lo: u32::from(lo),
+            hi: u32::from(hi),
+            direction,
+            active_from,
+            peer: None,
+        });
+    }
+
+    /// Install a filter that drops traffic between `[lo, hi]` and the
+    /// peer range `[peer_lo, peer_hi]` only — e.g. an ISP blacklisting a
+    /// scanner's /8 while staying reachable from everywhere else.
+    pub fn add_pair_filter(
+        &mut self,
+        lo: Ipv4Addr,
+        hi: Ipv4Addr,
+        peer_lo: Ipv4Addr,
+        peer_hi: Ipv4Addr,
+        active_from: SimTime,
+    ) {
+        self.filters.push(Filter {
+            lo: u32::from(lo),
+            hi: u32::from(hi),
+            direction: FilterDirection::Both,
+            active_from,
+            peer: Some((u32::from(peer_lo), u32::from(peer_hi))),
+        });
+    }
+
+    // ---- measurement sockets --------------------------------------
+
+    /// Open a measurement socket bound to `(ip, port)`.
+    pub fn open_socket(&mut self, ip: Ipv4Addr, port: u16) -> SocketHandle {
+        let id = self.sockets.len() as u32;
+        self.sockets.push(SocketState {
+            queue: VecDeque::new(),
+        });
+        self.socket_bindings.insert((ip, port), id);
+        SocketHandle(id)
+    }
+
+    /// Close a measurement socket: unbinds its address and drops any
+    /// queued datagrams. Campaigns close their port blocks so long
+    /// multi-scan experiments do not accumulate dead queues.
+    pub fn close_socket(&mut self, sock: SocketHandle) {
+        self.socket_bindings.retain(|_, &mut id| id != sock.0);
+        if let Some(state) = self.sockets.get_mut(sock.0 as usize) {
+            state.queue.clear();
+            state.queue.shrink_to_fit();
+        }
+    }
+
+    /// Send a datagram (from a measurement socket or any synthesized
+    /// source) at the current time.
+    pub fn send_udp(&mut self, dgram: Datagram) {
+        self.send_udp_at(dgram, self.now);
+    }
+
+    /// Send a datagram at a given (future) time.
+    pub fn send_udp_at(&mut self, dgram: Datagram, at: SimTime) {
+        let at = at.max(self.now);
+        self.stats.udp_sent += 1;
+
+        // On-path observers see the packet (and may inject).
+        let mut injections: Vec<(u64, Datagram)> = Vec::new();
+        for inj in &mut self.injectors {
+            injections.extend(inj.on_transit(at, &dgram));
+        }
+        for (delay, injected) in injections {
+            self.stats.injected += 1;
+            self.schedule(injected, at + delay);
+        }
+
+        // Egress/ingress filtering at send time.
+        if self.filtered(&dgram, at) {
+            self.stats.udp_filtered += 1;
+            return;
+        }
+
+        // Loss.
+        self.seq += 1;
+        let roll = mix64(self.cfg.seed, LOSS_CHANNEL, self.seq) as f64 / u64::MAX as f64;
+        if roll < self.cfg.udp_loss {
+            self.stats.udp_lost += 1;
+            return;
+        }
+
+        let latency = self.path_latency(dgram.src_ip, dgram.dst_ip);
+        self.schedule(dgram, at + latency);
+    }
+
+    fn schedule(&mut self, dgram: Datagram, at: SimTime) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            dgram,
+        }));
+    }
+
+    /// Receive the next datagram queued on a socket.
+    pub fn recv(&mut self, sock: SocketHandle) -> Option<(SimTime, Datagram)> {
+        self.sockets[sock.0 as usize].queue.pop_front()
+    }
+
+    /// Drain all queued datagrams on a socket.
+    pub fn recv_all(&mut self, sock: SocketHandle) -> Vec<(SimTime, Datagram)> {
+        self.sockets[sock.0 as usize].queue.drain(..).collect()
+    }
+
+    // ---- event loop ------------------------------------------------
+
+    /// Process all events up to and including time `t`, then set the
+    /// clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at > t {
+                break;
+            }
+            let Reverse(ev) = self.events.pop().unwrap();
+            self.now = ev.at;
+            self.deliver(ev.dgram);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Process events until the queue is empty or the clock passes
+    /// `deadline`. Returns the number of delivered datagrams.
+    pub fn run_to_idle(&mut self, deadline: SimTime) -> u64 {
+        let before = self.stats.udp_delivered;
+        self.run_until(deadline);
+        self.stats.udp_delivered - before
+    }
+
+    fn deliver(&mut self, dgram: Datagram) {
+        // Filters also apply at delivery time: a filter activated while
+        // the packet was in flight still kills it, which matches how
+        // border filtering behaves.
+        if self.filtered(&dgram, self.now) {
+            self.stats.udp_filtered += 1;
+            return;
+        }
+        // Measurement socket?
+        if let Some(&sid) = self.socket_bindings.get(&(dgram.dst_ip, dgram.dst_port)) {
+            self.stats.udp_delivered += 1;
+            self.sockets[sid as usize].queue.push_back((self.now, dgram));
+            return;
+        }
+        // Host binding?
+        let Some(&host) = self.bindings.get(&dgram.dst_ip) else {
+            self.stats.udp_unbound += 1;
+            return;
+        };
+        self.stats.udp_delivered += 1;
+        self.scratch.clear();
+        let mut outgoing = std::mem::take(&mut self.scratch);
+        {
+            let mut ctx = HostCtx {
+                now: self.now,
+                local_ip: dgram.dst_ip,
+                outgoing: &mut outgoing,
+            };
+            self.hosts[host.0 as usize].on_udp(&mut ctx, &dgram);
+        }
+        let now = self.now;
+        for (delay, out) in outgoing.drain(..) {
+            self.send_udp_at(out, now + delay);
+        }
+        self.scratch = outgoing;
+    }
+
+    // ---- synchronous TCP --------------------------------------------
+
+    /// Issue a TCP request to `(dst_ip, port)` at the current simulated
+    /// time. Synchronous: the result reflects the binding state *now*.
+    pub fn tcp_query(
+        &mut self,
+        dst_ip: Ipv4Addr,
+        port: u16,
+        req: &TcpRequest,
+    ) -> Result<TcpResponse, TcpError> {
+        self.stats.tcp_queries += 1;
+        self.tcp_seq += 1;
+        let probe = Datagram::new(Ipv4Addr::new(0, 0, 0, 0), 0, dst_ip, port, &b""[..]);
+        if self.filtered(&probe, self.now) {
+            return Err(TcpError::Unreachable);
+        }
+        let roll = mix64(self.cfg.seed, 0x7c9, self.tcp_seq) as f64 / u64::MAX as f64;
+        if roll < self.cfg.tcp_loss {
+            return Err(TcpError::Timeout);
+        }
+        let Some(&host) = self.bindings.get(&dst_ip) else {
+            return Err(TcpError::Unreachable);
+        };
+        let now = self.now;
+        match self.hosts[host.0 as usize].on_tcp(now, dst_ip, port, req) {
+            Some(resp) => Ok(resp),
+            None => Err(TcpError::Refused),
+        }
+    }
+
+    // ---- internals ---------------------------------------------------
+
+    fn filtered(&self, dgram: &Datagram, at: SimTime) -> bool {
+        let src = u32::from(dgram.src_ip);
+        let dst = u32::from(dgram.dst_ip);
+        self.filters.iter().any(|f| {
+            if at < f.active_from {
+                return false;
+            }
+            let range_hit = |v: u32| (f.lo..=f.hi).contains(&v);
+            let dir_hit = match f.direction {
+                FilterDirection::Inbound => range_hit(dst),
+                FilterDirection::Outbound => range_hit(src),
+                FilterDirection::Both => range_hit(dst) || range_hit(src),
+            };
+            if !dir_hit {
+                return false;
+            }
+            match f.peer {
+                None => true,
+                Some((plo, phi)) => {
+                    // The endpoint *not* matched by the range must fall
+                    // into the peer range for the filter to apply.
+                    let other = if range_hit(dst) { src } else { dst };
+                    (plo..=phi).contains(&other)
+                }
+            }
+        })
+    }
+
+    fn path_latency(&self, src: Ipv4Addr, dst: Ipv4Addr) -> u64 {
+        let (lo, hi) = self.cfg.latency_ms;
+        if hi <= lo {
+            return lo;
+        }
+        // Stable per /16-pair base latency + small per-packet jitter.
+        let a = u32::from(src) >> 16;
+        let b = u32::from(dst) >> 16;
+        let base = mix64(self.cfg.seed, a as u64, b as u64) % (hi - lo);
+        let jitter = mix64(self.cfg.seed, 0x117e4, self.seq) % 5;
+        lo + base + jitter
+    }
+}
+
+/// SplitMix64-style mixing of three words — the deterministic source of
+/// all per-packet randomness.
+fn mix64(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(b.rotate_left(17))
+        .wrapping_add(c.wrapping_mul(0xbf58476d1ce4e5b9));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Channel discriminator keeping loss rolls independent of jitter rolls.
+const LOSS_CHANNEL: u64 = 0x1055;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{EchoHost, FnHost};
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn lossless() -> NetworkConfig {
+        NetworkConfig {
+            seed: 1,
+            udp_loss: 0.0,
+            latency_ms: (5, 50),
+            tcp_loss: 0.0,
+        }
+    }
+
+    #[test]
+    fn udp_round_trip_via_echo_host() {
+        let mut net = Network::new(lossless());
+        let h = net.add_host(Box::new(EchoHost));
+        net.bind_ip(ip("9.9.9.9"), h);
+        let sock = net.open_socket(ip("100.0.0.1"), 40000);
+        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, ip("9.9.9.9"), 53, &b"ping"[..]));
+        net.run_until(SimTime::from_secs(5));
+        let (at, reply) = net.recv(sock).expect("echo reply");
+        assert_eq!(&reply.payload[..], b"ping");
+        assert_eq!(reply.src_ip, ip("9.9.9.9"));
+        assert!(at.millis() >= 10, "two path traversals take time");
+        assert!(net.recv(sock).is_none());
+    }
+
+    #[test]
+    fn unbound_ip_drops_silently() {
+        let mut net = Network::new(lossless());
+        let sock = net.open_socket(ip("100.0.0.1"), 40000);
+        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, ip("8.8.8.8"), 53, &b"x"[..]));
+        net.run_until(SimTime::from_secs(5));
+        assert!(net.recv(sock).is_none());
+        assert_eq!(net.stats().udp_unbound, 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let cfg = NetworkConfig {
+                seed,
+                udp_loss: 0.3,
+                ..Default::default()
+            };
+            let mut net = Network::new(cfg);
+            let h = net.add_host(Box::new(EchoHost));
+            net.bind_ip(ip("9.9.9.9"), h);
+            let sock = net.open_socket(ip("100.0.0.1"), 40000);
+            for i in 0..200u16 {
+                net.send_udp(Datagram::new(
+                    ip("100.0.0.1"),
+                    40000,
+                    ip("9.9.9.9"),
+                    53,
+                    i.to_be_bytes().to_vec(),
+                ));
+            }
+            net.run_until(SimTime::from_secs(30));
+            net.recv_all(sock)
+                .into_iter()
+                .map(|(t, d)| (t, d.payload.to_vec()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ");
+    }
+
+    #[test]
+    fn loss_rate_roughly_honored() {
+        let mut cfg = lossless();
+        cfg.udp_loss = 0.5;
+        let mut net = Network::new(cfg);
+        let h = net.add_host(Box::new(EchoHost));
+        net.bind_ip(ip("9.9.9.9"), h);
+        let sock = net.open_socket(ip("100.0.0.1"), 40000);
+        for i in 0..1000u16 {
+            net.send_udp(Datagram::new(
+                ip("100.0.0.1"),
+                40000,
+                ip("9.9.9.9"),
+                53,
+                i.to_be_bytes().to_vec(),
+            ));
+        }
+        net.run_until(SimTime::from_secs(60));
+        // Loss applies independently to the query and the reply, so the
+        // round-trip survival rate is (1-p)^2 = 0.25.
+        let received = net.recv_all(sock).len();
+        assert!((150..350).contains(&received), "received={received}");
+        let lost = net.stats().udp_lost;
+        assert!((650..850).contains(&lost), "lost={lost}");
+    }
+
+    #[test]
+    fn rebinding_moves_traffic_to_new_host() {
+        let mut net = Network::new(lossless());
+        let a = net.add_host(Box::new(FnHost(|ctx: &mut HostCtx<'_>, d: &Datagram| {
+            ctx.send_udp(d.reply_with(&b"host-a"[..]));
+        })));
+        let b = net.add_host(Box::new(FnHost(|ctx: &mut HostCtx<'_>, d: &Datagram| {
+            ctx.send_udp(d.reply_with(&b"host-b"[..]));
+        })));
+        let target = ip("9.9.9.9");
+        net.bind_ip(target, a);
+        let sock = net.open_socket(ip("100.0.0.1"), 40000);
+        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, target, 53, &b"q1"[..]));
+        net.run_until(SimTime::from_secs(2));
+        net.bind_ip(target, b);
+        assert_eq!(net.ips_of(a), &[] as &[Ipv4Addr]);
+        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, target, 53, &b"q2"[..]));
+        net.run_until(SimTime::from_secs(4));
+        let replies: Vec<_> = net
+            .recv_all(sock)
+            .into_iter()
+            .map(|(_, d)| d.payload.to_vec())
+            .collect();
+        assert_eq!(replies, vec![b"host-a".to_vec(), b"host-b".to_vec()]);
+    }
+
+    #[test]
+    fn filters_activate_at_configured_time() {
+        let mut net = Network::new(lossless());
+        let h = net.add_host(Box::new(EchoHost));
+        net.bind_ip(ip("9.9.9.9"), h);
+        net.add_filter(
+            ip("9.9.0.0"),
+            ip("9.9.255.255"),
+            FilterDirection::Inbound,
+            SimTime::from_days(7),
+        );
+        let sock = net.open_socket(ip("100.0.0.1"), 40000);
+        // Before activation: works.
+        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, ip("9.9.9.9"), 53, &b"a"[..]));
+        net.run_until(SimTime::from_secs(5));
+        assert_eq!(net.recv_all(sock).len(), 1);
+        // After activation: dropped.
+        net.advance_to(SimTime::from_days(8));
+        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, ip("9.9.9.9"), 53, &b"b"[..]));
+        net.run_until(SimTime::from_days(8) + SimTime::MINUTE);
+        assert!(net.recv(sock).is_none());
+        assert!(net.stats().udp_filtered >= 1);
+    }
+
+    #[test]
+    fn outbound_filter_blocks_replies_only() {
+        let mut net = Network::new(lossless());
+        let h = net.add_host(Box::new(EchoHost));
+        net.bind_ip(ip("9.9.9.9"), h);
+        // Egress filtering of the 9.9/16 range from t=0: queries get in,
+        // responses never leave.
+        net.add_filter(
+            ip("9.9.0.0"),
+            ip("9.9.255.255"),
+            FilterDirection::Outbound,
+            SimTime::ZERO,
+        );
+        let sock = net.open_socket(ip("100.0.0.1"), 40000);
+        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, ip("9.9.9.9"), 53, &b"a"[..]));
+        net.run_until(SimTime::from_secs(5));
+        assert!(net.recv(sock).is_none());
+        assert_eq!(net.stats().udp_delivered, 1, "query was delivered to the host");
+    }
+
+    #[test]
+    fn injector_races_ahead() {
+        struct Forger;
+        impl PathObserver for Forger {
+            fn on_transit(&mut self, _now: SimTime, d: &Datagram) -> Vec<(u64, Datagram)> {
+                // Match *queries* only (port 53), like the real GFW —
+                // otherwise the injector would also fire on the reply.
+                if d.dst_port == 53 && &d.payload[..] == b"censored?" {
+                    vec![(1, d.reply_with(&b"forged"[..]))]
+                } else {
+                    vec![]
+                }
+            }
+        }
+        let mut net = Network::new(lossless());
+        let h = net.add_host(Box::new(EchoHost));
+        net.bind_ip(ip("9.9.9.9"), h);
+        net.add_injector(Box::new(Forger));
+        let sock = net.open_socket(ip("100.0.0.1"), 40000);
+        net.send_udp(Datagram::new(
+            ip("100.0.0.1"),
+            40000,
+            ip("9.9.9.9"),
+            53,
+            &b"censored?"[..],
+        ));
+        net.run_until(SimTime::from_secs(5));
+        let replies: Vec<_> = net
+            .recv_all(sock)
+            .into_iter()
+            .map(|(t, d)| (t, d.payload.to_vec()))
+            .collect();
+        // Both the forged and the real (echoed) response arrive; the
+        // forged one arrives strictly first.
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].1, b"forged".to_vec());
+        assert_eq!(replies[1].1, b"censored?".to_vec());
+        assert!(replies[0].0 < replies[1].0);
+    }
+
+    #[test]
+    fn tcp_query_semantics() {
+        let mut net = Network::new(lossless());
+        let h = net.add_host(Box::new(EchoHost));
+        net.bind_ip(ip("9.9.9.9"), h);
+        // Open port.
+        let r = net.tcp_query(ip("9.9.9.9"), 7, &TcpRequest::BannerProbe).unwrap();
+        assert_eq!(r.as_banner(), Some("echo"));
+        // Closed port.
+        assert_eq!(
+            net.tcp_query(ip("9.9.9.9"), 80, &TcpRequest::BannerProbe),
+            Err(TcpError::Refused)
+        );
+        // Unbound address.
+        assert_eq!(
+            net.tcp_query(ip("8.8.8.8"), 7, &TcpRequest::BannerProbe),
+            Err(TcpError::Unreachable)
+        );
+    }
+
+    #[test]
+    fn event_order_is_stable_for_equal_times() {
+        // Two packets sent the same tick to the same host must be
+        // delivered in send order when latencies tie (same /16 pair).
+        let mut net = Network::new(NetworkConfig {
+            seed: 3,
+            udp_loss: 0.0,
+            latency_ms: (10, 10),
+            tcp_loss: 0.0,
+        });
+        let h = net.add_host(Box::new(EchoHost));
+        net.bind_ip(ip("9.9.9.9"), h);
+        let sock = net.open_socket(ip("100.0.0.1"), 40000);
+        for i in 0..10u8 {
+            net.send_udp(Datagram::new(
+                ip("100.0.0.1"),
+                40000,
+                ip("9.9.9.9"),
+                53,
+                vec![i],
+            ));
+        }
+        net.run_until(SimTime::from_secs(5));
+        let order: Vec<u8> = net.recv_all(sock).iter().map(|(_, d)| d.payload[0]).collect();
+        assert_eq!(order, (0..10).collect::<Vec<u8>>());
+    }
+}

@@ -1,0 +1,72 @@
+//! UDP datagrams.
+
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+/// A UDP datagram in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Source address.
+    pub src_ip: Ipv4Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination address.
+    pub dst_ip: Ipv4Addr,
+    /// Destination port.
+    pub dst_port: u16,
+    /// UDP payload.
+    pub payload: Bytes,
+}
+
+impl Datagram {
+    /// Construct a datagram.
+    pub fn new(
+        src_ip: Ipv4Addr,
+        src_port: u16,
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        Datagram {
+            src_ip,
+            src_port,
+            dst_ip,
+            dst_port,
+            payload: payload.into(),
+        }
+    }
+
+    /// The reply skeleton: swapped endpoints, empty payload slot filled
+    /// by the caller.
+    pub fn reply_with(&self, payload: impl Into<Bytes>) -> Datagram {
+        Datagram {
+            src_ip: self.dst_ip,
+            src_port: self.dst_port,
+            dst_ip: self.src_ip,
+            dst_port: self.src_port,
+            payload: payload.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_swaps_endpoints() {
+        let d = Datagram::new(
+            Ipv4Addr::new(1, 2, 3, 4),
+            5353,
+            Ipv4Addr::new(9, 9, 9, 9),
+            53,
+            &b"query"[..],
+        );
+        let r = d.reply_with(&b"answer"[..]);
+        assert_eq!(r.src_ip, Ipv4Addr::new(9, 9, 9, 9));
+        assert_eq!(r.src_port, 53);
+        assert_eq!(r.dst_ip, Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(r.dst_port, 5353);
+        assert_eq!(&r.payload[..], b"answer");
+    }
+}

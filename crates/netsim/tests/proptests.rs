@@ -1,0 +1,100 @@
+//! Property tests for the simulator's foundational guarantees:
+//! determinism under identical seeds and conservation of datagrams.
+
+use proptest::prelude::*;
+
+// A tiny harness: N echo hosts, M sends with arbitrary payload sizes.
+mod harness {
+    use netsim::host::EchoHost;
+    use netsim::{Datagram, Network, NetworkConfig, SimTime};
+    use std::net::Ipv4Addr;
+
+    pub fn run(
+        seed: u64,
+        loss: f64,
+        sends: &[(u8, Vec<u8>)],
+    ) -> (Vec<(u64, Vec<u8>)>, netsim::network::NetStats) {
+        let mut net = Network::new(NetworkConfig {
+            seed,
+            udp_loss: loss,
+            latency_ms: (5, 80),
+            tcp_loss: 0.0,
+        });
+        // 8 echo hosts on distinct addresses.
+        for i in 0..8u8 {
+            let h = net.add_host(Box::new(EchoHost));
+            net.bind_ip(Ipv4Addr::new(9, 9, 9, i), h);
+        }
+        let sock = net.open_socket(Ipv4Addr::new(100, 0, 0, 1), 40_000);
+        for (host, payload) in sends {
+            net.send_udp(Datagram::new(
+                Ipv4Addr::new(100, 0, 0, 1),
+                40_000,
+                Ipv4Addr::new(9, 9, 9, host % 8),
+                53,
+                payload.clone(),
+            ));
+        }
+        net.run_until(SimTime::from_secs(60));
+        let got = net
+            .recv_all(sock)
+            .into_iter()
+            .map(|(t, d)| (t.millis(), d.payload.to_vec()))
+            .collect();
+        (got, net.stats())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed + same traffic ⇒ bit-identical outcomes (arrival times,
+    /// payload order, statistics).
+    #[test]
+    fn identical_seeds_are_bit_identical(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.5,
+        sends in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..64)),
+            1..60,
+        ),
+    ) {
+        let a = harness::run(seed, loss, &sends);
+        let b = harness::run(seed, loss, &sends);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+    }
+
+    /// Datagram conservation: sent = delivered-to-host + lost + filtered
+    /// + unbound + in-flight(0 after drain); replies are sends too.
+    #[test]
+    fn datagram_conservation(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.9,
+        sends in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..32)),
+            1..40,
+        ),
+    ) {
+        let (_, stats) = harness::run(seed, loss, &sends);
+        prop_assert_eq!(
+            stats.udp_sent,
+            stats.udp_delivered + stats.udp_lost + stats.udp_filtered + stats.udp_unbound,
+            "conservation violated: {:?}", stats
+        );
+    }
+
+    /// With zero loss and bound destinations, every query produces
+    /// exactly one reply at the socket.
+    #[test]
+    fn lossless_echo_is_exact(
+        seed in any::<u64>(),
+        sends in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..32)),
+            1..40,
+        ),
+    ) {
+        let (got, _) = harness::run(seed, 0.0, &sends);
+        prop_assert_eq!(got.len(), sends.len());
+    }
+}

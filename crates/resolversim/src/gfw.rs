@@ -1,0 +1,167 @@
+//! The Great Firewall model: an on-path observer that injects forged
+//! DNS answers for censored domains (Section 4.2).
+//!
+//! The paper's evidence: (i) 83.6% of unexpected responses for
+//! Facebook/Twitter/YouTube come from Chinese resolvers returning
+//! "randomly-chosen" IPs; (ii) 2.4% of Chinese resolvers produced *two*
+//! answers — forged first, legitimate milliseconds later; (iii) sending
+//! queries to unused Chinese address space still triggers answers for
+//! censored names. All three behaviours fall out of this injector plus
+//! the `GfwPoisoned` resolver behaviour.
+
+use crate::behavior::forged_ip;
+use dnswire::{Message, MessageBuilder, Rcode, RecordClass, RecordType};
+use netsim::{Datagram, PathObserver, SimTime};
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// On-path DNS injector for a country's address space.
+pub struct GreatFirewall {
+    /// Inclusive IPv4 ranges considered "inside" (queries *to* these
+    /// ranges are observed).
+    ranges: Vec<(u32, u32)>,
+    /// Censored domain names (lower-case, exact match).
+    censored: Arc<BTreeSet<String>>,
+    /// Injection delay in milliseconds — small enough to beat any
+    /// end-to-end path.
+    pub injection_delay_ms: u64,
+    /// Number of forged answers injected (observability).
+    pub injected: u64,
+}
+
+impl GreatFirewall {
+    /// Build an injector over `ranges` censoring `censored` names.
+    pub fn new(ranges: Vec<(Ipv4Addr, Ipv4Addr)>, censored: Arc<BTreeSet<String>>) -> Self {
+        GreatFirewall {
+            ranges: ranges
+                .into_iter()
+                .map(|(a, b)| (u32::from(a), u32::from(b)))
+                .collect(),
+            censored,
+            injection_delay_ms: 2,
+            injected: 0,
+        }
+    }
+
+    fn inside(&self, ip: Ipv4Addr) -> bool {
+        let v = u32::from(ip);
+        self.ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&v))
+    }
+}
+
+impl PathObserver for GreatFirewall {
+    fn on_transit(&mut self, _now: SimTime, dgram: &Datagram) -> Vec<(u64, Datagram)> {
+        // Only queries headed *into* the censored space, port 53.
+        if dgram.dst_port != 53 || !self.inside(dgram.dst_ip) || self.inside(dgram.src_ip) {
+            return Vec::new();
+        }
+        let Ok(query) = Message::decode(&dgram.payload) else {
+            return Vec::new();
+        };
+        if query.header.response || query.questions.is_empty() {
+            return Vec::new();
+        }
+        let q = &query.questions[0];
+        if q.qclass != RecordClass::In || q.qtype != RecordType::A {
+            return Vec::new();
+        }
+        let qname = q.qname.to_ascii_lower();
+        if !self.censored.contains(&qname) {
+            return Vec::new();
+        }
+        // Forge an answer that looks like it came from the queried host.
+        // The forged IP is a function of the *query name and destination*
+        // so repeated probes are stable but different vantage points see
+        // different addresses — matching the paper's "arbitrary IPs".
+        let forged = forged_ip(u32::from(dgram.dst_ip) as u64, &qname);
+        let resp = MessageBuilder::response_to(&query, Rcode::NoError)
+            .answer_a(q.qname.clone(), 300, forged)
+            .build();
+        self.injected += 1;
+        vec![(self.injection_delay_ms, dgram.reply_with(resp.encode()))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::Name;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn gfw() -> GreatFirewall {
+        GreatFirewall::new(
+            vec![(ip("110.0.0.0"), ip("110.255.255.255"))],
+            Arc::new(["facebook.example".to_string()].into_iter().collect()),
+        )
+    }
+
+    fn query_dgram(qname: &str, dst: &str) -> Datagram {
+        let q = MessageBuilder::query(0x99, Name::parse(qname).unwrap(), RecordType::A).build();
+        Datagram::new(ip("100.0.0.1"), 40000, ip(dst), 53, q.encode())
+    }
+
+    #[test]
+    fn injects_for_censored_domain_into_range() {
+        let mut g = gfw();
+        let out = g.on_transit(SimTime::ZERO, &query_dgram("facebook.example", "110.1.2.3"));
+        assert_eq!(out.len(), 1);
+        let resp = Message::decode(&out[0].1.payload).unwrap();
+        assert_eq!(resp.header.id, 0x99);
+        assert_eq!(resp.answer_ips().len(), 1);
+        assert_eq!(out[0].1.src_ip, ip("110.1.2.3"), "spoofed as the target");
+        assert_eq!(g.injected, 1);
+    }
+
+    #[test]
+    fn injects_even_for_unbound_address_space() {
+        // The paper's probe: random Chinese ranges answer for censored
+        // names. The injector fires regardless of whether anything is
+        // bound at the destination.
+        let mut g = gfw();
+        let out = g.on_transit(SimTime::ZERO, &query_dgram("facebook.example", "110.200.0.77"));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn ignores_uncensored_and_outside_traffic() {
+        let mut g = gfw();
+        assert!(g
+            .on_transit(SimTime::ZERO, &query_dgram("harmless.example", "110.1.2.3"))
+            .is_empty());
+        assert!(g
+            .on_transit(SimTime::ZERO, &query_dgram("facebook.example", "9.1.2.3"))
+            .is_empty());
+    }
+
+    #[test]
+    fn ignores_intra_country_and_response_traffic() {
+        let mut g = gfw();
+        // src inside the range: not border-crossing.
+        let mut d = query_dgram("facebook.example", "110.1.2.3");
+        d.src_ip = ip("110.9.9.9");
+        assert!(g.on_transit(SimTime::ZERO, &d).is_empty());
+        // responses are not matched
+        let q = MessageBuilder::query(1, Name::parse("facebook.example").unwrap(), RecordType::A)
+            .build();
+        let r = MessageBuilder::response_to(&q, Rcode::NoError).build();
+        let d2 = Datagram::new(ip("100.0.0.1"), 40000, ip("110.1.2.3"), 53, r.encode());
+        assert!(g.on_transit(SimTime::ZERO, &d2).is_empty());
+    }
+
+    #[test]
+    fn forged_ip_stable_per_destination() {
+        let mut g = gfw();
+        let a = g.on_transit(SimTime::ZERO, &query_dgram("facebook.example", "110.1.2.3"));
+        let b = g.on_transit(SimTime::ZERO, &query_dgram("facebook.example", "110.1.2.3"));
+        let c = g.on_transit(SimTime::ZERO, &query_dgram("facebook.example", "110.1.2.4"));
+        let ip_of = |v: &Vec<(u64, Datagram)>| {
+            Message::decode(&v[0].1.payload).unwrap().answer_ips()[0]
+        };
+        assert_eq!(ip_of(&a), ip_of(&b));
+        assert_ne!(ip_of(&a), ip_of(&c));
+    }
+}

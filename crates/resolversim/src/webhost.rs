@@ -1,0 +1,600 @@
+//! [`WebHost`]: web and mail endpoints of the simulated Internet.
+//!
+//! These hosts are what the returned A records point at — both the
+//! legitimate content (category sites, CDN edges) and every redirect
+//! target the paper catalogs (censorship landing pages, parking,
+//! phishing kits, transparent proxies, fake-update droppers, …).
+
+use crate::universe::{DnsUniverse, DomainCategory};
+use htmlsim::gen::{self, PageCtx, SiteCategory};
+use netsim::{
+    Datagram, Host, HostCtx, HttpRequest, HttpResponse, SimTime, TcpRequest, TcpResponse,
+    TlsCertificate,
+};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Deterministic per-domain seed so every host serving `domain` emits
+/// identical content (CDN edges, proxies, and the trusted ground-truth
+/// fetch must agree byte-for-byte).
+pub fn domain_seed(domain: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in domain.to_ascii_lowercase().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Map the catalog category to a content theme.
+fn site_category(cat: DomainCategory) -> SiteCategory {
+    match cat {
+        DomainCategory::Ads => SiteCategory::Ads,
+        DomainCategory::Adult => SiteCategory::Adult,
+        DomainCategory::Alexa => SiteCategory::Alexa,
+        DomainCategory::Antivirus => SiteCategory::Antivirus,
+        DomainCategory::Banking => SiteCategory::Banking,
+        DomainCategory::Dating => SiteCategory::Dating,
+        DomainCategory::Filesharing => SiteCategory::Filesharing,
+        DomainCategory::Gambling => SiteCategory::Gambling,
+        DomainCategory::Malware => SiteCategory::Malware,
+        DomainCategory::Tracking => SiteCategory::Tracking,
+        DomainCategory::Mx | DomainCategory::Nx | DomainCategory::Misc => SiteCategory::Misc,
+        DomainCategory::GroundTruth => SiteCategory::GroundTruth,
+    }
+}
+
+/// The canonical legitimate content of `domain`. Pure function of the
+/// domain (see [`domain_seed`]); used by legit sites, CDN edges, and
+/// transparent proxies alike.
+pub fn legit_content(domain: &str, category: DomainCategory) -> String {
+    let ctx = PageCtx::new(domain, domain_seed(domain));
+    gen::legit_site(site_category(category), &ctx)
+}
+
+/// Mail banners for a provider, keyed by protocol port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MailBanners {
+    /// SMTP greeting (port 25).
+    pub smtp: String,
+    /// IMAP greeting (port 143).
+    pub imap: String,
+    /// POP3 greeting (port 110).
+    pub pop3: String,
+}
+
+impl MailBanners {
+    /// The legitimate banners of a mail provider.
+    pub fn provider(name: &str) -> Self {
+        MailBanners {
+            smtp: format!("220 smtp.{name} ESMTP ready"),
+            imap: format!("* OK [CAPABILITY IMAP4rev1] {name} IMAP server ready"),
+            pop3: format!("+OK {name} POP3 server ready"),
+        }
+    }
+
+    fn for_port(&self, port: u16) -> Option<&str> {
+        match port {
+            25 => Some(&self.smtp),
+            143 => Some(&self.imap),
+            110 => Some(&self.pop3),
+            _ => None,
+        }
+    }
+}
+
+/// What a web/mail host is.
+#[derive(Debug, Clone)]
+pub enum WebRole {
+    /// Origin server of a catalog domain. Serves `domain`'s canonical
+    /// content with a valid certificate.
+    LegitSite {
+        /// The domain it serves.
+        domain: String,
+        /// Content theme.
+        category: DomainCategory,
+    },
+    /// CDN edge: serves any domain in `hosted` for the right Host
+    /// header. With SNI it presents a per-domain certificate; without
+    /// SNI it presents the provider's default certificate whose common
+    /// name the prefilter whitelists (Sec. 3.4).
+    CdnEdge {
+        /// CDN provider name.
+        provider: String,
+        /// Domains hosted on this provider.
+        hosted: Arc<Vec<(String, DomainCategory)>>,
+    },
+    /// A CDN content server that is currently disabled — TCP open but no
+    /// content (the paper suspects outdated CDN IPs, Sec. 4.2).
+    DisabledEdge,
+    /// State censorship landing page.
+    CensorLanding {
+        /// Country display name.
+        country: String,
+        /// The authority named in the legal text.
+        authority: String,
+    },
+    /// ISP / parental-control / AV blocking page.
+    BlockPage {
+        /// Protection provider name.
+        operator: String,
+        /// Stated blocking reason.
+        reason: String,
+    },
+    /// Domain parking / reseller lander.
+    Parking {
+        /// Parking provider name.
+        provider: String,
+    },
+    /// Search page; `mimicry` embeds injected ad banners.
+    Search {
+        /// Engine display name.
+        engine: String,
+        /// Whether injected ad banners are embedded.
+        mimicry: bool,
+    },
+    /// Captive portal login.
+    CaptivePortal {
+        /// Network operator name.
+        operator: String,
+    },
+    /// Webmail login page.
+    Webmail,
+    /// An HTTP-error-only host.
+    ErrorHost {
+        /// The status it always answers.
+        status: u16,
+    },
+    /// Phishing kit for `target` (e.g. the 46-image PayPal clone).
+    PhishKit {
+        /// The impersonated domain.
+        target: String,
+        /// Serve HTTPS with a self-signed certificate (3 of the 16
+        /// PayPal phish IPs did).
+        tls_self_signed: bool,
+        /// Structural bank-clone instead of the image kit.
+        bank_clone: bool,
+    },
+    /// Transparent proxy: serves the original content of *any* requested
+    /// domain. `tls` proxies forward valid certificates; HTTP-only
+    /// proxies (the risky 10,179-resolver group) refuse TLS.
+    TransparentProxy {
+        /// Used to fetch the original content.
+        universe: Arc<DnsUniverse>,
+        /// Whether the proxy forwards TLS with valid certificates.
+        tls: bool,
+    },
+    /// Ad-manipulation front-end for ad-provider domains.
+    AdManipulator {
+        /// Manipulation class.
+        mode: AdMode,
+    },
+    /// Mail server (legitimate provider or interception relay).
+    MailServer {
+        /// Greeting banners per protocol.
+        banners: MailBanners,
+    },
+    /// Fake Flash/Java update page serving a malware dropper.
+    FakeUpdate {
+        /// Impersonated product ("Flash", "Java").
+        product: String,
+    },
+}
+
+/// How an ad front-end manipulates traffic (Sec. 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdMode {
+    /// Injects banners into the page.
+    InjectBanner,
+    /// Injects suspicious JavaScript.
+    InjectScript,
+    /// Replaces ads with empty placeholders.
+    Blank,
+    /// Serves a search-page mimicry with embedded ads.
+    FakeSearch,
+}
+
+/// A web/mail host with one role.
+pub struct WebHost {
+    /// What the host serves.
+    pub role: WebRole,
+    /// Per-host seed (noise in generated pages).
+    pub seed: u64,
+}
+
+impl WebHost {
+    /// A host with `role` and noise seed `seed`.
+    pub fn new(role: WebRole, seed: u64) -> Self {
+        WebHost { role, seed }
+    }
+
+    fn serve_http(&self, req: &HttpRequest) -> Option<HttpResponse> {
+        let host = req.host.to_ascii_lowercase();
+        let ctx = PageCtx::new(&host, self.seed);
+        let resp = match &self.role {
+            WebRole::LegitSite { domain, category } => {
+                if host == *domain {
+                    let mut r = HttpResponse::ok(legit_content(domain, *category));
+                    if req.tls {
+                        r = r.with_certificate(TlsCertificate::valid_for(domain));
+                    }
+                    r
+                } else {
+                    HttpResponse::error(404, gen::http_error(404, &ctx))
+                }
+            }
+            WebRole::CdnEdge { provider, hosted } => {
+                let known = hosted.iter().find(|(d, _)| *d == host);
+                match known {
+                    Some((domain, category)) => {
+                        let mut r = HttpResponse::ok(legit_content(domain, *category));
+                        if req.tls {
+                            let cert = match &req.sni {
+                                Some(sni) if sni.eq_ignore_ascii_case(domain) => {
+                                    TlsCertificate::valid_for(domain)
+                                }
+                                Some(_) => TlsCertificate::valid_for(domain),
+                                None => TlsCertificate::valid_for(&format!(
+                                    "edge.{provider}.example"
+                                )),
+                            };
+                            r = r.with_certificate(cert);
+                        }
+                        r
+                    }
+                    None => {
+                        let mut r = HttpResponse::error(404, gen::http_error(404, &ctx));
+                        if req.tls {
+                            r = r.with_certificate(TlsCertificate::valid_for(&format!(
+                                "edge.{provider}.example"
+                            )));
+                        }
+                        r
+                    }
+                }
+            }
+            WebRole::DisabledEdge => return None,
+            WebRole::CensorLanding { country, authority } => {
+                HttpResponse::ok(gen::censorship_landing(country, authority, &ctx))
+            }
+            WebRole::BlockPage { operator, reason } => {
+                HttpResponse::ok(gen::blocking_page(operator, reason, &ctx))
+            }
+            WebRole::Parking { provider } => HttpResponse::ok(gen::parking_page(provider, &ctx)),
+            WebRole::Search { engine, mimicry } => {
+                HttpResponse::ok(gen::search_page(engine, *mimicry, &ctx))
+            }
+            WebRole::CaptivePortal { operator } => {
+                // Real portals bounce the first request to their login
+                // URL; the acquisition client must follow (Sec. 3.5).
+                if req.path == "/" {
+                    HttpResponse::redirect("/portal/login")
+                } else {
+                    HttpResponse::ok(gen::captive_portal(operator, &ctx))
+                }
+            }
+            WebRole::Webmail => HttpResponse::ok(gen::webmail_login(&ctx)),
+            WebRole::ErrorHost { status } => {
+                HttpResponse::error(*status, gen::http_error(*status, &ctx))
+            }
+            WebRole::PhishKit {
+                target,
+                tls_self_signed,
+                bank_clone,
+            } => {
+                if req.tls && !tls_self_signed {
+                    return None; // no HTTPS listener
+                }
+                let body = if *bank_clone {
+                    gen::phishing_bank_clone(&PageCtx::new(target, domain_seed(target)))
+                } else {
+                    gen::phishing_kit_images(
+                        target.split('.').next().unwrap_or(target),
+                        &ctx,
+                    )
+                };
+                let mut r = HttpResponse::ok(body);
+                if req.tls {
+                    r = r.with_certificate(TlsCertificate::self_signed(target));
+                }
+                r
+            }
+            WebRole::TransparentProxy { universe, tls } => {
+                if req.tls && !tls {
+                    return None; // HTTP-only proxy refuses TLS
+                }
+                let body = match universe.record(&host) {
+                    Some(rec) => legit_content(&rec.name, rec.category),
+                    None => gen::http_error(502, &ctx),
+                };
+                let mut r = HttpResponse::ok(body);
+                if req.tls {
+                    // TLS proxies forward the original, valid certificate.
+                    r = r.with_certificate(TlsCertificate::valid_for(&host));
+                }
+                r
+            }
+            WebRole::AdManipulator { mode } => {
+                // The ad front-end pretends to be the ad provider: it
+                // serves a manipulated version of the provider's page.
+                let base = legit_content(&host, DomainCategory::Ads);
+                let body = match mode {
+                    AdMode::InjectBanner => gen::inject_ad(&base, "ads.rogue.example"),
+                    AdMode::InjectScript => gen::inject_script(&base, "js.rogue.example"),
+                    AdMode::Blank => gen::blank_ads(&base),
+                    AdMode::FakeSearch => gen::search_page("Google", true, &ctx),
+                };
+                HttpResponse::ok(body)
+            }
+            WebRole::MailServer { .. } => {
+                return None; // mail hosts expose no HTTP
+            }
+            WebRole::FakeUpdate { product } => HttpResponse::ok(gen::fake_update_page(product, &ctx)),
+        };
+        Some(resp)
+    }
+}
+
+impl Host for WebHost {
+    fn on_udp(&mut self, _ctx: &mut HostCtx<'_>, _dgram: &Datagram) {
+        // Web hosts ignore UDP.
+    }
+
+    fn on_tcp(
+        &mut self,
+        _now: SimTime,
+        _local_ip: Ipv4Addr,
+        port: u16,
+        req: &TcpRequest,
+    ) -> Option<TcpResponse> {
+        match req {
+            TcpRequest::Http(http) => {
+                let expected_port = if http.tls { 443 } else { 80 };
+                if port != expected_port {
+                    return None;
+                }
+                self.serve_http(http).map(TcpResponse::Http)
+            }
+            TcpRequest::MailProbe(proto) => match &self.role {
+                WebRole::MailServer { banners } => banners
+                    .for_port(proto.port())
+                    .filter(|_| proto.port() == port)
+                    .map(|b| TcpResponse::MailBanner(b.to_string())),
+                _ => None,
+            },
+            TcpRequest::BannerProbe => match &self.role {
+                WebRole::MailServer { banners } => {
+                    banners.for_port(port).map(|b| TcpResponse::Banner(b.to_string()))
+                }
+                _ if port == 80 => Some(TcpResponse::Banner(
+                    "HTTP/1.0 200 OK\r\nServer: Apache".into(),
+                )),
+                _ => None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{DomainKind, DomainRecord};
+    use netsim::MailProto;
+
+    fn ip(_: &str) -> Ipv4Addr {
+        Ipv4Addr::new(0, 0, 0, 0)
+    }
+
+    fn http(host: &str) -> TcpRequest {
+        TcpRequest::Http(HttpRequest::http(host))
+    }
+
+    fn get(hosts: &mut WebHost, port: u16, req: &TcpRequest) -> Option<TcpResponse> {
+        hosts.on_tcp(SimTime::ZERO, ip(""), port, req)
+    }
+
+    #[test]
+    fn legit_site_serves_own_domain_only() {
+        let mut h = WebHost::new(
+            WebRole::LegitSite {
+                domain: "bank.example".into(),
+                category: DomainCategory::Banking,
+            },
+            1,
+        );
+        let ok = get(&mut h, 80, &http("bank.example")).unwrap();
+        assert_eq!(ok.as_http().unwrap().status, 200);
+        assert!(ok.as_http().unwrap().body.contains("Online Banking"));
+        let miss = get(&mut h, 80, &http("other.example")).unwrap();
+        assert_eq!(miss.as_http().unwrap().status, 404);
+    }
+
+    #[test]
+    fn content_identical_across_hosts_serving_same_domain() {
+        let mut a = WebHost::new(
+            WebRole::LegitSite {
+                domain: "bank.example".into(),
+                category: DomainCategory::Banking,
+            },
+            1,
+        );
+        let mut b = WebHost::new(
+            WebRole::TransparentProxy {
+                universe: {
+                    let mut u = DnsUniverse::new();
+                    u.add_domain(DomainRecord {
+                        name: "bank.example".into(),
+                        category: DomainCategory::Banking,
+                        kind: DomainKind::Fixed(vec![]),
+                        ttl: 60,
+                        is_mail_host: false,
+                    });
+                    Arc::new(u)
+                },
+                tls: false,
+            },
+            999, // different host seed must not matter
+        );
+        let ra = get(&mut a, 80, &http("bank.example")).unwrap();
+        let rb = get(&mut b, 80, &http("bank.example")).unwrap();
+        assert_eq!(ra.as_http().unwrap().body, rb.as_http().unwrap().body);
+    }
+
+    #[test]
+    fn http_only_proxy_refuses_tls() {
+        let mut p = WebHost::new(
+            WebRole::TransparentProxy {
+                universe: Arc::new(DnsUniverse::new()),
+                tls: false,
+            },
+            1,
+        );
+        let req = TcpRequest::Http(HttpRequest::https_sni("bank.example"));
+        assert!(get(&mut p, 443, &req).is_none());
+    }
+
+    #[test]
+    fn tls_proxy_forwards_valid_certificate() {
+        let mut p = WebHost::new(
+            WebRole::TransparentProxy {
+                universe: Arc::new(DnsUniverse::new()),
+                tls: true,
+            },
+            1,
+        );
+        let req = TcpRequest::Http(HttpRequest::https_sni("bank.example"));
+        let r = get(&mut p, 443, &req).unwrap();
+        let cert = r.as_http().unwrap().certificate.clone().unwrap();
+        assert!(cert.valid_chain);
+        assert!(cert.covers("bank.example"));
+    }
+
+    #[test]
+    fn cdn_edge_serves_hosted_domains_with_default_cert_fallback() {
+        let hosted = Arc::new(vec![("cdn-site.example".to_string(), DomainCategory::Alexa)]);
+        let mut e = WebHost::new(
+            WebRole::CdnEdge {
+                provider: "cdnone".into(),
+                hosted,
+            },
+            2,
+        );
+        // SNI request → per-domain cert.
+        let sni = TcpRequest::Http(HttpRequest::https_sni("cdn-site.example"));
+        let r = get(&mut e, 443, &sni).unwrap();
+        assert!(r.as_http().unwrap().certificate.as_ref().unwrap().covers("cdn-site.example"));
+        // No-SNI → provider default cert.
+        let nosni = TcpRequest::Http(HttpRequest::https_no_sni("cdn-site.example"));
+        let r2 = get(&mut e, 443, &nosni).unwrap();
+        assert_eq!(
+            r2.as_http().unwrap().certificate.as_ref().unwrap().common_name,
+            "edge.cdnone.example"
+        );
+    }
+
+    #[test]
+    fn phish_kit_variants() {
+        let mut img = WebHost::new(
+            WebRole::PhishKit {
+                target: "paypal.example".into(),
+                tls_self_signed: false,
+                bank_clone: false,
+            },
+            3,
+        );
+        let r = get(&mut img, 80, &http("paypal.example")).unwrap();
+        assert!(r.as_http().unwrap().body.contains("collect.php"));
+        // No TLS listener.
+        assert!(get(&mut img, 443, &TcpRequest::Http(HttpRequest::https_sni("paypal.example"))).is_none());
+
+        let mut tls_kit = WebHost::new(
+            WebRole::PhishKit {
+                target: "paypal.example".into(),
+                tls_self_signed: true,
+                bank_clone: false,
+            },
+            4,
+        );
+        let r2 = get(&mut tls_kit, 443, &TcpRequest::Http(HttpRequest::https_sni("paypal.example"))).unwrap();
+        assert!(!r2.as_http().unwrap().certificate.as_ref().unwrap().valid_chain);
+    }
+
+    #[test]
+    fn censor_landing_carries_marker() {
+        let mut h = WebHost::new(
+            WebRole::CensorLanding {
+                country: "Turkey".into(),
+                authority: "telecommunications authority".into(),
+            },
+            5,
+        );
+        let r = get(&mut h, 80, &http("youporn.example")).unwrap();
+        assert!(r.as_http().unwrap().body.contains("blocked by the order of"));
+    }
+
+    #[test]
+    fn mail_server_banners_per_port() {
+        let mut m = WebHost::new(
+            WebRole::MailServer {
+                banners: MailBanners::provider("gmail.example"),
+            },
+            6,
+        );
+        let smtp = get(&mut m, 25, &TcpRequest::MailProbe(MailProto::Smtp)).unwrap();
+        assert!(smtp.as_banner().unwrap().starts_with("220"));
+        let imap = get(&mut m, 143, &TcpRequest::MailProbe(MailProto::Imap)).unwrap();
+        assert!(imap.as_banner().unwrap().contains("IMAP"));
+        let pop = get(&mut m, 110, &TcpRequest::MailProbe(MailProto::Pop3)).unwrap();
+        assert!(pop.as_banner().unwrap().starts_with("+OK"));
+        // Wrong port for the protocol: refused.
+        assert!(get(&mut m, 25, &TcpRequest::MailProbe(MailProto::Imap)).is_none());
+        // No HTTP.
+        assert!(get(&mut m, 80, &http("smtp.gmail.example"))
+            .is_none());
+    }
+
+    #[test]
+    fn ad_manipulator_modes_differ() {
+        let modes = [
+            AdMode::InjectBanner,
+            AdMode::InjectScript,
+            AdMode::Blank,
+            AdMode::FakeSearch,
+        ];
+        let bodies: Vec<String> = modes
+            .iter()
+            .map(|m| {
+                let mut h = WebHost::new(WebRole::AdManipulator { mode: *m }, 7);
+                get(&mut h, 80, &http("adnet.example"))
+                    .unwrap()
+                    .as_http()
+                    .unwrap()
+                    .body
+                    .clone()
+            })
+            .collect();
+        assert!(bodies[0].contains("ads.rogue.example"));
+        assert!(bodies[1].contains("js.rogue.example"));
+        assert!(bodies[3].contains("ads.inject.example"));
+        let set: std::collections::HashSet<_> = bodies.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn disabled_edge_serves_nothing() {
+        let mut h = WebHost::new(WebRole::DisabledEdge, 8);
+        assert!(get(&mut h, 80, &http("cdn-site.example")).is_none());
+    }
+
+    #[test]
+    fn fake_update_serves_dropper_page() {
+        let mut h = WebHost::new(
+            WebRole::FakeUpdate {
+                product: "Flash".into(),
+            },
+            9,
+        );
+        let r = get(&mut h, 80, &http("update.adobe.example")).unwrap();
+        assert!(r.as_http().unwrap().body.contains("update_setup.exe"));
+    }
+}

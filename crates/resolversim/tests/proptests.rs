@@ -1,0 +1,188 @@
+//! Property-based invariants of the resolver substrate: the cache
+//! simulator's closed-form series must look exactly like a real
+//! TTL-decrementing cache to the snooping classifier, and universe
+//! resolution must be a pure function of its inputs.
+
+use proptest::prelude::*;
+use resolversim::{
+    CacheProfile, DnsUniverse, DomainCategory, DomainKind, DomainRecord, Resolution,
+    SnoopObservation, TldCacheSim,
+};
+use std::net::Ipv4Addr;
+
+fn in_use(refresh_gap_s: u32, phase_s: u32) -> CacheProfile {
+    CacheProfile::InUse {
+        refresh_gap_s,
+        tld_mask: u32::MAX,
+        phase_s,
+    }
+}
+
+proptest! {
+    /// An in-use cache never reports more than the zone TTL, and a
+    /// cached observation follows real cache arithmetic: remaining TTL
+    /// plus elapsed-since-insertion equals the zone TTL.
+    #[test]
+    fn in_use_ttls_never_exceed_zone_ttl(
+        gap in 1u32..7_200,
+        phase in 0u32..10_000,
+        zone_ttl in 60u32..172_800,
+        t0 in 0u64..1_000_000,
+    ) {
+        let mut sim = TldCacheSim::new(in_use(gap, phase));
+        for round in 0..48u64 {
+            let t = t0 + round * 3_600;
+            for tld in 0..15u32 {
+                if let SnoopObservation::Cached { remaining_ttl } = sim.observe(tld, zone_ttl, t) {
+                    prop_assert!(
+                        remaining_ttl <= zone_ttl,
+                        "tld {tld} at t={t}: remaining {remaining_ttl} > zone {zone_ttl}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Within one cached period, two observations of the same TLD
+    /// decrease by exactly the elapsed wall-clock time — the arithmetic
+    /// the snooping classifier's refresh-gap inference relies on.
+    #[test]
+    fn in_use_ttl_decreases_at_wall_clock_rate(
+        gap in 1u32..3_600,
+        phase in 0u32..10_000,
+        zone_ttl in 7_200u32..172_800,
+        t0 in 0u64..1_000_000,
+        dt in 1u64..3_600,
+    ) {
+        let mut sim = TldCacheSim::new(in_use(gap, phase));
+        let a = sim.observe(3, zone_ttl, t0);
+        let b = sim.observe(3, zone_ttl, t0 + dt);
+        if let (
+            SnoopObservation::Cached { remaining_ttl: r0 },
+            SnoopObservation::Cached { remaining_ttl: r1 },
+        ) = (a, b)
+        {
+            // Same cached period iff the first TTL outlives dt.
+            if (r0 as u64) > dt {
+                prop_assert_eq!(
+                    r1 as u64,
+                    r0 as u64 - dt,
+                    "TTL must decrease at wall-clock rate"
+                );
+            }
+        }
+    }
+
+    /// The in-use cycle really cycles: when the refresh gap is shorter
+    /// than the zone TTL (the common case — "frequent" means ≤5 s), an
+    /// entry observed absent is cached again `refresh_gap_s` seconds
+    /// later, because the re-added entry outlives the remainder of the
+    /// gap.
+    #[test]
+    fn in_use_entries_are_readded_within_the_refresh_gap(
+        gap in 1u32..300,
+        phase in 0u32..10_000,
+        zone_ttl in 300u32..7_200,
+        t0 in 0u64..1_000_000,
+    ) {
+        let mut sim = TldCacheSim::new(in_use(gap, phase));
+        if matches!(sim.observe(0, zone_ttl, t0), SnoopObservation::Absent) {
+            // One second past the gap the entry must be cached again.
+            let t1 = t0 + gap as u64;
+            let readded = matches!(
+                sim.observe(0, zone_ttl, t1),
+                SnoopObservation::Cached { .. }
+            );
+            prop_assert!(readded, "entry still absent {}s after first absence", gap);
+        }
+    }
+
+    /// Degenerate profiles look exactly as advertised for every query.
+    #[test]
+    fn degenerate_profiles_are_constant(
+        ttl in 0u32..100_000,
+        zone_ttl in 60u32..172_800,
+        t in 0u64..10_000_000,
+        tld in 0u32..15,
+    ) {
+        let mut stat = TldCacheSim::new(CacheProfile::StaticTtl { ttl });
+        prop_assert_eq!(
+            stat.observe(tld, zone_ttl, t),
+            SnoopObservation::Cached { remaining_ttl: ttl }
+        );
+        let mut zero = TldCacheSim::new(CacheProfile::ZeroTtl);
+        prop_assert_eq!(
+            zero.observe(tld, zone_ttl, t),
+            SnoopObservation::Cached { remaining_ttl: 0 }
+        );
+        let mut empty = TldCacheSim::new(CacheProfile::EmptyAnswer);
+        prop_assert_eq!(empty.observe(tld, zone_ttl, t), SnoopObservation::Empty);
+        // A TTL-resetter never lets the entry expire.
+        let mut resetter = TldCacheSim::new(CacheProfile::TtlResetter);
+        let held = matches!(
+            resetter.observe(tld, zone_ttl, t),
+            SnoopObservation::Cached { .. }
+        );
+        prop_assert!(held);
+    }
+
+    /// SingleThenSilent answers exactly once, whatever the schedule.
+    #[test]
+    fn single_then_silent_answers_once(
+        times in proptest::collection::vec(0u64..10_000_000, 2..20),
+        zone_ttl in 60u32..172_800,
+    ) {
+        let mut sim = TldCacheSim::new(CacheProfile::SingleThenSilent);
+        let mut answered = 0u32;
+        for (i, t) in times.iter().enumerate() {
+            match sim.observe((i % 15) as u32, zone_ttl, *t) {
+                SnoopObservation::Silent => {}
+                _ => answered += 1,
+            }
+        }
+        prop_assert_eq!(answered, 1);
+    }
+
+    /// Universe resolution is pure: identical (name, region, salt)
+    /// triples always produce identical answers, and Fixed records
+    /// return their registered addresses verbatim.
+    #[test]
+    fn universe_resolution_is_pure(
+        label in "[a-z]{1,12}",
+        ip_bits in 0x0B00_0000u32..0x0BFF_FFFF,
+        ttl in 1u32..86_400,
+        salt_a in 0u64..1_000,
+        salt_b in 0u64..1_000,
+    ) {
+        let name = format!("{label}.example");
+        let ip = Ipv4Addr::from(ip_bits);
+        let mut uni = DnsUniverse::new();
+        uni.add_domain(DomainRecord {
+            name: name.clone(),
+            category: DomainCategory::Misc,
+            kind: DomainKind::Fixed(vec![ip]),
+            ttl,
+            is_mail_host: false,
+        });
+        for region in [geodb::Rir::Arin, geodb::Rir::Ripe, geodb::Rir::Apnic] {
+            let a = uni.resolve(&name, region, salt_a);
+            let b = uni.resolve(&name, region, salt_a);
+            prop_assert_eq!(&a, &b, "resolution must be deterministic");
+            // Fixed records ignore region and salt entirely.
+            let c = uni.resolve(&name, region, salt_b);
+            prop_assert_eq!(&a, &c);
+            match a {
+                Resolution::Ips { ips, ttl: got } => {
+                    prop_assert_eq!(ips, vec![ip]);
+                    prop_assert_eq!(got, ttl);
+                }
+                Resolution::NxDomain => prop_assert!(false, "registered domain was NX"),
+            }
+        }
+        // Unregistered names are NXDOMAIN.
+        prop_assert_eq!(
+            uni.resolve("no-such-name.example", geodb::Rir::Arin, 0),
+            Resolution::NxDomain
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! TCP banner grabbing for device fingerprinting (Sec. 2.4).
+//!
+//! The paper connects to FTP, HTTP, HTTPS, SSH and Telnet on every
+//! resolver and aggregates whatever banner/text the services return;
+//! 26.3% of resolvers answered on at least one port.
+
+use netsim::{HttpRequest, TcpError, TcpRequest};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use worldgen::World;
+
+/// Ports probed, mirroring the paper's protocol list.
+pub const PROBE_PORTS: [u16; 4] = [21, 22, 23, 80];
+
+/// Banners collected from one host.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BannerObservation {
+    /// `(port, banner text)` for every responsive service.
+    pub banners: Vec<(u16, String)>,
+    /// Body of the HTTP front page, when port 80 served one.
+    pub http_body: Option<String>,
+}
+
+impl BannerObservation {
+    /// Whether any TCP service responded.
+    pub fn responsive(&self) -> bool {
+        !self.banners.is_empty() || self.http_body.is_some()
+    }
+
+    /// Concatenated text for regex fingerprinting.
+    pub fn corpus(&self) -> String {
+        let mut s = String::new();
+        for (port, b) in &self.banners {
+            s.push_str(&format!("[{port}] {b}\n"));
+        }
+        if let Some(body) = &self.http_body {
+            s.push_str(body);
+        }
+        s
+    }
+}
+
+/// Probe every resolver's TCP surface.
+pub fn banner_scan(
+    world: &mut World,
+    resolvers: &[Ipv4Addr],
+) -> HashMap<Ipv4Addr, BannerObservation> {
+    let mut out = HashMap::with_capacity(resolvers.len());
+    for &ip in resolvers {
+        let mut obs = BannerObservation::default();
+        for port in PROBE_PORTS {
+            match world.net.tcp_query(ip, port, &TcpRequest::BannerProbe) {
+                Ok(resp) => {
+                    if let Some(b) = resp.as_banner() {
+                        obs.banners.push((port, b.to_string()));
+                    }
+                }
+                Err(TcpError::Refused) | Err(TcpError::Unreachable) | Err(TcpError::Timeout) => {}
+            }
+        }
+        // HTTP body often carries the device identity (login pages).
+        if let Ok(resp) = world.net.tcp_query(
+            ip,
+            80,
+            &TcpRequest::Http(HttpRequest::http(&ip.to_string())),
+        ) {
+            if let Some(http) = resp.as_http() {
+                obs.http_body = Some(http.body.clone());
+            }
+        }
+        if obs.responsive() {
+            out.insert(ip, obs);
+        }
+    }
+    out
+}

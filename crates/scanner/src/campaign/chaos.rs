@@ -1,0 +1,123 @@
+//! CHAOS `version.bind` / `version.server` fingerprinting (Sec. 2.4).
+
+use crate::simio::SimScanner;
+use dnswire::{Message, MessageBuilder, Name, Rcode};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use worldgen::World;
+
+/// Outcome of the two CHAOS queries against one resolver.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaosObservation {
+    /// Both queries errored (REFUSED / SERVFAIL).
+    Errors,
+    /// NOERROR but no version in either answer.
+    EmptyAnswers,
+    /// A version string was returned (may be an admin-chosen decoy —
+    /// the classifier decides).
+    Version(String),
+    /// No response to either query.
+    Silent,
+}
+
+/// Query `version.bind` and `version.server` at every resolver.
+pub fn chaos_scan(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    resolvers: &[Ipv4Addr],
+    seed: u64,
+) -> HashMap<Ipv4Addr, ChaosObservation> {
+    let scanner = SimScanner::open(world, vantage);
+    // txid → (resolver, which query).
+    let mut results: HashMap<Ipv4Addr, Vec<Option<Message>>> = HashMap::new();
+    let mut txid_map: HashMap<u16, (Ipv4Addr, usize)> = HashMap::new();
+
+    const BATCH: usize = 2_000;
+    let qnames = [
+        Name::parse("version.bind").unwrap(),
+        Name::parse("version.server").unwrap(),
+    ];
+    let mut seq = 0u32;
+    let mut pending = 0usize;
+    for &ip in resolvers {
+        results.insert(ip, vec![None, None]);
+        for (which, qname) in qnames.iter().enumerate() {
+            // Transaction IDs must be unique among in-flight queries;
+            // the map is flushed before the 16-bit space wraps.
+            let txid = (seed as u16).wrapping_add(seq as u16);
+            let msg = MessageBuilder::chaos_query(txid, qname.clone()).build();
+            txid_map.insert(txid, (ip, which));
+            scanner.send(world, (seq % 509) as u16, ip, msg.encode());
+            seq += 1;
+            pending += 1;
+            if pending == BATCH {
+                pending = 0;
+                scanner.pump(world, 400);
+                collect(world, &scanner, &mut txid_map, &mut results);
+            }
+            if seq.is_multiple_of(60_000) {
+                // Long grace, then recycle the TXID space.
+                scanner.pump(world, 5_000);
+                collect(world, &scanner, &mut txid_map, &mut results);
+                txid_map.clear();
+            }
+        }
+    }
+    scanner.pump(world, 5_000);
+    collect(world, &scanner, &mut txid_map, &mut results);
+
+    results
+        .into_iter()
+        .map(|(ip, slots)| (ip, classify(slots)))
+        .collect()
+}
+
+fn collect(
+    world: &mut World,
+    scanner: &SimScanner,
+    txid_map: &mut HashMap<u16, (Ipv4Addr, usize)>,
+    results: &mut HashMap<Ipv4Addr, Vec<Option<Message>>>,
+) {
+    for (_off, _t, dgram) in scanner.drain(world) {
+        let Ok(msg) = Message::decode(&dgram.payload) else {
+            continue;
+        };
+        if !msg.header.response {
+            continue;
+        }
+        if let Some(&(ip, which)) = txid_map.get(&msg.header.id) {
+            if let Some(slots) = results.get_mut(&ip) {
+                if slots[which].is_none() {
+                    slots[which] = Some(msg);
+                }
+            }
+        }
+    }
+}
+
+fn classify(slots: Vec<Option<Message>>) -> ChaosObservation {
+    let mut any_response = false;
+    let mut any_noerror_empty = false;
+    for slot in slots.iter().flatten() {
+        any_response = true;
+        if slot.header.rcode == Rcode::NoError {
+            let version = slot
+                .answers
+                .iter()
+                .find_map(|rr| rr.rdata.txt_joined())
+                .filter(|s| !s.is_empty());
+            match version {
+                Some(v) => return ChaosObservation::Version(v),
+                None => any_noerror_empty = true,
+            }
+        }
+    }
+    if !any_response {
+        ChaosObservation::Silent
+    } else if any_noerror_empty {
+        ChaosObservation::EmptyAnswers
+    } else {
+        ChaosObservation::Errors
+    }
+}

@@ -1,0 +1,120 @@
+//! Cohort churn tracking (Sec. 2.5 / Figure 2).
+//!
+//! Track the resolvers discovered in the first scan by their *IP
+//! addresses*: re-probe the same addresses over time and count how many
+//! still provide DNS resolutions, plus the day-one measurement and the
+//! dynamic-rDNS attribution of early leavers.
+
+use crate::encode::{enumeration_query, target_from_qname};
+use crate::simio::SimScanner;
+use dnswire::{Message, Rcode};
+use netsim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+use worldgen::World;
+
+/// The churn experiment's outputs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChurnResult {
+    /// Cohort size at week 0.
+    pub cohort: u64,
+    /// `survivors[w]` = cohort addresses still answering NOERROR at week
+    /// `w+1` (weekly re-probes).
+    pub survivors: Vec<u64>,
+    /// Addresses still answering after one day.
+    pub day1_survivors: u64,
+    /// Of the day-one leavers with rDNS records: how many carry dynamic
+    /// tokens, and how many had records at all.
+    pub day1_leavers_dynamic_rdns: u64,
+    /// Day-one leavers with any rDNS record.
+    pub day1_leavers_with_rdns: u64,
+}
+
+impl ChurnResult {
+    /// Fraction of the cohort alive at week `w` (1-based).
+    pub fn survival_at_week(&self, w: usize) -> f64 {
+        if self.cohort == 0 || w == 0 || w > self.survivors.len() {
+            return 0.0;
+        }
+        self.survivors[w - 1] as f64 / self.cohort as f64
+    }
+}
+
+/// Probe `cohort` addresses and return those answering NOERROR.
+fn probe_alive(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    cohort: &[Ipv4Addr],
+    seed: u64,
+) -> HashSet<Ipv4Addr> {
+    let zone = world.catalog.scan_zone.clone();
+    let scanner = SimScanner::open(world, vantage);
+    const BATCH: usize = 4_096;
+    let mut alive = HashSet::new();
+    let mut sent = 0usize;
+    for &ip in cohort {
+        let (msg, _) = enumeration_query(ip, &zone, seed);
+        scanner.send(world, 0, ip, msg.encode());
+        sent += 1;
+        if sent.is_multiple_of(BATCH) {
+            scanner.pump(world, 500);
+            collect_alive(world, &scanner, &mut alive);
+        }
+    }
+    scanner.pump(world, 5_000);
+    collect_alive(world, &scanner, &mut alive);
+    alive
+}
+
+fn collect_alive(world: &mut World, scanner: &SimScanner, alive: &mut HashSet<Ipv4Addr>) {
+    for (_o, _t, d) in scanner.drain(world) {
+        let Ok(msg) = Message::decode(&d.payload) else {
+            continue;
+        };
+        if msg.header.response && msg.header.rcode == Rcode::NoError && !msg.questions.is_empty() {
+            if let Some(target) = target_from_qname(&msg.questions[0].qname) {
+                alive.insert(target);
+            }
+        }
+    }
+}
+
+/// Run the full churn experiment: day-one probe, then weekly probes for
+/// `weeks` weeks. Advances world time as it goes.
+pub fn track_cohort(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    cohort: &[Ipv4Addr],
+    weeks: u32,
+    seed: u64,
+) -> ChurnResult {
+    let mut result = ChurnResult {
+        cohort: cohort.len() as u64,
+        ..Default::default()
+    };
+
+    // Day 1.
+    let t0 = world.now();
+    world.advance_to(SimTime(t0.millis() + SimTime::DAY));
+    let alive_day1 = probe_alive(world, vantage, cohort, seed ^ 0xD1);
+    result.day1_survivors = alive_day1.len() as u64;
+    for &ip in cohort {
+        if !alive_day1.contains(&ip) {
+            if let Some(_name) = world.rdns.lookup(ip) {
+                result.day1_leavers_with_rdns += 1;
+                if world.rdns.is_dynamic(ip) {
+                    result.day1_leavers_dynamic_rdns += 1;
+                }
+            }
+        }
+    }
+
+    // Weekly probes.
+    for w in 1..=weeks {
+        world.advance_to(SimTime(t0.millis() + w as u64 * SimTime::WEEK));
+        let alive = probe_alive(world, vantage, cohort, seed ^ (w as u64) << 8);
+        result.survivors.push(alive.len() as u64);
+    }
+    result
+}

@@ -1,0 +1,153 @@
+//! The 155-domain scan (Sec. 3.3): A queries for every catalog domain
+//! at every open resolver, with the 25-bit resolver-identifier encoding.
+
+use crate::encode::{decode_probe, encode_probe};
+use crate::simio::{SimScanner, BASE_PORT};
+use dnswire::{Message, MessageBuilder, Rcode, RecordType};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use worldgen::World;
+
+/// One correlated DNS response from the domain scan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TupleObs {
+    /// Index into the scanned resolver list.
+    pub resolver_idx: u32,
+    /// Address the probe was sent to.
+    pub resolver_ip: Ipv4Addr,
+    /// Index into the scanned domain list.
+    pub domain_idx: u16,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Answer A records.
+    pub ips: Vec<Ipv4Addr>,
+    /// 0 for the first response to this (resolver, domain) probe, 1 for
+    /// the second, … — the GFW double-answer signature lives here.
+    pub response_ordinal: u8,
+    /// Source address of the response datagram.
+    pub src_ip: Ipv4Addr,
+    /// NOERROR with no A answers but NS records in the authority
+    /// section — recursion effectively denied (Sec. 4.1: 2.0%).
+    pub ns_only: bool,
+}
+
+/// Stream the domain scan's correlated responses into `sink`.
+///
+/// Queries go out domain-by-domain (the paper scans one category at a
+/// time to bound per-AuthNS load); each probe encodes the resolver index
+/// in TXID + source port + 0x20 casing.
+pub fn scan_domains_streaming(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    resolvers: &[Ipv4Addr],
+    domains: &[String],
+    seed: u64,
+    sink: &mut dyn FnMut(TupleObs),
+) {
+    assert!(
+        resolvers.len() < (1 << crate::encode::ID_BITS),
+        "resolver list exceeds the 25-bit identifier space"
+    );
+    let scanner = SimScanner::open(world, vantage);
+    // Response ordinals per (resolver, domain).
+    let mut ordinals: HashMap<(u32, u16), u8> = HashMap::new();
+
+    for (di, domain) in domains.iter().enumerate() {
+        let mut sent = 0usize;
+        for (ri, &ip) in resolvers.iter().enumerate() {
+            let p = encode_probe(ri as u32, domain);
+            let msg = MessageBuilder::query(p.txid, p.qname.clone(), RecordType::A).build();
+            scanner.send(world, p.port_offset, ip, msg.encode());
+            sent += 1;
+            if sent.is_multiple_of(4_096) {
+                scanner.pump(world, 400);
+                collect(world, &scanner, resolvers, domains, di, &mut ordinals, sink);
+            }
+        }
+        // Per-domain grace so cross-domain TXID collisions cannot happen.
+        scanner.pump(world, 4_000);
+        collect(world, &scanner, resolvers, domains, di, &mut ordinals, sink);
+        let _ = seed;
+    }
+}
+
+/// Convenience: collect all tuples into a vector (tests, small scans).
+pub fn scan_domains(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    resolvers: &[Ipv4Addr],
+    domains: &[String],
+    seed: u64,
+) -> Vec<TupleObs> {
+    let mut out = Vec::new();
+    scan_domains_streaming(world, vantage, resolvers, domains, seed, &mut |t| {
+        out.push(t)
+    });
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect(
+    world: &mut World,
+    scanner: &SimScanner,
+    resolvers: &[Ipv4Addr],
+    domains: &[String],
+    current_domain: usize,
+    ordinals: &mut HashMap<(u32, u16), u8>,
+    sink: &mut dyn FnMut(TupleObs),
+) {
+    for (port_offset, _t, dgram) in scanner.drain(world) {
+        let Ok(msg) = Message::decode(&dgram.payload) else {
+            continue;
+        };
+        if !msg.header.response || msg.questions.is_empty() {
+            continue;
+        }
+        let Some(id) = decode_probe(&msg, Some(port_offset)) else {
+            continue;
+        };
+        let ri = id as usize;
+        if ri >= resolvers.len() {
+            continue; // spoofed or corrupt
+        }
+        // Identify the domain from the echoed question.
+        let qname = msg.questions[0].qname.to_ascii_lower();
+        let Some(di) = domain_index(domains, current_domain, &qname) else {
+            continue;
+        };
+        let key = (id, di as u16);
+        let ordinal = ordinals.entry(key).or_insert(0);
+        let ips = msg.answer_ips();
+        let ns_only = ips.is_empty()
+            && msg.header.rcode == dnswire::Rcode::NoError
+            && msg
+                .authorities
+                .iter()
+                .any(|rr| rr.rtype == dnswire::RecordType::Ns);
+        let obs = TupleObs {
+            resolver_idx: id,
+            resolver_ip: resolvers[ri],
+            domain_idx: di as u16,
+            rcode: msg.header.rcode,
+            ips,
+            response_ordinal: *ordinal,
+            src_ip: dgram.src_ip,
+            ns_only,
+        };
+        *ordinal = ordinal.saturating_add(1);
+        sink(obs);
+    }
+}
+
+/// Find the scanned domain matching the echoed qname, checking the
+/// in-flight domain first (the common case).
+fn domain_index(domains: &[String], current: usize, qname: &str) -> Option<usize> {
+    if current < domains.len() && domains[current] == qname {
+        return Some(current);
+    }
+    domains.iter().position(|d| d == qname)
+}
+
+/// Port-block base, re-exported for response-side tooling.
+pub const DOMAIN_SCAN_BASE_PORT: u16 = BASE_PORT;

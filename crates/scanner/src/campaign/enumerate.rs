@@ -1,0 +1,171 @@
+//! The Internet-wide enumeration scan (Sec. 2.2) and the dual-vantage
+//! verification scan.
+
+use crate::encode::{enumeration_query, target_from_qname};
+use crate::lfsr::IpPermutation;
+use crate::simio::SimScanner;
+use dnswire::{Message, Rcode};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use worldgen::World;
+
+/// What one target IP answered.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnumObservation {
+    /// Response code of the first answer.
+    pub rcode: Rcode,
+    /// The response's UDP source differed from the probed target — a
+    /// DNS proxy or multi-homed host (630k–750k per week in the paper).
+    pub answered_from_other_ip: bool,
+    /// A-record answers (empty for error rcodes / empty answers).
+    pub answers: Vec<Ipv4Addr>,
+}
+
+/// Result of one enumeration scan.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EnumerationResult {
+    /// Keyed by the *probed target* (recovered from the hex-IP label,
+    /// not the response source).
+    pub observations: HashMap<Ipv4Addr, EnumObservation>,
+    /// Probes actually sent (excludes blacklisted skips).
+    pub probes_sent: u64,
+    /// Addresses skipped because their operators opted out (Sec. 2.2).
+    pub skipped_blacklisted: u64,
+}
+
+impl EnumerationResult {
+    /// Responding-host counts per rcode mnemonic, plus `"ALL"`.
+    pub fn counts(&self) -> HashMap<&'static str, u64> {
+        let mut out: HashMap<&'static str, u64> = HashMap::new();
+        for obs in self.observations.values() {
+            *out.entry(obs.rcode.mnemonic()).or_insert(0) += 1;
+            *out.entry("ALL").or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Targets that answered NOERROR — the open-resolver fleet fed to
+    /// every downstream campaign.
+    pub fn noerror_ips(&self) -> Vec<Ipv4Addr> {
+        let mut v: Vec<Ipv4Addr> = self
+            .observations
+            .iter()
+            .filter(|(_, o)| o.rcode == Rcode::NoError)
+            .map(|(ip, _)| *ip)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Count of proxy/multi-homed responders.
+    pub fn mismatched_sources(&self) -> u64 {
+        self.observations
+            .values()
+            .filter(|o| o.answered_from_other_ip)
+            .count() as u64
+    }
+}
+
+/// Scan every address in `world`'s allocated space from `vantage`,
+/// LFSR-permuted, in rate-limited batches.
+pub fn enumerate(world: &mut World, vantage: Ipv4Addr, seed: u64) -> EnumerationResult {
+    let zone = world.catalog.scan_zone.clone();
+    let ranges = world.scannable_ranges().to_vec();
+    // Honor opt-out requests: blacklisted addresses are never probed
+    // and therefore never appear in any result (Sec. 2.2).
+    let blacklist = crate::Blacklist::new(
+        world.blacklist_ranges.clone(),
+        world.blacklist_singles.clone(),
+    );
+    let scanner = SimScanner::open(world, vantage);
+    let perm = IpPermutation::new(&ranges, seed);
+
+    let mut result = EnumerationResult::default();
+    const BATCH: usize = 4_096;
+    let mut batch_count = 0usize;
+    for target in perm {
+        if blacklist.contains(target) {
+            result.skipped_blacklisted += 1;
+            continue;
+        }
+        let (msg, _) = enumeration_query(target, &zone, seed);
+        scanner.send(world, 0, target, msg.encode());
+        result.probes_sent += 1;
+        batch_count += 1;
+        if batch_count == BATCH {
+            batch_count = 0;
+            scanner.pump(world, 500);
+            collect(world, &scanner, &mut result);
+        }
+    }
+    // Grace period for stragglers.
+    scanner.pump(world, 5_000);
+    collect(world, &scanner, &mut result);
+    scanner.close(world);
+    result
+}
+
+fn collect(world: &mut World, scanner: &SimScanner, result: &mut EnumerationResult) {
+    for (_off, _t, dgram) in scanner.drain(world) {
+        let Ok(msg) = Message::decode(&dgram.payload) else {
+            continue; // corrupted packets are ignored (Sec. 5)
+        };
+        if !msg.header.response || msg.questions.is_empty() {
+            continue;
+        }
+        let Some(target) = target_from_qname(&msg.questions[0].qname) else {
+            continue;
+        };
+        let obs = EnumObservation {
+            rcode: msg.header.rcode,
+            answered_from_other_ip: dgram.src_ip != target,
+            answers: msg.answer_ips(),
+        };
+        // First response wins (clients behave the same way).
+        result.observations.entry(target).or_insert(obs);
+    }
+}
+
+/// Dual-vantage verification (Sec. 2.2): scan from the secondary /8 and
+/// report hosts visible there but not in `primary`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// Hosts answering the verification scan but absent from the weekly
+    /// scan, per rcode mnemonic.
+    pub only_secondary: HashMap<String, u64>,
+    /// NOERROR hosts missed by the primary scan.
+    pub missed_noerror: u64,
+    /// NOERROR hosts found by the primary scan.
+    pub primary_noerror: u64,
+}
+
+/// Run the verification scan and diff against `primary`.
+pub fn verify_scan(
+    world: &mut World,
+    primary: &EnumerationResult,
+    seed: u64,
+) -> VerificationReport {
+    let vantage2 = world.scanner2_ip;
+    let secondary = enumerate(world, vantage2, seed ^ 0x5EC0);
+    let mut report = VerificationReport {
+        primary_noerror: primary
+            .observations
+            .values()
+            .filter(|o| o.rcode == Rcode::NoError)
+            .count() as u64,
+        ..Default::default()
+    };
+    for (ip, obs) in &secondary.observations {
+        if !primary.observations.contains_key(ip) {
+            *report
+                .only_secondary
+                .entry(obs.rcode.mnemonic().to_string())
+                .or_insert(0) += 1;
+            if obs.rcode == Rcode::NoError {
+                report.missed_noerror += 1;
+            }
+        }
+    }
+    report
+}

@@ -1,0 +1,9 @@
+//! Measurement campaigns.
+
+pub mod acquire;
+pub mod banner;
+pub mod chaos;
+pub mod churn;
+pub mod domains;
+pub mod enumerate;
+pub mod snoop;

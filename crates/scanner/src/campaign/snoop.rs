@@ -1,0 +1,143 @@
+//! DNS cache snooping (Sec. 2.6): non-recursive NS queries for 15 TLDs,
+//! every 60 minutes for 36 hours.
+
+use crate::simio::SimScanner;
+use dnswire::{Message, MessageBuilder, Name, RecordType};
+use netsim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use worldgen::World;
+
+/// One observation of one TLD's cache state at one resolver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SnoopSample {
+    /// NS record present with this remaining TTL.
+    Ttl(u32),
+    /// NOERROR but no NS record — not cached (or an empty responder).
+    NoEntry,
+    /// No response.
+    Silent,
+}
+
+/// Full snooping series for one resolver: `series[tld][round]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnoopResult {
+    /// Number of snooped TLDs.
+    pub tld_count: usize,
+    /// Number of hourly rounds.
+    pub rounds: usize,
+    /// Flattened `[tld * rounds + round]`.
+    pub samples: Vec<SnoopSample>,
+}
+
+impl SnoopResult {
+    /// The sample for `(tld, round)`.
+    pub fn get(&self, tld: usize, round: usize) -> SnoopSample {
+        self.samples[tld * self.rounds + round]
+    }
+
+    /// Series for one TLD.
+    pub fn tld_series(&self, tld: usize) -> &[SnoopSample] {
+        &self.samples[tld * self.rounds..(tld + 1) * self.rounds]
+    }
+}
+
+/// Run the snooping campaign against `resolvers`. Advances world time by
+/// `rounds` hours. Queries are sent with RD=0.
+pub fn snoop_scan(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    resolvers: &[Ipv4Addr],
+    rounds: usize,
+    seed: u64,
+) -> HashMap<Ipv4Addr, SnoopResult> {
+    let tld_names: Vec<Name> = world
+        .universe
+        .tlds()
+        .iter()
+        .map(|t| Name::parse(&t.name).expect("TLD names parse"))
+        .collect();
+    let tld_count = tld_names.len();
+
+    let mut results: HashMap<Ipv4Addr, SnoopResult> = resolvers
+        .iter()
+        .map(|&ip| {
+            (
+                ip,
+                SnoopResult {
+                    tld_count,
+                    rounds,
+                    samples: vec![SnoopSample::Silent; tld_count * rounds],
+                },
+            )
+        })
+        .collect();
+
+    let start = world.now();
+    for round in 0..rounds {
+        world.advance_to(SimTime(start.millis() + round as u64 * SimTime::HOUR));
+        let scanner = SimScanner::open(world, vantage);
+        // txid → (resolver, tld).
+        let mut txid_map: HashMap<u16, (Ipv4Addr, usize)> = HashMap::new();
+        let mut seq = 0u32;
+        for &ip in resolvers {
+            for (ti, tld) in tld_names.iter().enumerate() {
+                let txid = (seed as u16)
+                    .wrapping_add(seq as u16)
+                    .wrapping_add((round as u16) << 3);
+                let msg = MessageBuilder::query(txid, tld.clone(), RecordType::Ns)
+                    .recursion_desired(false)
+                    .build();
+                txid_map.insert(txid, (ip, ti));
+                scanner.send(world, (seq % 509) as u16, ip, msg.encode());
+                seq += 1;
+                if seq.is_multiple_of(2_000) {
+                    scanner.pump(world, 300);
+                    collect(world, &scanner, &txid_map, &mut results, round);
+                }
+                if seq.is_multiple_of(60_000) {
+                    scanner.pump(world, 5_000);
+                    collect(world, &scanner, &txid_map, &mut results, round);
+                    txid_map.clear();
+                }
+            }
+        }
+        scanner.pump(world, 5_000);
+        collect(world, &scanner, &txid_map, &mut results, round);
+        scanner.close(world);
+    }
+    results
+}
+
+fn collect(
+    world: &mut World,
+    scanner: &SimScanner,
+    txid_map: &HashMap<u16, (Ipv4Addr, usize)>,
+    results: &mut HashMap<Ipv4Addr, SnoopResult>,
+    round: usize,
+) {
+    for (_o, _t, d) in scanner.drain(world) {
+        let Ok(msg) = Message::decode(&d.payload) else {
+            continue;
+        };
+        if !msg.header.response {
+            continue;
+        }
+        let Some(&(ip, tld)) = txid_map.get(&msg.header.id) else {
+            continue;
+        };
+        let sample = msg
+            .answers
+            .iter()
+            .find(|rr| rr.rtype == RecordType::Ns)
+            .map(|rr| SnoopSample::Ttl(rr.ttl))
+            .unwrap_or(SnoopSample::NoEntry);
+        if let Some(res) = results.get_mut(&ip) {
+            let idx = tld * res.rounds + round;
+            if res.samples[idx] == SnoopSample::Silent {
+                res.samples[idx] = sample;
+            }
+        }
+    }
+}

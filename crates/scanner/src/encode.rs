@@ -1,0 +1,186 @@
+//! Request encodings and response correlation.
+//!
+//! Two schemes from the paper:
+//!
+//! 1. **Enumeration scans** (Sec. 2.2) embed the *target address* in the
+//!    query name — `prefix.hex-ip.scan-zone` — so the response
+//!    identifies which host it was sent to even when the answering
+//!    source address differs (DNS proxies, multi-homed hosts).
+//! 2. **Domain scans** (Sec. 3.3) cannot vary the name, so they encode a
+//!    25-bit *resolver identifier*: 16 bits in the DNS transaction ID,
+//!    9 bits in the UDP source port, and — redundantly, for resolvers
+//!    that rewrite ports — the same 9 bits in 0x20 casing.
+
+use dnswire::{decode_0x20, encode_0x20, Message, MessageBuilder, Name, RecordType};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of ports used by the domain scan (9 bits).
+pub const PORT_BITS: u32 = 9;
+/// Port-block width (`2^PORT_BITS` = 512 ports).
+pub const PORT_SPAN: u16 = 1 << PORT_BITS; // 512
+/// Resolver identifiers carry 25 bits total.
+pub const ID_BITS: u32 = 25;
+
+/// Render an IPv4 address as the fixed-width hex label used in scan
+/// names.
+pub fn hex_ip(ip: std::net::Ipv4Addr) -> String {
+    format!("{:08x}", u32::from(ip))
+}
+
+/// Parse a hex label back to an address.
+pub fn parse_hex_ip(label: &str) -> Option<std::net::Ipv4Addr> {
+    if label.len() != 8 {
+        return None;
+    }
+    u32::from_str_radix(label, 16).ok().map(Into::into)
+}
+
+/// Build the enumeration query for `target`: random cache-busting
+/// prefix + hex target + zone, with a transaction ID derived from the
+/// same deterministic stream.
+pub fn enumeration_query(
+    target: std::net::Ipv4Addr,
+    zone: &str,
+    seed: u64,
+) -> (Message, Name) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ u32::from(target) as u64);
+    let prefix: String = (0..8)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect();
+    let name = Name::parse(&format!("{prefix}.{}.{zone}", hex_ip(target)))
+        .expect("scan name is valid");
+    let txid: u16 = rng.gen();
+    // Advertise EDNS0 like real scanners do — resolvers that need more
+    // than 512 bytes can answer without truncation.
+    let msg = MessageBuilder::query(txid, name.clone(), RecordType::A)
+        .edns(4096)
+        .build();
+    (msg, name)
+}
+
+/// Extract the encoded target address from an echoed question name.
+pub fn target_from_qname(qname: &Name) -> Option<std::net::Ipv4Addr> {
+    // Labels: prefix . hexip . <zone...>
+    let labels = qname.labels();
+    if labels.len() < 3 {
+        return None;
+    }
+    let hex = String::from_utf8_lossy(&labels[1]).to_ascii_lowercase();
+    parse_hex_ip(&hex)
+}
+
+/// Encoded form of a domain-scan probe for resolver `id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeEncoding {
+    /// DNS transaction ID (low 16 bits of the resolver id).
+    pub txid: u16,
+    /// Offset into the scanner's port block (high 9 bits).
+    pub port_offset: u16,
+    /// Query name with the high 9 bits 0x20-encoded into its casing.
+    pub qname: Name,
+}
+
+/// Encode resolver `id` (< 2²⁵) for a query of `domain`.
+pub fn encode_probe(id: u32, domain: &str) -> ProbeEncoding {
+    assert!(id < (1 << ID_BITS), "resolver id {id} exceeds 25 bits");
+    let txid = (id & 0xffff) as u16;
+    let high = (id >> 16) as u16; // 9 bits
+    let base = Name::parse(domain).expect("catalog domains are valid names");
+    let qname = encode_0x20(&base, high as u32, PORT_BITS);
+    ProbeEncoding {
+        txid,
+        port_offset: high,
+        qname,
+    }
+}
+
+/// Recover the resolver id from a response.
+///
+/// `arrival_port_offset` is the offset within the scanner's port block
+/// the response actually arrived on; `None` if it arrived outside the
+/// block (or the caller cannot attribute it). The 0x20 casing of the
+/// echoed question is used when it disagrees with the arrival port —
+/// the redundancy that defeats port-rewriting resolvers.
+pub fn decode_probe(msg: &Message, arrival_port_offset: Option<u16>) -> Option<u32> {
+    if msg.questions.is_empty() {
+        return None;
+    }
+    let low = msg.header.id as u32;
+    let casing_bits = decode_0x20(&msg.questions[0].qname, PORT_BITS) as u16;
+    let high = match arrival_port_offset {
+        Some(p) if p < PORT_SPAN && p == casing_bits => p,
+        // Port missing or rewritten: trust the casing channel.
+        _ => casing_bits,
+    };
+    Some(((high as u32) << 16) | low)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn hex_ip_round_trip() {
+        for ip in [
+            Ipv4Addr::new(0, 0, 0, 0),
+            Ipv4Addr::new(192, 168, 0, 1),
+            Ipv4Addr::new(255, 255, 255, 255),
+            Ipv4Addr::new(11, 22, 33, 44),
+        ] {
+            assert_eq!(parse_hex_ip(&hex_ip(ip)), Some(ip));
+        }
+        assert_eq!(parse_hex_ip("zzzzzzzz"), None);
+        assert_eq!(parse_hex_ip("abcd"), None);
+    }
+
+    #[test]
+    fn enumeration_query_embeds_target() {
+        let target = Ipv4Addr::new(11, 0, 3, 7);
+        let (msg, name) = enumeration_query(target, "scan.gwild.example", 9);
+        assert_eq!(target_from_qname(&name), Some(target));
+        assert_eq!(msg.questions[0].qname, name);
+        // Deterministic per (target, seed).
+        let (msg2, _) = enumeration_query(target, "scan.gwild.example", 9);
+        assert_eq!(msg.header.id, msg2.header.id);
+        let (msg3, name3) = enumeration_query(Ipv4Addr::new(11, 0, 3, 8), "scan.gwild.example", 9);
+        assert_ne!(name.to_string(), name3.to_string());
+        let _ = msg3;
+    }
+
+    #[test]
+    fn probe_round_trip_via_port() {
+        for id in [0u32, 1, 0xffff, 0x10000, 0x1ffffff, 12_345_678] {
+            let p = encode_probe(id, "paypal.example");
+            let q = MessageBuilder::query(p.txid, p.qname.clone(), RecordType::A).build();
+            let resp = MessageBuilder::response_to(&q, dnswire::Rcode::NoError).build();
+            assert_eq!(decode_probe(&resp, Some(p.port_offset)), Some(id), "id={id}");
+        }
+    }
+
+    #[test]
+    fn probe_round_trip_with_rewritten_port() {
+        // The resolver answered to the wrong port: 0x20 casing rescues
+        // the high bits.
+        let id = 0x1A3_4567u32;
+        let p = encode_probe(id, "okcupid.example");
+        let q = MessageBuilder::query(p.txid, p.qname.clone(), RecordType::A).build();
+        let resp = MessageBuilder::response_to(&q, dnswire::Rcode::NoError).build();
+        assert_eq!(decode_probe(&resp, None), Some(id));
+        assert_eq!(decode_probe(&resp, Some(p.port_offset ^ 1)), Some(id));
+    }
+
+    #[test]
+    fn casing_survives_name_identity() {
+        let p = encode_probe(0x1ff_0000, "bet-at-home.example");
+        assert_eq!(p.qname, Name::parse("bet-at-home.example").unwrap());
+        assert_eq!(p.port_offset, 0x1ff);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 25 bits")]
+    fn oversized_id_rejected() {
+        let _ = encode_probe(1 << 25, "x.example");
+    }
+}

@@ -1,0 +1,40 @@
+//! # scanner — the measurement apparatus of the *Going Wild* reproduction
+//!
+//! Everything the paper's measurement side does, as code:
+//!
+//! * [`lfsr`] — maximal-length LFSRs and the polite address-space
+//!   permutation (Sec. 2.2).
+//! * [`encode`] — hex-IP scan names and the 25-bit resolver-identifier
+//!   encoding (16-bit TXID + 9-bit source port + 0x20 redundancy,
+//!   Sec. 3.3).
+//! * [`simio`] — the scanner's socket block over a simulated [`World`].
+//! * [`campaign`] — the campaigns: weekly enumeration (Fig. 1),
+//!   dual-vantage verification (Sec. 2.2), CHAOS software fingerprinting
+//!   (Table 3), TCP banner grabs (Table 4), cohort churn tracking
+//!   (Fig. 2), cache snooping (Sec. 2.6), the 155-domain scan
+//!   (Sec. 3.3), and HTTP(S)/mail data acquisition (Sec. 3.5).
+//! * [`tokio_scan`] — a real-socket (tokio UDP) driver implementing the
+//!   enumeration and domain probes against live resolvers; exercised on
+//!   loopback against `resolversim::tokioserve` fleets.
+//!
+//! [`World`]: worldgen::World
+
+pub mod blacklist;
+pub mod campaign;
+pub mod encode;
+pub mod lfsr;
+pub mod rate;
+pub mod simio;
+pub mod tokio_scan;
+
+pub use campaign::acquire::{acquire, acquire_trusted, resolve_at, Acquired, FetchedPage};
+pub use campaign::banner::{banner_scan, BannerObservation};
+pub use campaign::chaos::{chaos_scan, ChaosObservation};
+pub use campaign::churn::{track_cohort, ChurnResult};
+pub use campaign::domains::{scan_domains, scan_domains_streaming, TupleObs};
+pub use campaign::enumerate::{enumerate, EnumObservation, EnumerationResult};
+pub use campaign::snoop::{snoop_scan, SnoopResult, SnoopSample};
+pub use blacklist::Blacklist;
+pub use encode::{decode_probe, encode_probe, enumeration_query, target_from_qname};
+pub use lfsr::{IpPermutation, Lfsr};
+pub use rate::TokenBucket;

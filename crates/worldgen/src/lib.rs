@@ -1,0 +1,37 @@
+//! # worldgen — the synthetic Internet of the *Going Wild* reproduction
+//!
+//! This crate turns the paper's published measurements into a generative
+//! model: a [`WorldConfig`] (seed + scale) deterministically expands into
+//! a [`World`] — a populated [`netsim::Network`] whose resolver fleet
+//! matches the paper's distributions:
+//!
+//! * country populations and their 55-week fluctuation (Tables 1–2,
+//!   Figure 1), including the two dramatic ISP events (an Argentinean
+//!   telco at −97.8% and a South Korean ISP at −99.99%) and scanner-only
+//!   blacklisting by 21 networks;
+//! * DNS software and CHAOS answer mix (Table 3), device/OS classes and
+//!   TCP exposure (Table 4);
+//! * DHCP churn classes reproducing Figure 2's decay curve, with
+//!   dynamic-token rDNS on consumer pools (Sec. 2.5);
+//! * cache/utilization profiles for the snooping campaign (Sec. 2.6);
+//! * the full bogus-resolution ecology: censorship (34 countries, GFW
+//!   injection for CN), NXDOMAIN monetization, static/self/LAN
+//!   redirectors, ad manipulation, transparent proxies, phishing, mail
+//!   interception, malware droppers, parking (Secs. 3–4);
+//! * the 155-domain catalog in 13 categories plus the ground-truth
+//!   domain and the scanner's wildcard zone (Sec. 3.2).
+//!
+//! Everything is a pure function of `(seed, scale)`; the measurement
+//! pipeline must then *recover* these distributions without peeking —
+//! the ground-truth metadata ([`ResolverMeta`]) is exposed only for
+//! validation.
+
+pub mod catalog;
+pub mod builder;
+pub mod plan;
+pub mod world;
+
+pub use catalog::{CatalogDomain, DomainCatalog};
+pub use builder::build_world;
+pub use plan::{BehaviorKind, ChurnClass, CountryPlan, WorldConfig, COUNTRY_PLANS};
+pub use world::{ResolverMeta, World, WorldStats};

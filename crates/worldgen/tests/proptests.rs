@@ -1,0 +1,114 @@
+//! Property-based invariants of world generation: whatever the seed,
+//! a built world must be internally consistent — the oracle-blind
+//! pipeline depends on these invariants holding.
+
+use geodb::is_reserved;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use worldgen::{build_world, WorldConfig};
+
+proptest! {
+    // World building is the expensive step; a handful of seeds already
+    // exercises every allocation path.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Every resolver address is unique, inside the scannable space, and
+    /// never in reserved (RFC 5735) or scanner address space.
+    #[test]
+    fn resolver_addresses_are_valid_and_unique(seed in 1u64..1_000_000) {
+        let world = build_world(WorldConfig::tiny(seed));
+        let ranges = world.scannable_ranges().to_vec();
+        let mut seen = BTreeSet::new();
+        for meta in &world.resolvers {
+            let ip = meta.initial_ip;
+            prop_assert!(seen.insert(ip), "duplicate resolver address {ip}");
+            prop_assert!(!is_reserved(ip), "reserved address {ip}");
+            prop_assert!(
+                ip.octets()[0] != world.scanner_ip.octets()[0]
+                    && ip.octets()[0] != world.scanner2_ip.octets()[0],
+                "resolver {ip} inside a scanner /8"
+            );
+            let v = u32::from(ip);
+            prop_assert!(
+                ranges.iter().any(|&(lo, hi)| (u32::from(lo)..=u32::from(hi)).contains(&v)),
+                "resolver {ip} outside the allocated space"
+            );
+        }
+    }
+
+    /// The geo database agrees with the generator: every resolver's IP
+    /// maps back to the country the plan assigned it.
+    #[test]
+    fn geo_database_round_trips_country_assignment(seed in 1u64..1_000_000) {
+        let world = build_world(WorldConfig::tiny(seed));
+        for meta in &world.resolvers {
+            let geo_cc = world.geo.country(meta.initial_ip);
+            prop_assert_eq!(
+                geo_cc,
+                Some(meta.country),
+                "geo lookup for {} disagrees with the plan",
+                meta.initial_ip
+            );
+        }
+    }
+
+    /// The opt-out blacklist never covers measurement infrastructure,
+    /// and blacklisted resolvers are a small minority.
+    #[test]
+    fn blacklist_is_sane(seed in 1u64..1_000_000) {
+        let world = build_world(WorldConfig::tiny(seed));
+        let bl = |ip: std::net::Ipv4Addr| {
+            let v = u32::from(ip);
+            world
+                .blacklist_ranges
+                .iter()
+                .any(|&(lo, hi)| (u32::from(lo)..=u32::from(hi)).contains(&v))
+                || world.blacklist_singles.contains(&ip)
+        };
+        prop_assert!(!bl(world.scanner_ip));
+        prop_assert!(!bl(world.scanner2_ip));
+        prop_assert!(!bl(world.infra.authns_ip));
+        let blacklisted = world.resolvers.iter().filter(|m| bl(m.initial_ip)).count();
+        prop_assert!(
+            (blacklisted as f64) < 0.05 * world.resolvers.len() as f64,
+            "{blacklisted} of {} resolvers opted out",
+            world.resolvers.len()
+        );
+    }
+
+    /// World generation is a pure function of (seed, scale): two builds
+    /// with the same config agree on every resolver.
+    #[test]
+    fn builds_are_deterministic(seed in 1u64..1_000_000) {
+        let a = build_world(WorldConfig::tiny(seed));
+        let b = build_world(WorldConfig::tiny(seed));
+        prop_assert_eq!(a.resolvers.len(), b.resolvers.len());
+        for (x, y) in a.resolvers.iter().zip(&b.resolvers) {
+            prop_assert_eq!(x.initial_ip, y.initial_ip);
+            prop_assert_eq!(x.behavior, y.behavior);
+            prop_assert_eq!(x.country, y.country);
+            prop_assert_eq!(x.spawn_week, y.spawn_week);
+            prop_assert_eq!(x.retire_week, y.retire_week);
+        }
+        prop_assert_eq!(a.blacklist_ranges, b.blacklist_ranges);
+        prop_assert_eq!(a.infra.authns_ip, b.infra.authns_ip);
+    }
+
+    /// Different seeds shuffle the address layout but preserve the
+    /// calibrated aggregate: population within a few percent, same
+    /// country set.
+    #[test]
+    fn seeds_change_layout_not_calibration(seed in 1u64..1_000_000) {
+        let a = build_world(WorldConfig::tiny(seed));
+        let b = build_world(WorldConfig::tiny(seed.wrapping_add(7_919)));
+        let (na, nb) = (a.resolvers.len() as f64, b.resolvers.len() as f64);
+        prop_assert!(
+            (na - nb).abs() / na.max(nb) < 0.05,
+            "population diverged: {na} vs {nb}"
+        );
+        let countries = |w: &worldgen::World| -> BTreeSet<_> {
+            w.resolvers.iter().map(|m| m.country).collect()
+        };
+        prop_assert_eq!(countries(&a), countries(&b));
+    }
+}

@@ -1,0 +1,307 @@
+//! Integration tests: the generated world is internally consistent and
+//! exhibits the phenomena the measurement pipeline must recover.
+
+use dnswire::{Message, MessageBuilder, Name, RecordType};
+use netsim::{Datagram, SimTime};
+use std::sync::atomic::Ordering;
+use worldgen::{build_world, BehaviorKind, WorldConfig};
+
+fn tiny_world() -> worldgen::World {
+    build_world(WorldConfig::tiny(42))
+}
+
+#[test]
+fn build_is_deterministic() {
+    let a = build_world(WorldConfig::tiny(7));
+    let b = build_world(WorldConfig::tiny(7));
+    assert_eq!(a.stats, b.stats);
+    let ips_a: Vec<_> = a.resolvers.iter().take(50).map(|m| m.initial_ip).collect();
+    let ips_b: Vec<_> = b.resolvers.iter().take(50).map(|m| m.initial_ip).collect();
+    assert_eq!(ips_a, ips_b);
+    let kinds_a: Vec<_> = a.resolvers.iter().take(200).map(|m| m.behavior).collect();
+    let kinds_b: Vec<_> = b.resolvers.iter().take(200).map(|m| m.behavior).collect();
+    assert_eq!(kinds_a, kinds_b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = build_world(WorldConfig::tiny(1));
+    let b = build_world(WorldConfig::tiny(2));
+    let ips_a: Vec<_> = a.resolvers.iter().take(200).map(|m| m.behavior).collect();
+    let ips_b: Vec<_> = b.resolvers.iter().take(200).map(|m| m.behavior).collect();
+    assert_ne!(ips_a, ips_b);
+}
+
+#[test]
+fn population_scales() {
+    let w = tiny_world();
+    // 26.8M × 0.0001 ≈ 2.7k NOERROR plus REFUSED/SERVFAIL riders; small
+    // countries are clamped up, so allow generous bounds.
+    assert!(w.stats.resolvers > 2_000, "{}", w.stats.resolvers);
+    assert!(w.stats.resolvers < 8_000, "{}", w.stats.resolvers);
+    assert!(w.stats.pools > 100);
+    let counts = w.alive_counts();
+    let noerror = counts[&worldgen::world::ResponseClass::NoError];
+    let refused = counts[&worldgen::world::ResponseClass::Refused];
+    assert!(noerror > refused * 5, "noerror={noerror} refused={refused}");
+}
+
+#[test]
+fn resolvers_bound_and_answering() {
+    let mut w = tiny_world();
+    // Find an honest, initially-alive resolver and query it.
+    let meta = w
+        .resolvers
+        .iter()
+        .find(|m| m.behavior == BehaviorKind::Honest && m.spawn_week == 0)
+        .expect("some honest resolver");
+    let ip = w.resolver_ip(meta).unwrap();
+    let sock = w.net.open_socket(w.scanner_ip, 40_000);
+    let q = MessageBuilder::query(0xAB, Name::parse("paypal.example").unwrap(), RecordType::A)
+        .build();
+    w.net
+        .send_udp(Datagram::new(w.scanner_ip, 40_000, ip, 53, q.encode()));
+    w.net.run_until(SimTime::from_secs(5));
+    let (_, resp) = w.net.recv(sock).expect("answer from resolver");
+    let msg = Message::decode(&resp.payload).unwrap();
+    assert_eq!(msg.header.id, 0xAB);
+    let legit = &w.infra.legit_ips["paypal.example"];
+    assert!(msg.answer_ips().iter().all(|i| legit.contains(i)));
+}
+
+#[test]
+fn gfw_injects_for_social_media_queries_into_cn() {
+    let mut w = tiny_world();
+    let meta = w
+        .resolvers
+        .iter()
+        .find(|m| m.country == geodb::Country::new("CN") && m.spawn_week == 0)
+        .expect("CN resolver");
+    let ip = w.resolver_ip(meta).unwrap();
+    let sock = w.net.open_socket(w.scanner_ip, 40_001);
+    let q = MessageBuilder::query(0xCD, Name::parse("facebook.example").unwrap(), RecordType::A)
+        .build();
+    w.net
+        .send_udp(Datagram::new(w.scanner_ip, 40_001, ip, 53, q.encode()));
+    w.net.run_until(SimTime::from_secs(5));
+    let replies = w.net.recv_all(sock);
+    assert!(!replies.is_empty(), "GFW must inject even if the resolver is mute");
+    let msg = Message::decode(&replies[0].1.payload).unwrap();
+    let legit = &w.infra.legit_ips["facebook.example"];
+    assert!(
+        msg.answer_ips().iter().all(|i| !legit.contains(i)),
+        "first answer must be forged"
+    );
+}
+
+#[test]
+fn gfw_answers_even_unbound_cn_space() {
+    // The paper's verification probe: random CN addresses "answer" for
+    // censored names.
+    let mut w = tiny_world();
+    let (lo, _hi, _) = w
+        .geo
+        .blocks_iter()
+        .find(|(_, _, b)| b.country == geodb::Country::new("CN"))
+        .map(|(a, b, c)| (a, b, c.clone()))
+        .expect("CN block");
+    // Use the block's last address — likely pool slack, often unbound.
+    let probe_ip = lo;
+    let sock = w.net.open_socket(w.scanner_ip, 40_002);
+    let q = MessageBuilder::query(1, Name::parse("twitter.example").unwrap(), RecordType::A)
+        .build();
+    w.net
+        .send_udp(Datagram::new(w.scanner_ip, 40_002, probe_ip, 53, q.encode()));
+    w.net.run_until(SimTime::from_secs(5));
+    let replies = w.net.recv_all(sock);
+    assert!(!replies.is_empty());
+}
+
+#[test]
+fn churn_moves_resolvers_within_weeks() {
+    let mut w = tiny_world();
+    let initial: Vec<_> = w
+        .resolvers
+        .iter()
+        .filter(|m| m.response_class == worldgen::world::ResponseClass::NoError)
+        .take(500)
+        .map(|m| (m.host, m.initial_ip))
+        .collect();
+    w.advance_to_week(1);
+    let moved = initial
+        .iter()
+        .filter(|(host, ip0)| {
+            let now = w.net.ips_of(*host).first().copied();
+            now != Some(*ip0)
+        })
+        .count();
+    let frac = moved as f64 / initial.len() as f64;
+    assert!(
+        (0.30..0.75).contains(&frac),
+        "week-1 churn fraction {frac} (paper: 52.2%)"
+    );
+}
+
+#[test]
+fn lifecycle_events_fire() {
+    let mut w = tiny_world();
+    let retiring: Vec<usize> = w
+        .resolvers
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.retire_week == Some(2))
+        .map(|(i, _)| i)
+        .collect();
+    if retiring.is_empty() {
+        // Tiny world may have no week-2 retirees; at least check spawn.
+        return;
+    }
+    for &i in &retiring {
+        assert!(w.resolvers[i].alive.load(Ordering::Relaxed));
+    }
+    w.advance_to_week(3);
+    for &i in &retiring {
+        assert!(!w.resolvers[i].alive.load(Ordering::Relaxed));
+    }
+}
+
+#[test]
+fn noerror_population_declines_over_year() {
+    let mut w = tiny_world();
+    let at = |w: &worldgen::World| {
+        w.alive_counts()
+            .get(&worldgen::world::ResponseClass::NoError)
+            .copied()
+            .unwrap_or(0)
+    };
+    let start = at(&w);
+    w.advance_to_week(54);
+    let end = at(&w);
+    let decline = 1.0 - end as f64 / start as f64;
+    assert!(
+        (0.15..0.50).contains(&decline),
+        "decline {decline} (paper: ≈0.34)"
+    );
+}
+
+#[test]
+fn universe_covers_catalog() {
+    let w = tiny_world();
+    for d in &w.catalog.domains {
+        if d.exists {
+            assert!(
+                w.universe.record(&d.name).is_some(),
+                "{} missing from universe",
+                d.name
+            );
+            assert!(
+                w.infra.legit_ips.contains_key(&d.name),
+                "{} missing oracle ips",
+                d.name
+            );
+        } else {
+            assert!(w.universe.record(&d.name).map(|r| matches!(r.kind, resolversim::DomainKind::NonExistent)).unwrap_or(true));
+        }
+    }
+}
+
+#[test]
+fn geo_and_rdns_cover_resolvers() {
+    let w = tiny_world();
+    let mut geo_hits = 0;
+    let mut rdns_hits = 0;
+    for m in w.resolvers.iter().take(1000) {
+        if w.geo.country(m.initial_ip) == Some(m.country) {
+            geo_hits += 1;
+        }
+        if w.rdns.lookup(m.initial_ip).is_some() {
+            rdns_hits += 1;
+        }
+    }
+    let n = w.resolvers.len().min(1000);
+    assert!(geo_hits as f64 / n as f64 > 0.95, "geo hits {geo_hits}/{n}");
+    assert!(rdns_hits > n / 4, "rdns hits {rdns_hits}/{n}");
+}
+
+#[test]
+fn infra_groups_nonempty() {
+    let w = tiny_world();
+    assert_eq!(w.infra.proxy_tls_ips.len(), 10);
+    assert_eq!(w.infra.proxy_http_ips.len(), 10);
+    assert_eq!(w.infra.phish_ips.len(), 39);
+    assert_eq!(w.infra.malware_update_ips.len(), 30);
+    assert!(w.infra.landing_ips.len() >= 30, "{}", w.infra.landing_ips.len());
+    let landing_total: usize = {
+        // EE aliases RU's pages; count distinct IPs.
+        let mut all: Vec<_> = w
+            .infra
+            .landing_ips
+            .values()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    };
+    assert!((250..=320).contains(&landing_total), "landing={landing_total}");
+    assert_eq!(w.infra.cdn_default_cns.len(), 2);
+}
+
+#[test]
+fn behavior_population_includes_case_studies() {
+    let w = build_world(WorldConfig::tiny(11));
+    let count = |k: BehaviorKind| w.resolvers.iter().filter(|m| m.behavior == k).count();
+    assert!(count(BehaviorKind::ProxyHttp) >= 1);
+    assert!(count(BehaviorKind::PhishPaypal) >= 1);
+    assert!(count(BehaviorKind::NxMonetizer) > 50);
+    assert!(count(BehaviorKind::StaticError) > 10);
+    assert!(count(BehaviorKind::Honest) > w.resolvers.len() / 3);
+    // CN censorship dominates CN population.
+    let cn: Vec<_> = w
+        .resolvers
+        .iter()
+        .filter(|m| {
+            m.country == geodb::Country::new("CN")
+                && m.response_class == worldgen::world::ResponseClass::NoError
+        })
+        .collect();
+    let poisoned = cn
+        .iter()
+        .filter(|m| {
+            matches!(
+                m.behavior,
+                BehaviorKind::GfwPoisoned | BehaviorKind::GfwEscape
+            )
+        })
+        .count();
+    assert!(
+        poisoned as f64 / cn.len() as f64 > 0.5,
+        "GFW-poisoned {poisoned}/{}",
+        cn.len()
+    );
+}
+
+#[test]
+fn blacklist_covers_ranges_and_singles() {
+    let w = tiny_world();
+    assert!(!w.blacklist_ranges.is_empty(), "opt-out ranges exist");
+    assert!(!w.blacklist_singles.is_empty(), "individual opt-outs exist");
+    // Blacklisted space is a small fraction of the scannable space.
+    let bl: u64 = w
+        .blacklist_ranges
+        .iter()
+        .map(|(a, b)| (u32::from(*b) - u32::from(*a) + 1) as u64)
+        .sum();
+    assert!(bl * 10 < w.scannable_size(), "blacklist {bl} too large");
+}
+
+#[test]
+fn scannable_space_is_compact() {
+    let w = tiny_world();
+    let size = w.scannable_size();
+    assert!(size > w.stats.resolvers as u64, "space must hold the fleet");
+    assert!(
+        size < 60 * w.stats.resolvers as u64,
+        "space {size} too sparse to scan"
+    );
+}

@@ -1,0 +1,46 @@
+//! A censorship audit from the client's viewpoint (Secs. 3–4): scan a
+//! censorship-heavy domain set at every open resolver, prefilter,
+//! fetch content, cluster, and report who is redirected where.
+//!
+//! Run with: `cargo run --release --example censorship_audit`
+
+use goingwild::{report, run_analysis, AnalysisOptions, WorldConfig};
+use worldgen::build_world;
+
+fn main() {
+    let mut world = build_world(WorldConfig::tiny(2015));
+    let opts = AnalysisOptions {
+        domains: Some(
+            [
+                "facebook.example",
+                "twitter.example",
+                "youtube.example",
+                "youporn.example",
+                "adultfinder.example",
+                "bet-at-home.example",
+                "blogspot.example",
+                "rotten.example",
+                "okcupid.example",
+                "gt.gwild.example",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        ),
+        ..Default::default()
+    };
+    let analysis = run_analysis(&mut world, &opts);
+    println!("{}", report::render_analysis(&analysis));
+
+    println!("Per-country compliance for youporn.example:");
+    for cc in ["TR", "ID", "MY", "US", "DE", "MN"] {
+        let rate = analysis
+            .censorship
+            .compliance
+            .rate(geodb::Country::new(cc), &["youporn.example"]);
+        match rate {
+            Some(r) => println!("  {cc}: {:.1}% of resolvers censor", 100.0 * r),
+            None => println!("  {cc}: no data"),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The Section 2 landscape survey: weekly scans, country/RIR
+//! fluctuation, software fingerprinting, and device classification.
+//!
+//! Run with: `cargo run --release --example landscape_survey [weeks]`
+
+use goingwild::experiments::{
+    fig1_weekly_counts, table1_country_flux, table2_rir_flux, table3_software, table4_devices,
+};
+use goingwild::{report, WorldConfig};
+use scanner::enumerate;
+use worldgen::build_world;
+
+fn main() {
+    let weeks: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let cfg = WorldConfig::tiny(7);
+
+    println!("== Figure 1: weekly scans ({weeks} weeks) ==");
+    let fig1 = fig1_weekly_counts(cfg.clone(), weeks);
+    println!("{}", report::render_fig1(&fig1));
+
+    println!("== Table 1: country fluctuation ==");
+    println!(
+        "{}",
+        report::render_flux("Top 10 countries", &table1_country_flux(&fig1, 10))
+    );
+
+    println!("== Table 2: RIR fluctuation ==");
+    println!("{}", report::render_flux("Registries", &table2_rir_flux(&fig1)));
+
+    // Software + devices on a fresh world snapshot.
+    let mut world = build_world(cfg);
+    let vantage = world.scanner_ip;
+    let fleet = enumerate(&mut world, vantage, 3).noerror_ips();
+
+    println!("== Table 3: CHAOS software fingerprinting ==");
+    let t3 = table3_software(&mut world, &fleet, 3);
+    println!("{}", report::render_table3(&t3));
+
+    println!("== Table 4: device fingerprinting ==");
+    let t4 = table4_devices(&mut world, &fleet);
+    println!("{}", report::render_table4(&t4));
+}

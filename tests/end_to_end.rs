@@ -1,0 +1,225 @@
+//! Full-pipeline integration test: build a tiny world, run the complete
+//! Sections 3–4 analysis over a representative domain subset, and check
+//! that the recovered phenomena match the generated ground truth in
+//! *shape* (who wins, by roughly what factor).
+
+use goingwild::{run_analysis, AnalysisOptions, WorldConfig};
+use worldgen::build_world;
+
+fn domain_subset() -> Vec<String> {
+    [
+        // Social media (CN/IR censorship, Figure 4).
+        "facebook.example",
+        "twitter.example",
+        "youtube.example",
+        // Adult + gambling + dating (landing-page censorship).
+        "youporn.example",
+        "adultfinder.example",
+        "bet-at-home.example",
+        "okcupid.example",
+        // Banking (phishing targets).
+        "paypal.example",
+        "bancaditalia.example",
+        // Ads (injection case study).
+        "adnet-one.example",
+        // Mail.
+        "smtp.gmail.example",
+        // NX (monetization).
+        "qzxkjv.example",
+        "amason.example",
+        // Malware (blocking + parking) and fake updates.
+        "irc.zief.example",
+        "cn-dropzone.example",
+        "update.adobe.example",
+        // Filesharing (torproject parking).
+        "torproject.example",
+        // Ground truth.
+        "gt.gwild.example",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn full_pipeline_recovers_the_paper_phenomena() {
+    let mut world = build_world(WorldConfig::tiny(20151028));
+    let opts = AnalysisOptions {
+        domains: Some(domain_subset()),
+        cluster_cap: 1_500,
+        ..Default::default()
+    };
+    let report = run_analysis(&mut world, &opts);
+
+    // ---- Fleet ----
+    assert!(report.fleet_size > 2_000, "fleet {}", report.fleet_size);
+
+    // ---- Prefiltering shape (Sec. 4.1) ----
+    // Banking: overwhelmingly legitimate, small unexpected tail.
+    let banking = &report.per_category["Banking"];
+    assert!(
+        banking.legit_share() > 0.80,
+        "banking legit {}",
+        banking.legit_share()
+    );
+    assert!(
+        banking.unexpected_share() < 0.15,
+        "banking unexpected {}",
+        banking.unexpected_share()
+    );
+    // Adult: censorship pushes the unexpected share far above banking's.
+    let adult = &report.per_category["Adult"];
+    assert!(
+        adult.unexpected_share() > banking.unexpected_share() * 2.0,
+        "adult {} vs banking {}",
+        adult.unexpected_share(),
+        banking.unexpected_share()
+    );
+    // NX: monetizers answer where NXDOMAIN is expected (paper: 13.7%).
+    let nx = &report.per_category["NX"];
+    assert!(
+        nx.unexpected_share() > 0.04,
+        "nx unexpected {}",
+        nx.unexpected_share()
+    );
+    // Ground truth: never censored, never monetized.
+    let gt = &report.per_category["GroundTr."];
+    assert!(gt.legit_share() > 0.85, "gt legit {}", gt.legit_share());
+
+    // ---- Figure 4: China dominates social-media manipulation ----
+    let cn = report.fig4.unexpected_share("CN");
+    assert!(cn > 0.45, "CN unexpected share {cn} (paper: 83.6%)");
+    let ir = report.fig4.unexpected_share("IR");
+    assert!(ir > 0.02, "IR unexpected share {ir} (paper: 12.9%)");
+    assert!(cn > ir, "CN must dominate IR");
+    // The ALL distribution is far less concentrated than the
+    // unexpected one (Figure 4-a vs 4-b).
+    let total_all: u64 = report.fig4.all.values().sum();
+    let cn_all = *report.fig4.all.get("CN").unwrap_or(&0) as f64 / total_all.max(1) as f64;
+    assert!(cn_all < 0.25, "CN all-responses share {cn_all}");
+
+    // ---- Censorship ----
+    assert!(
+        report.censorship.landing.ip_count() >= 10,
+        "landing IPs {}",
+        report.censorship.landing.ip_count()
+    );
+    assert!(
+        report.censorship.landing.country_count() >= 4,
+        "landing countries {}",
+        report.censorship.landing.country_count()
+    );
+    // GFW double responses (forged first, legit later) exist.
+    assert!(
+        !report.censorship.doubles.forged_then_legit.is_empty(),
+        "expected GFW-escape double responses"
+    );
+    // Compliance: Turkey censors youporn at a high rate; the US does not.
+    let tr = geodb::Country::new("TR");
+    let us = geodb::Country::new("US");
+    let tr_rate = report
+        .censorship
+        .compliance
+        .rate(tr, &["youporn.example"])
+        .unwrap_or(0.0);
+    assert!(tr_rate > 0.5, "TR youporn censorship rate {tr_rate} (paper: ~90%)");
+    let us_rate = report
+        .censorship
+        .compliance
+        .rate(us, &["youporn.example"])
+        .unwrap_or(0.0);
+    assert!(us_rate < 0.2, "US youporn censorship rate {us_rate}");
+
+    // ---- Table 5 shape ----
+    let row = |cat: &str| {
+        report
+            .table5
+            .iter()
+            .find(|r| r.category == cat)
+            .unwrap_or_else(|| panic!("missing table5 row {cat}"))
+    };
+    let adult_row = row("Adult");
+    let (cens_avg, cens_max) = adult_row.shares["Censorship"];
+    assert!(cens_avg > 25.0, "adult censorship avg {cens_avg}% (paper: 88.6%)");
+    assert!(cens_max > 40.0, "adult censorship max {cens_max}% (paper: 91.3%)");
+    let banking_row = row("Banking");
+    let (bank_err, _) = banking_row.shares["HTTP Error"];
+    let (bank_cens, _) = banking_row.shares["Censorship"];
+    assert!(
+        bank_err > bank_cens,
+        "banking: errors ({bank_err}) should dominate censorship ({bank_cens})"
+    );
+
+    // ---- Case studies ----
+    let cases = &report.cases;
+    assert!(
+        !cases.proxies.http_only_proxy_ips.is_empty(),
+        "HTTP-only proxies must be found"
+    );
+    assert!(
+        cases.proxies.resolvers_via_http_only.len() >= cases.proxies.resolvers_via_tls.len(),
+        "HTTP-only proxy population dominates (paper: 10,179 vs 99)"
+    );
+    assert!(!cases.phishing.is_empty(), "phishing kits must be found");
+    assert!(
+        cases
+            .phishing
+            .iter()
+            .any(|f| f.domain == "paypal.example"
+                && f.evidence.iter().any(|e| e.contains("image-kit"))),
+        "the 46-image PayPal kit must be detected: {:?}",
+        cases.phishing
+    );
+    assert!(
+        !cases.mail.listening_ips.is_empty(),
+        "mail interception must be found"
+    );
+    assert!(
+        !cases.ads.by_class.is_empty(),
+        "ad manipulation must be found for adnet-one.example"
+    );
+    assert!(
+        !cases.malware.dropper_ips.is_empty(),
+        "fake-update droppers must be found"
+    );
+
+    // ---- Acquisition coverage ----
+    assert!(
+        report.http_share > 0.5,
+        "HTTP share {} (paper: 88.9%)",
+        report.http_share
+    );
+    assert!(report.clusters >= 5, "clusters {}", report.clusters);
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let domains: Vec<String> = vec![
+        "facebook.example".into(),
+        "paypal.example".into(),
+        "qzxkjv.example".into(),
+        "gt.gwild.example".into(),
+    ];
+    let run = || {
+        let mut world = build_world(WorldConfig::tiny(77));
+        let opts = AnalysisOptions {
+            domains: Some(domains.clone()),
+            ..Default::default()
+        };
+        let r = run_analysis(&mut world, &opts);
+        (
+            r.fleet_size,
+            r.per_category.clone(),
+            r.fig4.unexpected.clone(),
+            r.clusters,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+    let cats_a: Vec<_> = a.1.iter().map(|(k, v)| (k.clone(), v.responses, v.unexpected)).collect();
+    let cats_b: Vec<_> = b.1.iter().map(|(k, v)| (k.clone(), v.responses, v.unexpected)).collect();
+    assert_eq!(cats_a, cats_b);
+}

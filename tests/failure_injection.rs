@@ -1,0 +1,95 @@
+//! Failure-injection tests: the measurement campaigns must degrade
+//! gracefully — not break — when the network drops packets.
+//!
+//! The enumeration scan sends exactly one probe per address (Sec. 2.2),
+//! so with UDP loss probability `p` a round trip survives with
+//! probability `(1-p)²` and the observed fleet shrinks accordingly.
+
+use goingwild::{run_analysis, AnalysisOptions, WorldConfig};
+use scanner::enumerate;
+use worldgen::build_world;
+
+const SEED: u64 = 20151028;
+
+fn lossy_cfg(udp_loss: f64) -> WorldConfig {
+    WorldConfig {
+        udp_loss,
+        ..WorldConfig::tiny(SEED)
+    }
+}
+
+#[test]
+fn enumeration_under_loss_shrinks_by_the_round_trip_survival_rate() {
+    let baseline = {
+        let mut world = build_world(lossy_cfg(0.0));
+        let vantage = world.scanner_ip;
+        enumerate(&mut world, vantage, SEED).counts()["ALL"]
+    };
+    let p = 0.05;
+    let lossy = {
+        let mut world = build_world(lossy_cfg(p));
+        let vantage = world.scanner_ip;
+        enumerate(&mut world, vantage, SEED).counts()["ALL"]
+    };
+    let expected = (1.0 - p) * (1.0 - p);
+    let observed = lossy as f64 / baseline as f64;
+    // Within ±3 percentage points of the analytic survival rate.
+    assert!(
+        (observed - expected).abs() < 0.03,
+        "observed survival {observed:.4}, expected ≈{expected:.4} \
+         ({lossy} of {baseline} hosts)"
+    );
+}
+
+#[test]
+fn heavier_loss_loses_more_hosts_monotonically() {
+    let fleet_at = |p: f64| {
+        let mut world = build_world(lossy_cfg(p));
+        let vantage = world.scanner_ip;
+        enumerate(&mut world, vantage, SEED).noerror_ips().len()
+    };
+    let f0 = fleet_at(0.0);
+    let f5 = fleet_at(0.05);
+    let f20 = fleet_at(0.20);
+    assert!(f0 > f5, "{f0} > {f5}");
+    assert!(f5 > f20, "{f5} > {f20}");
+    // Even at 20% loss the scan still finds the majority of the fleet.
+    assert!(
+        f20 as f64 > 0.5 * f0 as f64,
+        "20% loss must not halve the fleet: {f20} of {f0}"
+    );
+}
+
+#[test]
+fn analysis_pipeline_survives_packet_loss() {
+    // The full Sections 3–4 pipeline on a lossy network: fewer tuples,
+    // same phenomena. TCP fetches already retry; DNS tuples that drop
+    // simply vanish from the tuple set.
+    let mut world = build_world(lossy_cfg(0.05));
+    let domains: Vec<String> = vec![
+        "facebook.example".into(),
+        "youporn.example".into(),
+        "paypal.example".into(),
+        "qzxkjv.example".into(),
+        "gt.gwild.example".into(),
+    ];
+    let opts = AnalysisOptions {
+        domains: Some(domains),
+        cluster_cap: 1_000,
+        ..Default::default()
+    };
+    let report = run_analysis(&mut world, &opts);
+    assert!(report.fleet_size > 1_000, "fleet {}", report.fleet_size);
+    // Ground truth stays overwhelmingly legitimate even under loss.
+    let gt = &report.per_category["GroundTr."];
+    assert!(gt.legit_share() > 0.85, "gt legit {}", gt.legit_share());
+    // Censorship is still visible.
+    assert!(
+        report.censorship.landing.ip_count() >= 5,
+        "landing IPs {}",
+        report.censorship.landing.ip_count()
+    );
+    // China still dominates social-media manipulation.
+    let cn = report.fig4.unexpected_share("CN");
+    assert!(cn > 0.4, "CN unexpected share {cn}");
+}
