@@ -14,7 +14,10 @@ fn pages(n: usize) -> Vec<PageFeatures> {
             0 => gen::legit_site(SiteCategory::Banking, &PageCtx::new("b.example", i as u64)),
             1 => gen::http_error(404, &PageCtx::new("e.example", i as u64)),
             2 => gen::parking_page("parkco", &PageCtx::new(&format!("d{i}.example"), i as u64)),
-            _ => gen::router_login(gen::RouterVendor::ZyRouter, &PageCtx::new("r.local", i as u64)),
+            _ => gen::router_login(
+                gen::RouterVendor::ZyRouter,
+                &PageCtx::new("r.local", i as u64),
+            ),
         };
         out.push(PageFeatures::extract(&html, &mut interner));
     }

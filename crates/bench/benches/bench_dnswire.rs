@@ -12,8 +12,16 @@ fn bench_codec(c: &mut Criterion) {
     )
     .build();
     let response = MessageBuilder::response_to(&query, Rcode::NoError)
-        .answer_a(query.questions[0].qname.clone(), 300, Ipv4Addr::new(198, 51, 100, 1))
-        .answer_a(query.questions[0].qname.clone(), 300, Ipv4Addr::new(198, 51, 100, 2))
+        .answer_a(
+            query.questions[0].qname.clone(),
+            300,
+            Ipv4Addr::new(198, 51, 100, 1),
+        )
+        .answer_a(
+            query.questions[0].qname.clone(),
+            300,
+            Ipv4Addr::new(198, 51, 100, 2),
+        )
         .build();
     let wire = response.encode();
 

@@ -40,10 +40,7 @@ fn bench_lfsr(c: &mut Criterion) {
     // Politeness ablation printed once (criterion has no table output).
     let small = [(Ipv4Addr::new(11, 0, 0, 0), Ipv4Addr::new(11, 0, 15, 255))];
     let burst_perm = max_slash24_burst(IpPermutation::new(&small, 42), 64);
-    let burst_seq = max_slash24_burst(
-        (0x0B000000u32..=0x0B000FFF).map(Ipv4Addr::from),
-        64,
-    );
+    let burst_seq = max_slash24_burst((0x0B000000u32..=0x0B000FFF).map(Ipv4Addr::from), 64);
     eprintln!("[A-ABL5] worst per-/24 burst in a 64-probe window: LFSR={burst_perm} sequential={burst_seq}");
 }
 

@@ -1,0 +1,198 @@
+//! scanstore throughput: segment writes, diff-cursor reads, and the
+//! delta-encoded format's compression ratio against naive JSON lines.
+//!
+//! Beyond the criterion timings printed to stdout, `main` re-measures
+//! each figure single-shot and dumps a machine-readable summary to
+//! `BENCH_scanstore.json` at the workspace root.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use scanstore::{CampaignStore, Observation, SnapshotSink, SnapshotSource};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const PER_WEEK: u32 = 20_000;
+const WEEKS: u32 = 8;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let path =
+            std::env::temp_dir().join(format!("gw-bench-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One week's worth of observations over a slowly drifting population:
+/// ~1/7 of addresses rotate out each week, mirroring the churn the
+/// weekly enumeration campaign produces.
+fn synth_week(store: &mut dyn SnapshotSink, week: u32, per_week: u32) {
+    let software = store.intern("dnsmasq-2.51");
+    let country = store.intern("CN");
+    for i in 0..per_week {
+        let ip = 0x0a00_0000 + i * 11;
+        if (ip as u64 + week as u64) % 7 == 0 {
+            continue; // rotated out this week
+        }
+        let mut obs = Observation::at(ip, 0, 1_000_000 + week as u64 * 604_800_000);
+        obs.software = software;
+        obs.country = country;
+        obs.banner_hash = (ip as u64) << 7 | week as u64;
+        store.observe(obs);
+    }
+    store
+        .commit(&format!("week-{week}"), week as u64 * 604_800_000, &[])
+        .expect("commit");
+}
+
+fn populate(dir: &Path, weeks: u32, per_week: u32) -> CampaignStore {
+    let mut store = CampaignStore::open(dir).expect("open store");
+    for week in 0..weeks {
+        synth_week(&mut store, week, per_week);
+    }
+    store
+}
+
+fn bench_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scanstore_write");
+    g.sample_size(10);
+    for &per_week in &[2_000u32, PER_WEEK] {
+        g.throughput(Throughput::Elements(per_week as u64 * WEEKS as u64));
+        g.bench_with_input(
+            BenchmarkId::new("commit_weeks", per_week),
+            &per_week,
+            |b, &per_week| {
+                b.iter_with_setup(
+                    || TempDir::new("write"),
+                    |tmp| {
+                        populate(&tmp.0, WEEKS, per_week);
+                        tmp
+                    },
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let tmp = TempDir::new("read");
+    let store = populate(&tmp.0, WEEKS, PER_WEEK);
+    let live: u64 = (0..WEEKS - 1)
+        .map(|w| store.diff(w).unwrap().upserts.len() as u64)
+        .sum();
+
+    let mut g = c.benchmark_group("scanstore_read");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(live));
+    g.bench_function("diff_cursor", |b| {
+        b.iter(|| {
+            let mut upserts = 0u64;
+            for seq in 0..store.snapshot_count() - 1 {
+                let d = store.diff(seq).expect("diff");
+                upserts += d.upserts.len() as u64;
+            }
+            upserts
+        })
+    });
+    g.bench_function("snapshot_scan", |b| {
+        b.iter(|| {
+            let mut records = 0u64;
+            store
+                .for_each_snapshot(&mut |snap| {
+                    records += snap.records.len() as u64;
+                    Ok(())
+                })
+                .expect("scan");
+            records
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_write, bench_read);
+
+#[derive(serde::Serialize)]
+struct Rate {
+    records: u64,
+    seconds: f64,
+    records_per_sec: f64,
+}
+
+impl Rate {
+    fn new(records: u64, seconds: f64) -> Rate {
+        Rate {
+            records,
+            seconds,
+            records_per_sec: records as f64 / seconds,
+        }
+    }
+}
+
+#[derive(serde::Serialize)]
+struct Summary {
+    bench: &'static str,
+    weeks: u32,
+    records_per_week: u32,
+    write: Rate,
+    diff_cursor: Rate,
+    snapshot_scan: Rate,
+    store_bytes: u64,
+    json_lines_bytes: u64,
+    compression_ratio_vs_json: f64,
+}
+
+/// Single-shot re-measurement feeding `BENCH_scanstore.json`.
+fn summary() -> Summary {
+    let tmp = TempDir::new("summary");
+    let start = Instant::now();
+    let store = populate(&tmp.0, WEEKS, PER_WEEK);
+    let write_secs = start.elapsed().as_secs_f64();
+    let stats = store.stats();
+
+    let start = Instant::now();
+    let mut upserts = 0u64;
+    for seq in 0..store.snapshot_count() - 1 {
+        upserts += store.diff(seq).expect("diff").upserts.len() as u64;
+    }
+    let diff_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut records = 0u64;
+    store
+        .for_each_snapshot(&mut |snap| {
+            records += snap.records.len() as u64;
+            Ok(())
+        })
+        .expect("scan");
+    let scan_secs = start.elapsed().as_secs_f64();
+
+    Summary {
+        bench: "scanstore",
+        weeks: WEEKS,
+        records_per_week: PER_WEEK,
+        write: Rate::new(stats.upserts_total, write_secs),
+        diff_cursor: Rate::new(upserts, diff_secs),
+        snapshot_scan: Rate::new(records, scan_secs),
+        store_bytes: stats.bytes_written,
+        json_lines_bytes: stats.json_bytes_equiv,
+        compression_ratio_vs_json: stats.compression_ratio,
+    }
+}
+
+fn main() {
+    benches();
+    let summary = summary();
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scanstore.json");
+    let mut text = serde_json::to_string(&summary).expect("serialize");
+    text.push('\n');
+    std::fs::write(&out, text).expect("write BENCH_scanstore.json");
+    println!("wrote {}", out.display());
+}

@@ -3,20 +3,25 @@
 //! ```text
 //! repro --exp all  --scale 0.001 --weeks 55 --seed 20151028
 //! repro --exp fig1 --weeks 12
-//! repro --exp tab5
-//! repro --exp ablations
+//! repro --exp fig1 --store runs/main   # collect once, re-serve from disk
+//! repro --list
 //! ```
 //!
-//! Experiment ids: fig1, tab1, tab2, tab3, tab4, fig2, util, verify,
-//! analysis (= prefilter + tab5 + fig4 + censorship + cases),
-//! closedloop (generated vs recovered), ablations, all.
+//! `--list` enumerates every experiment id. With `--store <dir>` the
+//! fig1/tab1/tab2/fig2/tab3 campaigns persist their snapshots in a
+//! [`scanstore::CampaignStore`] under `<dir>`: the first run collects
+//! (resuming from the last committed segment if a previous run was
+//! killed), subsequent runs serve the figures from disk without
+//! re-simulation.
 
 use goingwild::experiments::{
-    self, fig1_weekly_counts, fig2_churn, table1_country_flux, table2_rir_flux, table3_software,
-    table4_devices, utilization,
+    self, fig1_weekly_counts, fig2_churn, known_experiment, table1_country_flux, table2_rir_flux,
+    table3_software, table4_devices, utilization, EXPERIMENTS,
 };
 use goingwild::{report, run_analysis, AnalysisOptions, WorldConfig};
 use scanner::enumerate;
+use scanstore::StoreStats;
+use std::path::PathBuf;
 use worldgen::build_world;
 
 struct Args {
@@ -27,6 +32,21 @@ struct Args {
     snoop_sample: usize,
     /// Also dump machine-readable reports to this JSON file.
     json: Option<String>,
+    /// Persist campaign snapshots under this directory.
+    store: Option<PathBuf>,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("run `repro --list` for the experiment ids, or see --help in the crate docs");
+    std::process::exit(2);
+}
+
+fn print_experiment_list() {
+    println!("experiment ids accepted by --exp (plus `all`):");
+    for (id, what) in EXPERIMENTS {
+        println!("  {id:<10} {what}");
+    }
 }
 
 fn parse_args() -> Args {
@@ -37,10 +57,14 @@ fn parse_args() -> Args {
         seed: 2015_1028,
         snoop_sample: 1_500,
         json: None,
+        store: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut grab = || it.next().expect("missing value");
+        let mut grab = || {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("{a} requires a value")))
+        };
         match a.as_str() {
             "--exp" => args.exp = grab(),
             "--scale" => args.scale = grab().parse().expect("scale"),
@@ -48,13 +72,53 @@ fn parse_args() -> Args {
             "--seed" => args.seed = grab().parse().expect("seed"),
             "--snoop-sample" => args.snoop_sample = grab().parse().expect("snoop sample"),
             "--json" => args.json = Some(grab()),
-            other => {
-                eprintln!("unknown argument {other}");
-                std::process::exit(2);
+            "--store" => args.store = Some(PathBuf::from(grab())),
+            "--list" => {
+                print_experiment_list();
+                std::process::exit(0);
             }
+            other => usage_error(&format!("unknown argument {other}")),
+        }
+    }
+    if !known_experiment(&args.exp) {
+        usage_error(&format!("unknown experiment id `{}`", args.exp));
+    }
+    // Fail fast on unwritable outputs, before hours of simulation.
+    if let Some(path) = &args.json {
+        if let Err(e) = probe_writable_file(path) {
+            usage_error(&format!("--json path {path} is not writable: {e}"));
+        }
+    }
+    if let Some(dir) = &args.store {
+        if let Err(e) = probe_writable_dir(dir) {
+            usage_error(&format!(
+                "--store dir {} is not writable: {e}",
+                dir.display()
+            ));
         }
     }
     args
+}
+
+/// Verifies the JSON report path can be created without clobbering
+/// anything on failure (existing files are left untouched).
+fn probe_writable_file(path: &str) -> std::io::Result<()> {
+    use std::fs::OpenOptions;
+    let existed = std::path::Path::new(path).exists();
+    OpenOptions::new().append(true).create(true).open(path)?;
+    if !existed {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(())
+}
+
+/// Verifies the store directory exists (creating it if needed) and
+/// accepts writes.
+fn probe_writable_dir(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let probe = dir.join(".repro-write-probe.tmp");
+    std::fs::write(&probe, b"probe")?;
+    std::fs::remove_file(&probe)
 }
 
 fn cfg_of(args: &Args) -> WorldConfig {
@@ -76,11 +140,22 @@ fn main() {
         (26_800_000.0 * cfg.scale) as u64,
         cfg.seed
     );
-    let want = |id: &str| args.exp == "all" || args.exp == id || (args.exp == "analysis" && matches!(id, "analysis"));
+    let want = |id: &str| {
+        args.exp == "all" || args.exp == id || (args.exp == "analysis" && matches!(id, "analysis"))
+    };
+    let mut store_stats: Vec<(&str, StoreStats)> = Vec::new();
 
     // Figure 1 + Tables 1–2 share the weekly-scan series.
     if want("fig1") || want("tab1") || want("tab2") {
-        let fig1 = fig1_weekly_counts(cfg.clone(), args.weeks);
+        let fig1 = match &args.store {
+            Some(dir) => {
+                let (fig1, stats) = goingwild::stored_fig1(cfg.clone(), args.weeks, dir)
+                    .unwrap_or_else(|e| die_store(dir, &e));
+                store_stats.push(("weekly", stats));
+                fig1
+            }
+            None => fig1_weekly_counts(cfg.clone(), args.weeks),
+        };
         if args.json.is_some() {
             json_out.insert("fig1".into(), serde_json::to_value(&fig1).unwrap());
         }
@@ -105,7 +180,9 @@ fn main() {
                     &table2_rir_flux(&fig1)
                 )
             );
-            println!("(paper: RIPE −33.2%, APNIC −24.5%, LACNIC −35.1%, ARIN −12.1%, AFRINIC −8.6%)\n");
+            println!(
+                "(paper: RIPE −33.2%, APNIC −24.5%, LACNIC −35.1%, ARIN −12.1%, AFRINIC −8.6%)\n"
+            );
         }
     }
 
@@ -116,7 +193,15 @@ fn main() {
         let fleet = enumerate(&mut world, vantage, args.seed).noerror_ips();
         println!("fleet for fingerprinting: {} open resolvers\n", fleet.len());
         if want("tab3") {
-            let t3 = table3_software(&mut world, &fleet, args.seed);
+            let t3 = match &args.store {
+                Some(dir) => {
+                    let (t3, stats) = goingwild::stored_table3(cfg.clone(), args.seed, dir)
+                        .unwrap_or_else(|e| die_store(dir, &e));
+                    store_stats.push(("chaos", stats));
+                    t3
+                }
+                None => table3_software(&mut world, &fleet, args.seed),
+            };
             if args.json.is_some() {
                 json_out.insert("tab3".into(), serde_json::to_value(&t3).unwrap());
             }
@@ -151,12 +236,27 @@ fn main() {
     }
 
     if want("fig2") {
-        let fig2 = fig2_churn(cfg.clone(), args.weeks.min(55));
+        let fig2 = match &args.store {
+            Some(dir) => {
+                let (fig2, stats) = goingwild::stored_fig2(cfg.clone(), args.weeks.min(55), dir)
+                    .unwrap_or_else(|e| die_store(dir, &e));
+                store_stats.push(("churn", stats));
+                fig2
+            }
+            None => fig2_churn(cfg.clone(), args.weeks.min(55)),
+        };
+        if args.json.is_some() {
+            json_out.insert("fig2".into(), serde_json::to_value(&fig2).unwrap());
+        }
         println!("{}", report::render_fig2(&fig2));
     }
 
-    if want("analysis") || args.exp == "tab5" || args.exp == "fig4" || args.exp == "censorship"
-        || args.exp == "cases" || args.exp == "prefilter"
+    if want("analysis")
+        || args.exp == "tab5"
+        || args.exp == "fig4"
+        || args.exp == "censorship"
+        || args.exp == "cases"
+        || args.exp == "prefilter"
     {
         let mut world = build_world(cfg.clone());
         let analysis = run_analysis(&mut world, &AnalysisOptions::default());
@@ -176,11 +276,47 @@ fn main() {
         ablations(&cfg);
     }
 
+    if !store_stats.is_empty() {
+        println!(
+            "# Snapshot store — {}",
+            args.store.as_ref().expect("store set").display()
+        );
+        for (campaign, s) in &store_stats {
+            println!(
+                "  {campaign:<8} {} segments, {} live records, {} bytes on disk ({:.1}x vs JSON lines), {} recovery events{}",
+                s.segments,
+                s.live_records,
+                s.bytes_written,
+                s.compression_ratio,
+                s.recovery_events,
+                match s.resumed_at {
+                    Some(seq) => format!(", resumed at segment {seq}"),
+                    None => String::new(),
+                }
+            );
+        }
+        println!();
+        if args.json.is_some() {
+            let stores: std::collections::BTreeMap<String, &StoreStats> = store_stats
+                .iter()
+                .map(|(campaign, s)| ((*campaign).to_string(), s))
+                .collect();
+            json_out.insert("store".into(), serde_json::to_value(&stores).unwrap());
+        }
+    }
+
     if let Some(path) = &args.json {
         std::fs::write(path, serde_json::to_string_pretty(&json_out).unwrap())
             .expect("write json report");
         eprintln!("wrote machine-readable reports to {path}");
     }
+}
+
+/// A store failure is an environment problem, not a bug — report and
+/// exit non-zero instead of panicking.
+fn die_store(dir: &std::path::Path, err: &std::io::Error) -> ! {
+    eprintln!("repro: snapshot store at {} failed: {err}", dir.display());
+    std::process::exit(1);
 }
 
 /// The design-choice ablations DESIGN.md calls out (A-ABL1..A-ABL4;
@@ -201,11 +337,23 @@ fn ablations(cfg: &WorldConfig) {
     let mut items: Vec<(usize, PageFeatures)> = Vec::new();
     for s in 0..10u64 {
         for (family, html) in [
-            (0usize, gen::legit_site(SiteCategory::Banking, &PageCtx::new("bank.example", s))),
+            (
+                0usize,
+                gen::legit_site(SiteCategory::Banking, &PageCtx::new("bank.example", s)),
+            ),
             (1, gen::http_error(404, &PageCtx::new("e.example", s))),
-            (2, gen::parking_page("parkco", &PageCtx::new(&format!("d{s}.example"), s))),
-            (3, gen::phishing_kit_images("paypal", &PageCtx::new("paypal.example", s))),
-            (4, gen::router_login(gen::RouterVendor::ZyRouter, &PageCtx::new("r.local", s))),
+            (
+                2,
+                gen::parking_page("parkco", &PageCtx::new(&format!("d{s}.example"), s)),
+            ),
+            (
+                3,
+                gen::phishing_kit_images("paypal", &PageCtx::new("paypal.example", s)),
+            ),
+            (
+                4,
+                gen::router_login(gen::RouterVendor::ZyRouter, &PageCtx::new("r.local", s)),
+            ),
         ] {
             items.push((family, PageFeatures::extract(&html, &mut interner)));
         }
@@ -231,7 +379,10 @@ fn ablations(cfg: &WorldConfig) {
         }
     };
     println!("A-ABL1a — coarse family separation (cross/within; >1 = separable):");
-    println!("  all 7 features : {:.2}", separation(&items, &FeatureWeights::default()));
+    println!(
+        "  all 7 features : {:.2}",
+        separation(&items, &FeatureWeights::default())
+    );
     for f in [
         "body_len",
         "tag_multiset",
@@ -281,7 +432,9 @@ fn ablations(cfg: &WorldConfig) {
             correct += counts.values().max().copied().unwrap_or(0);
         }
         println!("\nA-ABL1b — small modifications (banner vs script injection):");
-        println!("  coarse separation ratio: {coarse:.2} (<1: coarse clustering cannot split them)");
+        println!(
+            "  coarse separation ratio: {coarse:.2} (<1: coarse clustering cannot split them)"
+        );
         println!(
             "  fine tag-delta clustering: {} clusters, purity {:.3}",
             flat.len(),

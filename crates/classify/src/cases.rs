@@ -60,7 +60,9 @@ pub fn detect_proxies(
     }
     let mut by_ip: BTreeMap<Ipv4Addr, Acc> = BTreeMap::new();
     for r in records {
-        let Some(http) = &r.acquired.http else { continue };
+        let Some(http) = &r.acquired.http else {
+            continue;
+        };
         let Some(gt) = ground_truth_bodies.get(&r.domain) else {
             continue;
         };
@@ -129,7 +131,9 @@ pub fn detect_phishing(
 ) -> Vec<PhishFinding> {
     let mut by_key: BTreeMap<(Ipv4Addr, String), PhishFinding> = BTreeMap::new();
     for r in records {
-        let Some(http) = &r.acquired.http else { continue };
+        let Some(http) = &r.acquired.http else {
+            continue;
+        };
         if http.status != 200 {
             continue;
         }
@@ -150,7 +154,10 @@ pub fn detect_phishing(
             let foreign_host = foreign && !action.contains(&r.domain);
             if foreign_host && (action.ends_with(".php") || action.contains(".php")) {
                 evidence.push(format!("credential form posts to {action}"));
-            } else if foreign_host && forms >= 1 && body_mimics(&http.body, ground_truth_bodies.get(&r.domain)) {
+            } else if foreign_host
+                && forms >= 1
+                && body_mimics(&http.body, ground_truth_bodies.get(&r.domain))
+            {
                 evidence.push(format!("cloned page posts to {action}"));
             }
         }
@@ -245,7 +252,9 @@ pub fn detect_ad_manipulation(
 ) -> AdReport {
     let mut report = AdReport::default();
     for r in records {
-        let Some(http) = &r.acquired.http else { continue };
+        let Some(http) = &r.acquired.http else {
+            continue;
+        };
         let Some(gt) = ground_truth_bodies.get(&r.domain) else {
             continue;
         };
@@ -282,7 +291,11 @@ pub fn detect_ad_manipulation(
             None
         };
         if let Some(class) = class {
-            report.by_class.entry(class).or_default().insert(r.target_ip);
+            report
+                .by_class
+                .entry(class)
+                .or_default()
+                .insert(r.target_ip);
             report
                 .resolvers
                 .entry(class)
@@ -382,9 +395,13 @@ pub struct MalwareReport {
 pub fn detect_malware_updates(records: &[CaseRecord]) -> MalwareReport {
     let mut report = MalwareReport::default();
     for r in records {
-        let Some(http) = &r.acquired.http else { continue };
+        let Some(http) = &r.acquired.http else {
+            continue;
+        };
         let body = http.body.to_ascii_lowercase();
-        if (body.contains("out of date") || body.contains("update required") || body.contains("install update"))
+        if (body.contains("out of date")
+            || body.contains("update required")
+            || body.contains("install update"))
             && body.contains(".exe")
         {
             report.dropper_ips.insert(r.target_ip);
@@ -432,7 +449,10 @@ mod tests {
 
     #[test]
     fn proxies_need_multiple_domains_and_identity() {
-        let gt_a = gen::legit_site(SiteCategory::Banking, &PageCtx::new("a.example", htmlsim::gen::PageCtx::new("a.example", 0).seed));
+        let gt_a = gen::legit_site(
+            SiteCategory::Banking,
+            &PageCtx::new("a.example", htmlsim::gen::PageCtx::new("a.example", 0).seed),
+        );
         // Use the shared legit_content convention instead: identical
         // bodies keyed by domain.
         let mut gts = BTreeMap::new();
@@ -477,7 +497,13 @@ mod tests {
 
     #[test]
     fn bank_clone_detected() {
-        let gt = gen::legit_site(SiteCategory::Banking, &PageCtx::new("bank.example", htmlsim::gen::PageCtx::new("bank.example", 0).seed));
+        let gt = gen::legit_site(
+            SiteCategory::Banking,
+            &PageCtx::new(
+                "bank.example",
+                htmlsim::gen::PageCtx::new("bank.example", 0).seed,
+            ),
+        );
         // The clone generator rewrites the form action.
         let clone = gt.replace(
             "https://bank.example/login",
@@ -526,7 +552,8 @@ mod tests {
         let mut r1 = rec(1, "smtp.gmail.example", "60.0.0.1", None);
         r1.acquired.mail_banners = vec![("smtp".into(), "220 mail-relay-3 ESMTP".into())];
         let mut r2 = rec(2, "smtp.gmail.example", "60.0.0.2", None);
-        r2.acquired.mail_banners = vec![("smtp".into(), "220 smtp.gmail.example ESMTP ready".into())];
+        r2.acquired.mail_banners =
+            vec![("smtp".into(), "220 smtp.gmail.example ESMTP ready".into())];
         let r3 = rec(3, "smtp.gmail.example", "60.0.0.3", None);
         let report = detect_mail_interception(&[r1, r2, r3], &legit);
         assert_eq!(report.listening_ips.len(), 2);
@@ -538,7 +565,12 @@ mod tests {
         let page = gen::fake_update_page("Flash", &PageCtx::new("update.adobe.example", 2));
         let records = vec![
             rec(1, "update.adobe.example", "70.0.0.1", Some(&page)),
-            rec(2, "update.adobe.example", "70.0.0.2", Some("<html>plain</html>")),
+            rec(
+                2,
+                "update.adobe.example",
+                "70.0.0.2",
+                Some("<html>plain</html>"),
+            ),
         ];
         let report = detect_malware_updates(&records);
         assert_eq!(report.dropper_ips, [ip("70.0.0.1")].into_iter().collect());

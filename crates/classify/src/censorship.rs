@@ -127,7 +127,10 @@ pub fn detect_double_responses(
     // Group by (resolver, domain).
     let mut groups: HashMap<(u32, u16), Vec<&TupleObs>> = HashMap::new();
     for t in tuples {
-        groups.entry((t.resolver_idx, t.domain_idx)).or_default().push(t);
+        groups
+            .entry((t.resolver_idx, t.domain_idx))
+            .or_default()
+            .push(t);
     }
     let mut report = DoubleResponseReport::default();
     for ((resolver, domain), mut group) in groups {

@@ -24,35 +24,143 @@ pub struct FingerprintRule {
 /// first, generic OS tokens last.
 pub const RULES: &[FingerprintRule] = &[
     // Specific devices (the paper's worked example first).
-    FingerprintRule { token: "dm500plus login", class: Some(DeviceClass::Dvr), os: Some(DeviceOs::Linux) },
-    FingerprintRule { token: "zynos", class: Some(DeviceClass::Router), os: Some(DeviceOs::ZyNos) },
-    FingerprintRule { token: "zyrouter", class: Some(DeviceClass::Router), os: Some(DeviceOs::ZyNos) },
-    FingerprintRule { token: "rompager", class: Some(DeviceClass::Router), os: None },
-    FingerprintRule { token: "smartware", class: Some(DeviceClass::Router), os: Some(DeviceOs::SmartWare) },
-    FingerprintRule { token: "routeros", class: Some(DeviceClass::Router), os: Some(DeviceOs::RouterOs) },
-    FingerprintRule { token: "mikrotik", class: Some(DeviceClass::Router), os: Some(DeviceOs::RouterOs) },
-    FingerprintRule { token: "adsl router", class: Some(DeviceClass::Router), os: None },
-    FingerprintRule { token: "router login", class: Some(DeviceClass::Router), os: None },
-    FingerprintRule { token: "netcam", class: Some(DeviceClass::Camera), os: None },
-    FingerprintRule { token: "network camera", class: Some(DeviceClass::Camera), os: None },
-    FingerprintRule { token: "dvr-webs", class: Some(DeviceClass::Dvr), os: None },
-    FingerprintRule { token: "nas4you", class: Some(DeviceClass::Nas), os: None },
-    FingerprintRule { token: "dslam", class: Some(DeviceClass::Dslam), os: None },
-    FingerprintRule { token: "fortresswall", class: Some(DeviceClass::Firewall), os: None },
-    FingerprintRule { token: "goahead-webs", class: Some(DeviceClass::Embedded), os: None },
-    FingerprintRule { token: "arduino", class: Some(DeviceClass::Embedded), os: None },
-    FingerprintRule { token: "raspberry", class: Some(DeviceClass::Embedded), os: None },
+    FingerprintRule {
+        token: "dm500plus login",
+        class: Some(DeviceClass::Dvr),
+        os: Some(DeviceOs::Linux),
+    },
+    FingerprintRule {
+        token: "zynos",
+        class: Some(DeviceClass::Router),
+        os: Some(DeviceOs::ZyNos),
+    },
+    FingerprintRule {
+        token: "zyrouter",
+        class: Some(DeviceClass::Router),
+        os: Some(DeviceOs::ZyNos),
+    },
+    FingerprintRule {
+        token: "rompager",
+        class: Some(DeviceClass::Router),
+        os: None,
+    },
+    FingerprintRule {
+        token: "smartware",
+        class: Some(DeviceClass::Router),
+        os: Some(DeviceOs::SmartWare),
+    },
+    FingerprintRule {
+        token: "routeros",
+        class: Some(DeviceClass::Router),
+        os: Some(DeviceOs::RouterOs),
+    },
+    FingerprintRule {
+        token: "mikrotik",
+        class: Some(DeviceClass::Router),
+        os: Some(DeviceOs::RouterOs),
+    },
+    FingerprintRule {
+        token: "adsl router",
+        class: Some(DeviceClass::Router),
+        os: None,
+    },
+    FingerprintRule {
+        token: "router login",
+        class: Some(DeviceClass::Router),
+        os: None,
+    },
+    FingerprintRule {
+        token: "netcam",
+        class: Some(DeviceClass::Camera),
+        os: None,
+    },
+    FingerprintRule {
+        token: "network camera",
+        class: Some(DeviceClass::Camera),
+        os: None,
+    },
+    FingerprintRule {
+        token: "dvr-webs",
+        class: Some(DeviceClass::Dvr),
+        os: None,
+    },
+    FingerprintRule {
+        token: "nas4you",
+        class: Some(DeviceClass::Nas),
+        os: None,
+    },
+    FingerprintRule {
+        token: "dslam",
+        class: Some(DeviceClass::Dslam),
+        os: None,
+    },
+    FingerprintRule {
+        token: "fortresswall",
+        class: Some(DeviceClass::Firewall),
+        os: None,
+    },
+    FingerprintRule {
+        token: "goahead-webs",
+        class: Some(DeviceClass::Embedded),
+        os: None,
+    },
+    FingerprintRule {
+        token: "arduino",
+        class: Some(DeviceClass::Embedded),
+        os: None,
+    },
+    FingerprintRule {
+        token: "raspberry",
+        class: Some(DeviceClass::Embedded),
+        os: None,
+    },
     // OS attribution.
-    FingerprintRule { token: "centos", class: None, os: Some(DeviceOs::CentOs) },
-    FingerprintRule { token: "dropbear", class: None, os: Some(DeviceOs::Linux) },
-    FingerprintRule { token: "(linux)", class: None, os: Some(DeviceOs::Linux) },
-    FingerprintRule { token: "linux", class: None, os: Some(DeviceOs::Linux) },
-    FingerprintRule { token: "freebsd", class: None, os: Some(DeviceOs::Unix) },
-    FingerprintRule { token: "(unix)", class: None, os: Some(DeviceOs::Unix) },
-    FingerprintRule { token: "microsoft-iis", class: None, os: Some(DeviceOs::Windows) },
-    FingerprintRule { token: "microsoft telnet", class: None, os: Some(DeviceOs::Windows) },
+    FingerprintRule {
+        token: "centos",
+        class: None,
+        os: Some(DeviceOs::CentOs),
+    },
+    FingerprintRule {
+        token: "dropbear",
+        class: None,
+        os: Some(DeviceOs::Linux),
+    },
+    FingerprintRule {
+        token: "(linux)",
+        class: None,
+        os: Some(DeviceOs::Linux),
+    },
+    FingerprintRule {
+        token: "linux",
+        class: None,
+        os: Some(DeviceOs::Linux),
+    },
+    FingerprintRule {
+        token: "freebsd",
+        class: None,
+        os: Some(DeviceOs::Unix),
+    },
+    FingerprintRule {
+        token: "(unix)",
+        class: None,
+        os: Some(DeviceOs::Unix),
+    },
+    FingerprintRule {
+        token: "microsoft-iis",
+        class: None,
+        os: Some(DeviceOs::Windows),
+    },
+    FingerprintRule {
+        token: "microsoft telnet",
+        class: None,
+        os: Some(DeviceOs::Windows),
+    },
     // Server-ish devices: IIS/Apache boxes with no device token.
-    FingerprintRule { token: "vsftpd", class: None, os: Some(DeviceOs::Linux) },
+    FingerprintRule {
+        token: "vsftpd",
+        class: None,
+        os: Some(DeviceOs::Linux),
+    },
 ];
 
 /// The fingerprinting result for one host.
@@ -108,7 +216,15 @@ pub enum SoftwareClass {
 }
 
 /// Known DNS software families and a loose version-shape check.
-const FAMILIES: &[&str] = &["BIND", "Unbound", "Dnsmasq", "PowerDNS", "MS DNS", "Nominum Vantio", "ZyWALL DNS"];
+const FAMILIES: &[&str] = &[
+    "BIND",
+    "Unbound",
+    "Dnsmasq",
+    "PowerDNS",
+    "MS DNS",
+    "Nominum Vantio",
+    "ZyWALL DNS",
+];
 
 /// Classify a `version.bind` answer string.
 pub fn classify_version(s: &str) -> SoftwareClass {
@@ -118,9 +234,9 @@ pub fn classify_version(s: &str) -> SoftwareClass {
             let version = rest.trim();
             // A version must look like digits-and-dots.
             if !version.is_empty()
-                && version
-                    .chars()
-                    .all(|c| c.is_ascii_digit() || c == '.' || c == '-' || c.is_ascii_alphanumeric())
+                && version.chars().all(|c| {
+                    c.is_ascii_digit() || c == '.' || c == '-' || c.is_ascii_alphanumeric()
+                })
                 && version.chars().next().unwrap().is_ascii_digit()
             {
                 return SoftwareClass::Known {
@@ -176,7 +292,10 @@ mod tests {
 
     #[test]
     fn http_body_contributes() {
-        let o = obs(&[], Some("<html><title>ZyRouter ZR-660 Web Configuration</title>..."));
+        let o = obs(
+            &[],
+            Some("<html><title>ZyRouter ZR-660 Web Configuration</title>..."),
+        );
         let f = fingerprint_device(&o);
         assert_eq!(f.class, DeviceClass::Router);
     }
@@ -235,6 +354,9 @@ mod tests {
         // "9.9.9" is a decoy in our custom list, but indistinguishable
         // from a real BIND version — the paper has the same ambiguity;
         // it lands in Known (conservative over-attribution).
-        assert!(matches!(classify_version("9.9.9"), SoftwareClass::Known { .. }));
+        assert!(matches!(
+            classify_version("9.9.9"),
+            SoftwareClass::Known { .. }
+        ));
     }
 }

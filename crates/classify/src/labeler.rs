@@ -73,7 +73,10 @@ pub fn label_page(input: &LabelInput<'_>) -> Label {
     }
     // Non-state blocking (protection providers, parental control).
     if (has("website blocked") || has("has blocked") || has("access to this website"))
-        && (has("parental") || has("security subscription") || has("malware") || has("request review"))
+        && (has("parental")
+            || has("security subscription")
+            || has("malware")
+            || has("request review"))
     {
         return Label::Blocking;
     }
@@ -110,9 +113,8 @@ pub fn label_page(input: &LabelInput<'_>) -> Label {
             || has("cgi-bin/login"));
     // Captive portals gate on vouchers / network authentication rather
     // than passwords.
-    let portal_login = has("network login")
-        || has("must authenticate")
-        || (has("voucher") && has("connect"));
+    let portal_login =
+        has("network login") || has("must authenticate") || (has("voucher") && has("connect"));
     if credential_login || portal_login {
         return Label::Login;
     }
@@ -163,7 +165,11 @@ mod tests {
         for code in [400u16, 403, 404, 500, 502, 503] {
             for seed in 0..3u64 {
                 let body = gen::http_error(code, &PageCtx::new("x.example", seed));
-                assert_eq!(lbl(code, &body), Label::HttpError, "code {code} seed {seed}");
+                assert_eq!(
+                    lbl(code, &body),
+                    Label::HttpError,
+                    "code {code} seed {seed}"
+                );
             }
         }
     }
@@ -217,9 +223,18 @@ mod tests {
         let b = gen::http_error(404, &PageCtx::new("b.example", 2));
         let c = gen::parking_page("parkco", &PageCtx::new("c.example", 3));
         let inputs = vec![
-            LabelInput { status: 404, body: &a },
-            LabelInput { status: 404, body: &b },
-            LabelInput { status: 200, body: &c },
+            LabelInput {
+                status: 404,
+                body: &a,
+            },
+            LabelInput {
+                status: 404,
+                body: &b,
+            },
+            LabelInput {
+                status: 200,
+                body: &c,
+            },
         ];
         assert_eq!(label_cluster(&inputs), Label::HttpError);
         assert_eq!(label_cluster(&[]), Label::Misc);

@@ -31,7 +31,9 @@ pub mod labeler;
 pub mod prefilter;
 pub mod snoopclass;
 
-pub use cluster::{cluster_pages, cluster_pages_with, fine_cluster, Dendrogram, FlatClusters, Linkage};
+pub use cluster::{
+    cluster_pages, cluster_pages_with, fine_cluster, Dendrogram, FlatClusters, Linkage,
+};
 pub use fingerprint::{classify_version, fingerprint_device, SoftwareClass};
 pub use labeler::{label_cluster, Label};
 pub use prefilter::{CertRule, FilterVerdict, PreFilter, TrustedView};

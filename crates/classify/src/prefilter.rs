@@ -221,7 +221,8 @@ impl<'a> PreFilter<'a> {
         sni_cert: Option<&TlsCertificate>,
         nosni_cert: Option<&TlsCertificate>,
     ) -> bool {
-        self.certificate_rule(domain, sni_cert, nosni_cert).is_some()
+        self.certificate_rule(domain, sni_cert, nosni_cert)
+            .is_some()
     }
 }
 
@@ -341,7 +342,10 @@ mod tests {
         let (t, g, r) = setup();
         let f = filter(&t, &g, &r);
         // Same /24, same AS as trusted → legit.
-        let v = f.judge("bank.example", &tuple(0, Rcode::NoError, vec![ip("20.0.0.77")]));
+        let v = f.judge(
+            "bank.example",
+            &tuple(0, Rcode::NoError, vec![ip("20.0.0.77")]),
+        );
         assert_eq!(v, FilterVerdict::LegitSameAs);
     }
 
@@ -349,7 +353,10 @@ mod tests {
     fn foreign_as_unexpected() {
         let (t, g, r) = setup();
         let f = filter(&t, &g, &r);
-        let v = f.judge("bank.example", &tuple(0, Rcode::NoError, vec![ip("30.0.0.99")]));
+        let v = f.judge(
+            "bank.example",
+            &tuple(0, Rcode::NoError, vec![ip("30.0.0.99")]),
+        );
         assert_eq!(v, FilterVerdict::Unexpected);
     }
 
@@ -359,11 +366,17 @@ mod tests {
         let f = filter(&t, &g, &r);
         // 40.0.0.5: rDNS "mirror.bank.example" resembles the domain and
         // forward-confirms → legit.
-        let v = f.judge("bank.example", &tuple(0, Rcode::NoError, vec![ip("40.0.0.5")]));
+        let v = f.judge(
+            "bank.example",
+            &tuple(0, Rcode::NoError, vec![ip("40.0.0.5")]),
+        );
         assert_eq!(v, FilterVerdict::LegitRdns);
         // 40.0.0.200: rDNS resembles but does NOT forward-confirm
         // (anyone can claim a PTR) → unexpected.
-        let v2 = f.judge("bank.example", &tuple(0, Rcode::NoError, vec![ip("40.0.0.200")]));
+        let v2 = f.judge(
+            "bank.example",
+            &tuple(0, Rcode::NoError, vec![ip("40.0.0.200")]),
+        );
         assert_eq!(v2, FilterVerdict::Unexpected);
     }
 
@@ -394,7 +407,10 @@ mod tests {
         );
         // Monetized NX: any address is unexpected.
         assert_eq!(
-            f.judge("nx.example", &tuple(0, Rcode::NoError, vec![ip("20.0.0.10")])),
+            f.judge(
+                "nx.example",
+                &tuple(0, Rcode::NoError, vec![ip("20.0.0.10")])
+            ),
             FilterVerdict::Unexpected
         );
     }

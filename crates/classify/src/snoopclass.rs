@@ -233,7 +233,11 @@ pub fn estimate_full_ttls(results: &[&SnoopResult]) -> Vec<u32> {
 mod tests {
     use super::*;
 
-    fn result(tlds: usize, rounds: usize, mut f: impl FnMut(usize, usize) -> SnoopSample) -> SnoopResult {
+    fn result(
+        tlds: usize,
+        rounds: usize,
+        mut f: impl FnMut(usize, usize) -> SnoopSample,
+    ) -> SnoopResult {
         let mut samples = Vec::with_capacity(tlds * rounds);
         for t in 0..tlds {
             for r in 0..rounds {
@@ -250,7 +254,10 @@ mod tests {
     #[test]
     fn silent_and_single() {
         let r = result(15, 36, |_, _| SnoopSample::Silent);
-        assert_eq!(classify_snoop(&r, &[3600; 15]), UtilizationClass::Unresponsive);
+        assert_eq!(
+            classify_snoop(&r, &[3600; 15]),
+            UtilizationClass::Unresponsive
+        );
         let r = result(15, 36, |t, round| {
             if t == 0 && round == 0 {
                 SnoopSample::Ttl(3600)
@@ -258,13 +265,19 @@ mod tests {
                 SnoopSample::Silent
             }
         });
-        assert_eq!(classify_snoop(&r, &[3600; 15]), UtilizationClass::SingleThenSilent);
+        assert_eq!(
+            classify_snoop(&r, &[3600; 15]),
+            UtilizationClass::SingleThenSilent
+        );
     }
 
     #[test]
     fn empty_static_zero() {
         let r = result(15, 36, |_, _| SnoopSample::NoEntry);
-        assert_eq!(classify_snoop(&r, &[3600; 15]), UtilizationClass::EmptyResponder);
+        assert_eq!(
+            classify_snoop(&r, &[3600; 15]),
+            UtilizationClass::EmptyResponder
+        );
         let r = result(15, 36, |_, _| SnoopSample::Ttl(777));
         assert_eq!(classify_snoop(&r, &[777; 15]), UtilizationClass::StaticTtl);
         let r = result(15, 36, |_, _| SnoopSample::Ttl(0));
@@ -320,13 +333,18 @@ mod tests {
         let r = result(15, 36, |_, round| {
             SnoopSample::Ttl(3600 - (round as u32 % 10) * 30)
         });
-        assert_eq!(classify_snoop(&r, &[3600; 15]), UtilizationClass::TtlResetter);
+        assert_eq!(
+            classify_snoop(&r, &[3600; 15]),
+            UtilizationClass::TtlResetter
+        );
     }
 
     #[test]
     fn decreasing_no_expiry() {
         // Huge TTL, decreases across the window, never expires.
-        let r = result(15, 36, |_, round| SnoopSample::Ttl(172_800 - round as u32 * 3600));
+        let r = result(15, 36, |_, round| {
+            SnoopSample::Ttl(172_800 - round as u32 * 3600)
+        });
         assert_eq!(
             classify_snoop(&r, &[172_800; 15]),
             UtilizationClass::DecreasingNoExpiry
@@ -359,8 +377,14 @@ mod tests {
             fast_rate > 20.0 * slow_rate,
             "fast {fast_rate} slow {slow_rate}"
         );
-        assert!(fast_rate > 600.0, "≈1 query / 3 s ⇒ ≈1200/h, got {fast_rate}");
-        assert!((1.0..10.0).contains(&slow_rate), "≈1/1500 s ⇒ ≈2.4/h, got {slow_rate}");
+        assert!(
+            fast_rate > 600.0,
+            "≈1 query / 3 s ⇒ ≈1200/h, got {fast_rate}"
+        );
+        assert!(
+            (1.0..10.0).contains(&slow_rate),
+            "≈1/1500 s ⇒ ≈2.4/h, got {slow_rate}"
+        );
     }
 
     #[test]

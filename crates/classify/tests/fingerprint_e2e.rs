@@ -75,9 +75,21 @@ fn software_mix_recovered_from_chaos() {
     }
     let t = total as f64;
     // Paper: 42.7% errors, 18.8% custom, 33.9% genuine.
-    assert!((0.32..0.54).contains(&(errors as f64 / t)), "errors {}", errors as f64 / t);
-    assert!((0.10..0.28).contains(&(custom as f64 / t)), "custom {}", custom as f64 / t);
-    assert!((0.24..0.44).contains(&(known as f64 / t)), "known {}", known as f64 / t);
+    assert!(
+        (0.32..0.54).contains(&(errors as f64 / t)),
+        "errors {}",
+        errors as f64 / t
+    );
+    assert!(
+        (0.10..0.28).contains(&(custom as f64 / t)),
+        "custom {}",
+        custom as f64 / t
+    );
+    assert!(
+        (0.24..0.44).contains(&(known as f64 / t)),
+        "known {}",
+        known as f64 / t
+    );
     // BIND ≈ 60.2% of version leakers (custom strings like "9.9.9" leak
     // into Known-BIND, so allow a wide band).
     let bind_share = bind as f64 / known.max(1) as f64;

@@ -1,0 +1,314 @@
+//! Campaign collection into snapshot stores, and derivation of the
+//! paper artifacts back out of them.
+//!
+//! Every figure/table runner in [`crate::experiments`] is split in two:
+//!
+//! * **collect** — drive the scan campaign, streaming observations into
+//!   a [`SnapshotSink`] (one committed snapshot per scan round);
+//! * **derive** — compute the report from any [`SnapshotSource`].
+//!
+//! With a [`MemoryStore`] sink this is the classic in-memory run; with
+//! a [`CampaignStore`] the same campaign becomes durable, resumable
+//! after a kill (committed rounds are skipped on the next run), and
+//! re-servable without re-simulation. Both paths execute identical
+//! collection and derivation code, which is what the byte-for-byte
+//! equivalence tests assert.
+//!
+//! Resume caveat: the simulated network draws its loss realization from
+//! a global packet counter, so a resumed campaign sees a *different but
+//! statistically identical* loss pattern for the remaining rounds than
+//! an uninterrupted run would have. Committed rounds are never altered.
+
+use crate::experiments::{Fig1Report, Fig2Report, Table3Report, WeekRow};
+use classify::{classify_version, SoftwareClass};
+use geodb::{GeoDb, RdnsDb};
+use scanner::{churn_from_source, enumerate_with_sink, track_cohort_with_sink};
+use scanstore::{
+    flags, CampaignStore, Observation, ObservationSink, SnapshotSink, SnapshotSource, StoreStats,
+};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use worldgen::{build_world, World, WorldConfig};
+
+/// Wraps a sink and enriches every observation with the GeoIP country
+/// and the rDNS dynamic/static token before forwarding it, so those
+/// attributes are queryable from the store without the world.
+pub struct EnrichSink<'a> {
+    inner: &'a mut dyn SnapshotSink,
+    geo: GeoDb,
+    rdns: RdnsDb,
+}
+
+impl<'a> EnrichSink<'a> {
+    /// Captures the world's geo/rDNS databases for enrichment.
+    pub fn new(world: &World, inner: &'a mut dyn SnapshotSink) -> EnrichSink<'a> {
+        EnrichSink {
+            geo: world.geo.clone(),
+            rdns: world.rdns.clone(),
+            inner,
+        }
+    }
+}
+
+impl ObservationSink for EnrichSink<'_> {
+    fn observe(&mut self, mut obs: Observation) {
+        let ip = obs.ipv4();
+        if let Some(cc) = self.geo.country(ip) {
+            obs.country = self.inner.intern(cc.as_str());
+        }
+        if self.rdns.lookup(ip).is_some() {
+            let token = if self.rdns.is_dynamic(ip) {
+                "dyn"
+            } else {
+                "static"
+            };
+            obs.rdns = self.inner.intern(token);
+        }
+        self.inner.observe(obs);
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        self.inner.intern(s)
+    }
+}
+
+impl SnapshotSink for EnrichSink<'_> {
+    fn commit(&mut self, label: &str, t_ms: u64, meta: &[(String, String)]) -> io::Result<u32> {
+        self.inner.commit(label, t_ms, meta)
+    }
+}
+
+// =====================================================================
+// Weekly enumeration (Fig. 1, Tables 1–2)
+// =====================================================================
+
+/// Meta keys carried by each weekly snapshot.
+const META_TRUTH: &str = "truth";
+const META_PROBES: &str = "probes_sent";
+const META_SKIPPED: &str = "skipped_blacklisted";
+
+/// Run the weekly enumeration campaign, committing one snapshot per
+/// week. Weeks before `start_week` are assumed committed in the sink
+/// already and are skipped (checkpoint resume).
+pub fn collect_weekly(
+    cfg: WorldConfig,
+    weeks: u32,
+    start_week: u32,
+    sink: &mut dyn SnapshotSink,
+) -> io::Result<()> {
+    let mut world = build_world(cfg);
+    let vantage = world.scanner_ip;
+    let blacklist = scanner::Blacklist::new(
+        world.blacklist_ranges.clone(),
+        world.blacklist_singles.clone(),
+    );
+    for week in start_week..weeks {
+        world.advance_to_week(week);
+        // Ground truth for the cross-check: alive NOERROR resolvers
+        // reachable by the scan (not opted out, not behind full border
+        // filters — those are invisible to every outside observer).
+        let truth = world
+            .resolvers
+            .iter()
+            .filter(|m| {
+                m.response_class == worldgen::world::ResponseClass::NoError
+                    && m.alive.load(std::sync::atomic::Ordering::Relaxed)
+                    && world
+                        .resolver_ip(m)
+                        .map(|ip| !blacklist.contains(ip))
+                        .unwrap_or(false)
+                    && !world
+                        .border_filtered_asns
+                        .iter()
+                        .any(|&(asn, w)| m.asn == asn && week >= w)
+            })
+            .count() as u64;
+        let mut enriched = EnrichSink::new(&world, sink);
+        let result = enumerate_with_sink(&mut world, vantage, 0xF161 + week as u64, &mut enriched);
+        let meta = vec![
+            (META_TRUTH.to_string(), truth.to_string()),
+            (META_PROBES.to_string(), result.probes_sent.to_string()),
+            (
+                META_SKIPPED.to_string(),
+                result.skipped_blacklisted.to_string(),
+            ),
+        ];
+        sink.commit(&format!("week-{week}"), world.now().millis(), &meta)?;
+    }
+    Ok(())
+}
+
+/// Derive the Figure 1 series (and the per-country snapshots Tables
+/// 1–2 need) from a committed weekly snapshot sequence.
+pub fn fig1_from_source(src: &dyn SnapshotSource) -> io::Result<Fig1Report> {
+    let mut report = Fig1Report::default();
+    let last = src.snapshot_count().saturating_sub(1);
+    src.for_each_snapshot(&mut |snap| {
+        let mut row = WeekRow {
+            week: snap.seq,
+            ..WeekRow::default()
+        };
+        let mut by_country: BTreeMap<String, u64> = BTreeMap::new();
+        for o in &snap.records {
+            row.all += 1;
+            match o.rcode {
+                0 => row.noerror += 1,
+                5 => row.refused += 1,
+                2 => row.servfail += 1,
+                _ => {}
+            }
+            if o.flags & flags::PROXY != 0 {
+                row.proxy_responders += 1;
+            }
+            if o.rcode == 0 && o.country != 0 {
+                *by_country
+                    .entry(src.string(o.country).to_string())
+                    .or_insert(0) += 1;
+            }
+        }
+        report.ground_truth_noerror.push(
+            snap.meta_value(META_TRUTH)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+        );
+        if snap.seq == 0 {
+            report.first_by_country = by_country.clone();
+        }
+        if snap.seq == last {
+            report.last_by_country = by_country;
+        }
+        report.weeks.push(row);
+        Ok(())
+    })?;
+    Ok(report)
+}
+
+/// Run (or resume, or merely reopen) the weekly campaign against the
+/// persistent store under `dir` and derive Figure 1 from it. When the
+/// store already holds all `weeks` snapshots nothing is re-simulated.
+pub fn stored_fig1(
+    cfg: WorldConfig,
+    weeks: u32,
+    dir: &Path,
+) -> io::Result<(Fig1Report, StoreStats)> {
+    let mut store = CampaignStore::open(dir.join("weekly"))?;
+    let committed = store.snapshot_count();
+    if committed < weeks {
+        collect_weekly(cfg, weeks, committed, &mut store)?;
+    }
+    Ok((fig1_from_source(&store)?, store.stats()))
+}
+
+// =====================================================================
+// Churn cohort tracking (Fig. 2)
+// =====================================================================
+
+/// Run the churn campaign into `sink`, resuming past any committed
+/// rounds. The cohort comes from a fresh enumeration on the first run
+/// and is read back from snapshot 0 on resume.
+pub fn collect_churn<S: SnapshotSink + SnapshotSource>(
+    cfg: WorldConfig,
+    weeks: u32,
+    sink: &mut S,
+) -> io::Result<()> {
+    let committed = sink.snapshot_count();
+    if committed >= weeks + 2 {
+        return Ok(()); // cohort + day1 + weekly rounds all durable
+    }
+    let mut world = build_world(cfg);
+    let vantage = world.scanner_ip;
+    let cohort: Vec<std::net::Ipv4Addr> = if committed == 0 {
+        scanner::enumerate(&mut world, vantage, 0xF162).noerror_ips()
+    } else {
+        sink.snapshot(0)?.records.iter().map(|o| o.ipv4()).collect()
+    };
+    let mut enriched = EnrichSink::new(&world, sink);
+    track_cohort_with_sink(
+        &mut world,
+        vantage,
+        &cohort,
+        weeks,
+        0xF162,
+        &mut enriched,
+        committed,
+    )
+}
+
+/// Derive Figure 2 from a committed churn snapshot sequence.
+pub fn fig2_from_source(src: &dyn SnapshotSource) -> io::Result<Fig2Report> {
+    Ok(Fig2Report {
+        churn: churn_from_source(src)?,
+    })
+}
+
+/// Run (or resume, or merely reopen) the churn campaign against the
+/// persistent store under `dir` and derive Figure 2 from it.
+pub fn stored_fig2(
+    cfg: WorldConfig,
+    weeks: u32,
+    dir: &Path,
+) -> io::Result<(Fig2Report, StoreStats)> {
+    let mut store = CampaignStore::open(dir.join("churn"))?;
+    collect_churn(cfg, weeks, &mut store)?;
+    Ok((fig2_from_source(&store)?, store.stats()))
+}
+
+// =====================================================================
+// CHAOS fingerprinting (Table 3) from a stored snapshot
+// =====================================================================
+
+/// Derive Table 3 from a committed CHAOS snapshot: outcome codes live
+/// in the flag bits, version strings in the interned `software` field.
+pub fn table3_from_source(src: &dyn SnapshotSource, seq: u32) -> io::Result<Table3Report> {
+    let snap = src.snapshot(seq)?;
+    let mut report = Table3Report::default();
+    for o in &snap.records {
+        match flags::chaos_outcome(o.flags) {
+            flags::CHAOS_ERRORS => {
+                report.responding += 1;
+                report.errors += 1;
+            }
+            flags::CHAOS_EMPTY => {
+                report.responding += 1;
+                report.empty += 1;
+            }
+            flags::CHAOS_VERSION => {
+                report.responding += 1;
+                match classify_version(src.string(o.software)) {
+                    SoftwareClass::Known { family, version } => {
+                        report.genuine += 1;
+                        *report
+                            .versions
+                            .entry(format!("{family} {version}"))
+                            .or_insert(0) += 1;
+                    }
+                    SoftwareClass::Custom(_) => report.custom += 1,
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(report)
+}
+
+/// Run (or reopen) the CHAOS campaign against the persistent store
+/// under `dir` and derive Table 3. The fleet is enumerated fresh only
+/// when the store has no committed CHAOS snapshot yet.
+pub fn stored_table3(
+    cfg: WorldConfig,
+    seed: u64,
+    dir: &Path,
+) -> io::Result<(Table3Report, StoreStats)> {
+    let mut store = CampaignStore::open(dir.join("chaos"))?;
+    if store.snapshot_count() == 0 {
+        let mut world = build_world(cfg);
+        let vantage = world.scanner_ip;
+        let fleet = scanner::enumerate(&mut world, vantage, seed).noerror_ips();
+        let mut enriched = EnrichSink::new(&world, &mut store);
+        scanner::chaos_scan_with_sink(&mut world, vantage, &fleet, seed, &mut enriched);
+        let t_ms = world.now().millis();
+        store.commit("chaos", t_ms, &[])?;
+    }
+    Ok((table3_from_source(&store, 0)?, store.stats()))
+}

@@ -4,11 +4,50 @@ use classify::snoopclass::{classify_snoop, estimate_full_ttls};
 use classify::{classify_version, fingerprint_device, SoftwareClass, UtilizationClass};
 use geodb::Rir;
 use scanner::campaign::enumerate::VerificationReport;
-use scanner::{banner_scan, chaos_scan, enumerate, snoop_scan, track_cohort, ChaosObservation, ChurnResult};
+use scanner::{banner_scan, chaos_scan, enumerate, snoop_scan, ChaosObservation, ChurnResult};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
-use worldgen::{build_world, World, WorldConfig};
+use worldgen::{World, WorldConfig};
+
+/// The experiment registry: every id `repro --exp` accepts (besides
+/// `all`), with the artifact it regenerates. `repro --list` prints it
+/// and unknown ids are rejected against it.
+pub const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig1", "Figure 1 — weekly open-resolver counts"),
+    ("tab1", "Table 1 — resolver fluctuation per country"),
+    ("tab2", "Table 2 — resolver fluctuation per RIR"),
+    ("tab3", "Table 3 — CHAOS software fingerprinting"),
+    ("tab4", "Table 4 — TCP banner device fingerprinting"),
+    ("fig2", "Figure 2 — cohort IP churn"),
+    ("util", "Sec. 2.6 — cache-snooping utilization"),
+    ("verify", "Sec. 2.2 — dual-vantage verification scan"),
+    (
+        "analysis",
+        "Sec. 3 — response-manipulation analysis (tab5/fig4/censorship/cases)",
+    ),
+    (
+        "tab5",
+        "Table 5 — answer-manipulation clusters (via analysis)",
+    ),
+    ("fig4", "Figure 4 — manipulated-response CDF (via analysis)"),
+    (
+        "censorship",
+        "Sec. 3.5 — censorship case studies (via analysis)",
+    ),
+    ("cases", "Sec. 3.6 — cluster case studies (via analysis)"),
+    ("prefilter", "Sec. 3.2 — prefilter funnel (via analysis)"),
+    (
+        "closedloop",
+        "validation — generated ground truth vs recovered values",
+    ),
+    ("ablations", "design-choice ablations (A-ABL1..A-ABL4)"),
+];
+
+/// Whether `id` is a valid `--exp` argument.
+pub fn known_experiment(id: &str) -> bool {
+    id == "all" || EXPERIMENTS.iter().any(|(k, _)| *k == id)
+}
 
 // =====================================================================
 // E-FIG1 — weekly resolver counts
@@ -67,67 +106,14 @@ impl Fig1Report {
 }
 
 /// Run `weeks` weekly scans over a fresh world (E-FIG1, plus the
-/// snapshots feeding Tables 1–2).
+/// snapshots feeding Tables 1–2). The campaign streams into an
+/// in-memory snapshot store and the report is derived back out of it —
+/// the same collect/derive code `repro --store` runs against the
+/// persistent [`scanstore::CampaignStore`].
 pub fn fig1_weekly_counts(cfg: WorldConfig, weeks: u32) -> Fig1Report {
-    let mut world = build_world(cfg);
-    let vantage = world.scanner_ip;
-    let blacklist = scanner::Blacklist::new(
-        world.blacklist_ranges.clone(),
-        world.blacklist_singles.clone(),
-    );
-    let mut report = Fig1Report::default();
-    for week in 0..weeks {
-        world.advance_to_week(week);
-        // Ground truth for the cross-check: alive NOERROR resolvers
-        // reachable by the scan (not opted out, not behind filters we
-        // cannot model from outside — filters are counted as reachable,
-        // which keeps the check honest about what scanning misses).
-        let truth = world
-            .resolvers
-            .iter()
-            .filter(|m| {
-                m.response_class == worldgen::world::ResponseClass::NoError
-                    && m.alive.load(std::sync::atomic::Ordering::Relaxed)
-                    && world
-                        .resolver_ip(m)
-                        .map(|ip| !blacklist.contains(ip))
-                        .unwrap_or(false)
-                    // ASes behind full border filters are invisible to
-                    // *every* outside observer (incl. the ORP).
-                    && !world
-                        .border_filtered_asns
-                        .iter()
-                        .any(|&(asn, w)| m.asn == asn && week >= w)
-            })
-            .count() as u64;
-        report.ground_truth_noerror.push(truth);
-        let result = enumerate(&mut world, vantage, 0xF161 + week as u64);
-        let counts = result.counts();
-        report.weeks.push(WeekRow {
-            week,
-            all: counts.get("ALL").copied().unwrap_or(0),
-            noerror: counts.get("NOERROR").copied().unwrap_or(0),
-            refused: counts.get("REFUSED").copied().unwrap_or(0),
-            servfail: counts.get("SERVFAIL").copied().unwrap_or(0),
-            proxy_responders: result.mismatched_sources(),
-        });
-        let snapshot = |world: &World, result: &scanner::EnumerationResult| {
-            let mut by_country: BTreeMap<String, u64> = BTreeMap::new();
-            for ip in result.noerror_ips() {
-                if let Some(cc) = world.geo.country(ip) {
-                    *by_country.entry(cc.as_str().to_string()).or_insert(0) += 1;
-                }
-            }
-            by_country
-        };
-        if week == 0 {
-            report.first_by_country = snapshot(&world, &result);
-        }
-        if week == weeks - 1 {
-            report.last_by_country = snapshot(&world, &result);
-        }
-    }
-    report
+    let mut mem = scanstore::MemoryStore::new();
+    crate::collect::collect_weekly(cfg, weeks, 0, &mut mem).expect("in-memory sink cannot fail");
+    crate::collect::fig1_from_source(&mem).expect("in-memory source cannot fail")
 }
 
 // =====================================================================
@@ -225,11 +211,8 @@ impl Table3Report {
     /// Top-n versions with shares among version-leaking resolvers.
     pub fn top_versions(&self, n: usize) -> Vec<(String, f64)> {
         let total: u64 = self.versions.values().sum();
-        let mut v: Vec<(String, u64)> = self
-            .versions
-            .iter()
-            .map(|(k, &c)| (k.clone(), c))
-            .collect();
+        let mut v: Vec<(String, u64)> =
+            self.versions.iter().map(|(k, &c)| (k.clone(), c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(n);
         v.into_iter()
@@ -350,14 +333,12 @@ pub struct Fig2Report {
     pub churn: ChurnResult,
 }
 
-/// Track the initial cohort for `weeks` weeks (E-FIG2).
+/// Track the initial cohort for `weeks` weeks (E-FIG2), through the
+/// same collect/derive split as [`fig1_weekly_counts`].
 pub fn fig2_churn(cfg: WorldConfig, weeks: u32) -> Fig2Report {
-    let mut world = build_world(cfg);
-    let vantage = world.scanner_ip;
-    let result = enumerate(&mut world, vantage, 0xF162);
-    let cohort = result.noerror_ips();
-    let churn = track_cohort(&mut world, vantage, &cohort, weeks, 0xF162);
-    Fig2Report { churn }
+    let mut mem = scanstore::MemoryStore::new();
+    crate::collect::collect_churn(cfg, weeks, &mut mem).expect("in-memory sink cannot fail");
+    crate::collect::fig2_from_source(&mem).expect("in-memory source cannot fail")
 }
 
 // =====================================================================
@@ -395,7 +376,12 @@ impl UtilReport {
 
 /// Snoop `sample` resolvers for `rounds` hourly rounds and classify
 /// utilization (E-UTIL). Advances world time by `rounds` hours.
-pub fn utilization(world: &mut World, fleet: &[Ipv4Addr], sample: usize, rounds: usize) -> UtilReport {
+pub fn utilization(
+    world: &mut World,
+    fleet: &[Ipv4Addr],
+    sample: usize,
+    rounds: usize,
+) -> UtilReport {
     let vantage = world.scanner_ip;
     let sample: Vec<Ipv4Addr> = fleet.iter().copied().take(sample).collect();
     let snooped = snoop_scan(world, vantage, &sample, rounds, 0x5009);
@@ -493,12 +479,7 @@ pub fn closed_loop(world: &mut World, snoop_sample: usize) -> Vec<ClosedLoopRow>
         / alive_noerror.len().max(1) as f64;
     let truth_zynos = alive_noerror
         .iter()
-        .filter(|m| {
-            matches!(
-                m.device,
-                Some(worldgen::plan::DeviceClassPlan::RouterZyNos)
-            )
-        })
+        .filter(|m| matches!(m.device, Some(worldgen::plan::DeviceClassPlan::RouterZyNos)))
         .count() as f64;
 
     // Measurements.
@@ -532,8 +513,7 @@ pub fn closed_loop(world: &mut World, snoop_sample: usize) -> Vec<ClosedLoopRow>
     rows.push(ClosedLoopRow {
         metric: "ZyNOS devices".into(),
         generated: truth_zynos,
-        recovered: t4.os.get("ZyNOS").copied().unwrap_or(0.0) / 100.0
-            * t4.tcp_responsive as f64,
+        recovered: t4.os.get("ZyNOS").copied().unwrap_or(0.0) / 100.0 * t4.tcp_responsive as f64,
     });
 
     // Utilization: generated in-use share (frequent + slow profiles of

@@ -24,12 +24,18 @@
 //! | `resolversim` | resolver/web/mail host behaviours + tokio loopback server |
 //! | `worldgen` | population synthesis calibrated to the paper |
 //! | `scanner` | scanning campaigns + tokio UDP driver |
+//! | `scanstore` | persistent delta-encoded snapshot store, checkpoint/resume |
 //! | `classify` | prefilter, clustering, labeling, fingerprinting, case studies |
 //! | `goingwild` | this crate: pipeline orchestration, experiments, reports |
 
+pub mod collect;
 pub mod experiments;
 pub mod pipeline;
 pub mod report;
 
+pub use collect::{
+    collect_churn, collect_weekly, fig1_from_source, fig2_from_source, stored_fig1, stored_fig2,
+    stored_table3, table3_from_source, EnrichSink,
+};
 pub use pipeline::{run_analysis, AnalysisOptions, AnalysisReport};
 pub use worldgen::{build_world, World, WorldConfig};

@@ -10,8 +10,8 @@ use classify::censorship::{
 };
 use classify::labeler::{label_cluster, label_page, Label, LabelInput};
 use classify::{fine_cluster, FilterVerdict, PreFilter, TrustedView};
-use htmlsim::diff::tag_delta;
 use geodb::Country;
+use htmlsim::diff::tag_delta;
 use htmlsim::distance::{page_distance, FeatureWeights};
 use htmlsim::{PageFeatures, TagInterner};
 use resolversim::{DomainCategory, Resolution};
@@ -259,7 +259,10 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
             .iter()
             .map(|d| (d.name.clone(), d.category))
             .collect();
-        v.push((world.catalog.ground_truth.clone(), DomainCategory::GroundTruth));
+        v.push((
+            world.catalog.ground_truth.clone(),
+            DomainCategory::GroundTruth,
+        ));
         if let Some(filter) = &opts.domains {
             v.retain(|(n, _)| filter.contains(n));
         }
@@ -329,8 +332,7 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
         })
         .map(|(i, _)| i as u16)
         .collect();
-    let resolver_country: Vec<Option<Country>> =
-        fleet.iter().map(|ip| geo.country(*ip)).collect();
+    let resolver_country: Vec<Option<Country>> = fleet.iter().map(|ip| geo.country(*ip)).collect();
 
     {
         let per_category = &mut report.per_category;
@@ -449,7 +451,14 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
         }
         let di = t.domain_idx as usize;
         let is_mail = category_of[di] == DomainCategory::Mx;
-        let got = acquire(world, vantage, t.resolver_ip, &domain_names[di], ip, is_mail);
+        let got = acquire(
+            world,
+            vantage,
+            t.resolver_ip,
+            &domain_names[di],
+            ip,
+            is_mail,
+        );
         pair_content.insert(key, got);
     }
 
@@ -480,7 +489,10 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
     for (&(di, ip), got) in &pair_content {
         let domain = &domain_names[di as usize];
         let sni = got.https_sni.as_ref().and_then(|p| p.certificate.as_ref());
-        let nosni = got.https_nosni.as_ref().and_then(|p| p.certificate.as_ref());
+        let nosni = got
+            .https_nosni
+            .as_ref()
+            .and_then(|p| p.certificate.as_ref());
         match prefilter.certificate_rule(domain, sni, nosni) {
             Some(classify::CertRule::CdnDefault) => {
                 cert_ok_pairs.insert((di, ip));
@@ -497,9 +509,7 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
         for &(_, ip) in &sni_only_pairs {
             *per_ip.entry(ip).or_insert(0) += 1;
         }
-        cert_ok_pairs.retain(|pair| {
-            !sni_only_pairs.contains(pair) || per_ip[&pair.1] <= 3
-        });
+        cert_ok_pairs.retain(|pair| !sni_only_pairs.contains(pair) || per_ip[&pair.1] <= 3);
     }
     for t in &unexpected {
         if let Some(&ip) = t.ips.first() {
@@ -604,8 +614,10 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
     // Cluster (capped) + nearest-exemplar assignment for the rest.
     let weights = FeatureWeights::default();
     let n_direct = groups.len().min(opts.cluster_cap);
-    let direct_features: Vec<PageFeatures> =
-        groups[..n_direct].iter().map(|g| g.features.clone()).collect();
+    let direct_features: Vec<PageFeatures> = groups[..n_direct]
+        .iter()
+        .map(|g| g.features.clone())
+        .collect();
     let flat = classify::cluster_pages(&direct_features, &weights, opts.cluster_threshold);
     report.clusters = flat.len();
     report.clustered_directly = n_direct;
@@ -702,9 +714,13 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
         let mut candidates: Vec<usize> = Vec::new();
         let mut deltas = Vec::new();
         for (gi, g) in groups.iter().enumerate() {
-            let Some(&(di, _)) = g.pairs.first() else { continue };
+            let Some(&(di, _)) = g.pairs.first() else {
+                continue;
+            };
             let domain = &domain_names[di as usize];
-            let Some(gtf) = gt_features.get(domain) else { continue };
+            let Some(gtf) = gt_features.get(domain) else {
+                continue;
+            };
             let d = page_distance(&g.features, gtf, &weights);
             if d > 0.0 && d < 0.35 {
                 candidates.push(gi);
@@ -739,9 +755,11 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
                     example_domain,
                 });
             }
-            report
-                .modifications
-                .sort_by(|a, b| b.tuples.cmp(&a.tuples).then(a.example_domain.cmp(&b.example_domain)));
+            report.modifications.sort_by(|a, b| {
+                b.tuples
+                    .cmp(&a.tuples)
+                    .then(a.example_domain.cmp(&b.example_domain))
+            });
         }
     }
 
@@ -828,8 +846,7 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
                 shares: BTreeMap::new(),
             };
             for (label, (sum, max)) in labels {
-                row.shares
-                    .insert(label.name().to_string(), (sum / n, max));
+                row.shares.insert(label.name().to_string(), (sum / n, max));
             }
             report.table5.push(row);
         }
@@ -840,12 +857,11 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
         let mut seen_all: HashMap<u32, ()> = HashMap::new();
         let mut seen_unexpected: BTreeSet<u32> = BTreeSet::new();
         for t in &social_tuples {
-            if t.response_ordinal == 0
-                && seen_all.insert(t.resolver_idx, ()).is_none() {
-                    if let Some(cc) = resolver_country[t.resolver_idx as usize] {
-                        *report.fig4.all.entry(cc.as_str().to_string()).or_insert(0) += 1;
-                    }
+            if t.response_ordinal == 0 && seen_all.insert(t.resolver_idx, ()).is_none() {
+                if let Some(cc) = resolver_country[t.resolver_idx as usize] {
+                    *report.fig4.all.entry(cc.as_str().to_string()).or_insert(0) += 1;
                 }
+            }
         }
         for t in &unexpected {
             if social_idx.contains(&t.domain_idx) && seen_unexpected.insert(t.resolver_idx) {

@@ -88,7 +88,10 @@ pub fn render_table3(report: &Table3Report) -> String {
         100.0 * report.custom as f64 / total,
         100.0 * report.genuine as f64 / total,
     );
-    let _ = writeln!(out, "(paper: 42.7% errors, 4.6% empty, 18.8% custom, 33.9% genuine)");
+    let _ = writeln!(
+        out,
+        "(paper: 42.7% errors, 4.6% empty, 18.8% custom, 33.9% genuine)"
+    );
     let _ = writeln!(out, "{:<22} {:>8}  known CVE classes", "software", "share");
     for (k, share) in report.top_versions(10) {
         let cve = resolversim::software::TABLE3_SOFTWARE
@@ -98,7 +101,11 @@ pub fn render_table3(report: &Table3Report) -> String {
             .unwrap_or("-");
         let _ = writeln!(out, "{k:<22} {share:>7.1}%  {cve}");
     }
-    let _ = writeln!(out, "BIND share among leakers: {:.1}% (paper: 60.2%)", 100.0 * report.bind_share());
+    let _ = writeln!(
+        out,
+        "BIND share among leakers: {:.1}% (paper: 60.2%)",
+        100.0 * report.bind_share()
+    );
     out
 }
 
@@ -132,12 +139,21 @@ pub fn render_table4(report: &Table4Report) -> String {
 pub fn render_fig2(report: &Fig2Report) -> String {
     let mut out = String::new();
     let c = &report.churn;
-    let _ = writeln!(out, "Figure 2 — IP churn of the initial cohort ({} resolvers)", c.cohort);
+    let _ = writeln!(
+        out,
+        "Figure 2 — IP churn of the initial cohort ({} resolvers)",
+        c.cohort
+    );
     let day1 = 100.0 * c.day1_survivors as f64 / c.cohort.max(1) as f64;
     let _ = writeln!(out, "day-1 survival: {day1:.1}% (paper: <60%)");
     for (i, s) in c.survivors.iter().enumerate() {
         let pct = 100.0 * *s as f64 / c.cohort.max(1) as f64;
-        let _ = writeln!(out, "  week {:>2}: {:>6.1}% still at their address", i + 1, pct);
+        let _ = writeln!(
+            out,
+            "  week {:>2}: {:>6.1}% still at their address",
+            i + 1,
+            pct
+        );
     }
     if c.day1_leavers_with_rdns > 0 {
         let _ = writeln!(
@@ -152,11 +168,19 @@ pub fn render_fig2(report: &Fig2Report) -> String {
 /// Render the utilization report.
 pub fn render_util(report: &UtilReport) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Sec. 2.6 — cache-snooping utilization ({} resolvers probed)", report.probed);
+    let _ = writeln!(
+        out,
+        "Sec. 2.6 — cache-snooping utilization ({} resolvers probed)",
+        report.probed
+    );
     for (k, v) in &report.shares {
         let _ = writeln!(out, "  {k:<20} {v:>6.1}%");
     }
-    let _ = writeln!(out, "in-use total: {:.1}% (paper: 61.6%)", report.in_use_share());
+    let _ = writeln!(
+        out,
+        "in-use total: {:.1}% (paper: 61.6%)",
+        report.in_use_share()
+    );
     if let (Some(med), Some(p90)) = (report.popularity_median, report.popularity_p90) {
         let _ = writeln!(
             out,
@@ -194,7 +218,11 @@ pub fn render_analysis(report: &AnalysisReport) -> String {
     let _ = writeln!(
         out,
         "\nOddities: suspicious={}  self-IP={}  static-single-IP={}  same-set={}  NS-only={}",
-        o.suspicious_resolvers, o.self_ip_everywhere, o.static_single_ip, o.same_set_multi_domain, o.ns_only
+        o.suspicious_resolvers,
+        o.self_ip_everywhere,
+        o.static_single_ip,
+        o.same_set_multi_domain,
+        o.ns_only
     );
     if o.self_ip_everywhere > 0 {
         let _ = writeln!(
@@ -216,7 +244,15 @@ pub fn render_analysis(report: &AnalysisReport) -> String {
     );
 
     let _ = writeln!(out, "\nTable 5 — label shares per category (avg% / max%):");
-    let labels = ["Blocking", "Censorship", "HTTP Error", "Login", "Misc.", "Parking", "Search"];
+    let labels = [
+        "Blocking",
+        "Censorship",
+        "HTTP Error",
+        "Login",
+        "Misc.",
+        "Parking",
+        "Search",
+    ];
     let _ = write!(out, "{:<12}", "category");
     for l in labels {
         let _ = write!(out, "{l:>19}");
@@ -232,7 +268,10 @@ pub fn render_analysis(report: &AnalysisReport) -> String {
         let _ = writeln!(out);
     }
 
-    let _ = writeln!(out, "\nFigure 4 — country mix for Facebook/Twitter/YouTube (unexpected):");
+    let _ = writeln!(
+        out,
+        "\nFigure 4 — country mix for Facebook/Twitter/YouTube (unexpected):"
+    );
     let mut shares: Vec<(String, u64)> = report
         .fig4
         .unexpected
@@ -242,7 +281,11 @@ pub fn render_analysis(report: &AnalysisReport) -> String {
     shares.sort_by_key(|(_, v)| std::cmp::Reverse(*v));
     let total: u64 = shares.iter().map(|(_, v)| *v).sum();
     for (cc, v) in shares.iter().take(6) {
-        let _ = writeln!(out, "  {cc}: {:.1}%", 100.0 * *v as f64 / total.max(1) as f64);
+        let _ = writeln!(
+            out,
+            "  {cc}: {:.1}%",
+            100.0 * *v as f64 / total.max(1) as f64
+        );
     }
     let _ = writeln!(out, "(paper: CN 83.6%, IR 12.9%)");
 
@@ -282,7 +325,11 @@ pub fn render_analysis(report: &AnalysisReport) -> String {
         cases.phishing.len()
     );
     let ad_ip_count: usize = cases.ads.by_class.values().map(|s| s.len()).sum();
-    let _ = writeln!(out, "  ad manipulation: {ad_ip_count} IPs across {} classes", cases.ads.by_class.len());
+    let _ = writeln!(
+        out,
+        "  ad manipulation: {ad_ip_count} IPs across {} classes",
+        cases.ads.by_class.len()
+    );
     let _ = writeln!(
         out,
         "  mail interception: {} listening IPs, {} banner clones (paper: 1,135 / 8-resolver clones)",
@@ -307,8 +354,22 @@ mod tests {
     fn fig1_rendering_contains_series_and_decline() {
         let report = Fig1Report {
             weeks: vec![
-                WeekRow { week: 0, all: 100, noerror: 90, refused: 8, servfail: 2, proxy_responders: 3 },
-                WeekRow { week: 1, all: 80, noerror: 60, refused: 8, servfail: 12, proxy_responders: 2 },
+                WeekRow {
+                    week: 0,
+                    all: 100,
+                    noerror: 90,
+                    refused: 8,
+                    servfail: 2,
+                    proxy_responders: 3,
+                },
+                WeekRow {
+                    week: 1,
+                    all: 80,
+                    noerror: 60,
+                    refused: 8,
+                    servfail: 12,
+                    proxy_responders: 2,
+                },
             ],
             ..Default::default()
         };
@@ -322,8 +383,16 @@ mod tests {
     #[test]
     fn flux_rendering_signs_and_percentages() {
         let rows = vec![
-            FluxRow { key: "US".into(), first: 200, last: 100 },
-            FluxRow { key: "IN".into(), first: 100, last: 150 },
+            FluxRow {
+                key: "US".into(),
+                first: 200,
+                last: 100,
+            },
+            FluxRow {
+                key: "IN".into(),
+                first: 100,
+                last: 150,
+            },
         ];
         let text = render_flux("t", &rows);
         assert!(text.contains("-100"));

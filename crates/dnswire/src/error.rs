@@ -57,7 +57,10 @@ impl fmt::Display for DecodeError {
                 write!(f, "unsupported label type byte {byte:#04x}")
             }
             DecodeError::NameTooLong => write!(f, "domain name exceeds 255 octets"),
-            DecodeError::BadRdLength { expected, available } => write!(
+            DecodeError::BadRdLength {
+                expected,
+                available,
+            } => write!(
                 f,
                 "RDLENGTH announces {expected} octets but only {available} are available"
             ),

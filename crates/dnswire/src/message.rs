@@ -195,7 +195,10 @@ impl RData {
             RData::A(ip) => buf.extend_from_slice(&ip.octets()),
             RData::Aaaa(ip) => buf.extend_from_slice(&ip.octets()),
             RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => n.encode_into(buf),
-            RData::Mx { preference, exchange } => {
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
                 buf.extend_from_slice(&preference.to_be_bytes());
                 exchange.encode_into(buf);
             }
@@ -347,41 +350,55 @@ impl Message {
             pos = next;
             let rest = packet
                 .get(pos..pos + 4)
-                .ok_or(DecodeError::SectionOverrun { section: "question" })?;
+                .ok_or(DecodeError::SectionOverrun {
+                    section: "question",
+                })?;
             let qtype = RecordType::from_u16(u16::from_be_bytes([rest[0], rest[1]]));
             let qclass = RecordClass::from_u16(u16::from_be_bytes([rest[2], rest[3]]));
             pos += 4;
-            questions.push(Question { qname, qtype, qclass });
+            questions.push(Question {
+                qname,
+                qtype,
+                qclass,
+            });
         }
 
-        let decode_section =
-            |count: usize, section: &'static str, pos: &mut usize| -> Result<Vec<ResourceRecord>, DecodeError> {
-                let mut records = Vec::with_capacity(count.min(32));
-                for _ in 0..count {
-                    let (name, next) = Name::decode(packet, *pos)?;
-                    *pos = next;
-                    let fixed = packet
-                        .get(*pos..*pos + 10)
-                        .ok_or(DecodeError::SectionOverrun { section })?;
-                    let rtype = RecordType::from_u16(u16::from_be_bytes([fixed[0], fixed[1]]));
-                    let rclass = RecordClass::from_u16(u16::from_be_bytes([fixed[2], fixed[3]]));
-                    let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
-                    let rdlen = u16::from_be_bytes([fixed[8], fixed[9]]) as usize;
-                    *pos += 10;
-                    let rdata_start = *pos;
-                    let rdata_end = rdata_start + rdlen;
-                    if packet.len() < rdata_end {
-                        return Err(DecodeError::BadRdLength {
-                            expected: rdlen,
-                            available: packet.len().saturating_sub(rdata_start),
-                        });
-                    }
-                    let rdata = decode_rdata(packet, rdata_start, rdata_end, rtype)?;
-                    *pos = rdata_end;
-                    records.push(ResourceRecord { name, rtype, rclass, ttl, rdata });
+        let decode_section = |count: usize,
+                              section: &'static str,
+                              pos: &mut usize|
+         -> Result<Vec<ResourceRecord>, DecodeError> {
+            let mut records = Vec::with_capacity(count.min(32));
+            for _ in 0..count {
+                let (name, next) = Name::decode(packet, *pos)?;
+                *pos = next;
+                let fixed = packet
+                    .get(*pos..*pos + 10)
+                    .ok_or(DecodeError::SectionOverrun { section })?;
+                let rtype = RecordType::from_u16(u16::from_be_bytes([fixed[0], fixed[1]]));
+                let rclass = RecordClass::from_u16(u16::from_be_bytes([fixed[2], fixed[3]]));
+                let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
+                let rdlen = u16::from_be_bytes([fixed[8], fixed[9]]) as usize;
+                *pos += 10;
+                let rdata_start = *pos;
+                let rdata_end = rdata_start + rdlen;
+                if packet.len() < rdata_end {
+                    return Err(DecodeError::BadRdLength {
+                        expected: rdlen,
+                        available: packet.len().saturating_sub(rdata_start),
+                    });
                 }
-                Ok(records)
-            };
+                let rdata = decode_rdata(packet, rdata_start, rdata_end, rtype)?;
+                *pos = rdata_end;
+                records.push(ResourceRecord {
+                    name,
+                    rtype,
+                    rclass,
+                    ttl,
+                    rdata,
+                });
+            }
+            Ok(records)
+        };
 
         let answers = decode_section(an, "answer", &mut pos)?;
         let authorities = decode_section(ns, "authority", &mut pos)?;
@@ -398,7 +415,10 @@ impl Message {
 
     /// All IPv4 addresses in the answer section, in order.
     pub fn answer_ips(&self) -> Vec<Ipv4Addr> {
-        self.answers.iter().filter_map(|rr| rr.rdata.as_a()).collect()
+        self.answers
+            .iter()
+            .filter_map(|rr| rr.rdata.as_a())
+            .collect()
     }
 
     /// The EDNS0 advertised UDP payload size, if an OPT pseudo-record is
@@ -420,9 +440,7 @@ fn decode_rdata(
 ) -> Result<RData, DecodeError> {
     let raw = &packet[start..end];
     let rdata = match rtype {
-        RecordType::A if raw.len() == 4 => {
-            RData::A(Ipv4Addr::new(raw[0], raw[1], raw[2], raw[3]))
-        }
+        RecordType::A if raw.len() == 4 => RData::A(Ipv4Addr::new(raw[0], raw[1], raw[2], raw[3])),
         RecordType::Aaaa if raw.len() == 16 => {
             let mut o = [0u8; 16];
             o.copy_from_slice(raw);
@@ -453,7 +471,10 @@ fn decode_rdata(
                     available: next - start,
                 });
             }
-            RData::Mx { preference, exchange }
+            RData::Mx {
+                preference,
+                exchange,
+            }
         }
         RecordType::Txt => {
             let mut parts = Vec::new();
@@ -474,7 +495,9 @@ fn decode_rdata(
             let (rname, next2) = Name::decode(packet, next)?;
             let fixed = packet
                 .get(next2..next2 + 20)
-                .ok_or(DecodeError::Truncated { context: "SOA fixed fields" })?;
+                .ok_or(DecodeError::Truncated {
+                    context: "SOA fixed fields",
+                })?;
             if next2 + 20 > end {
                 return Err(DecodeError::BadRdLength {
                     expected: end - start,
@@ -676,7 +699,11 @@ mod tests {
     fn ns_soa_mx_round_trip() {
         let q = MessageBuilder::query(9, name("example.org"), RecordType::Any).build();
         let r = MessageBuilder::response_to(&q, Rcode::NoError)
-            .answer(ResourceRecord::ns(name("example.org"), 3600, name("ns1.example.org")))
+            .answer(ResourceRecord::ns(
+                name("example.org"),
+                3600,
+                name("ns1.example.org"),
+            ))
             .answer(ResourceRecord {
                 name: name("example.org"),
                 rtype: RecordType::Mx,

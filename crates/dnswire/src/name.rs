@@ -175,9 +175,9 @@ impl Name {
         let mut hops = 0usize;
 
         loop {
-            let len_byte = *packet
-                .get(pos)
-                .ok_or(DecodeError::Truncated { context: "name label length" })?;
+            let len_byte = *packet.get(pos).ok_or(DecodeError::Truncated {
+                context: "name label length",
+            })?;
             match len_byte {
                 0 => {
                     let next = end_of_name.unwrap_or(pos + 1);
@@ -185,9 +185,9 @@ impl Name {
                     return Ok((name, next));
                 }
                 l if l & 0xc0 == 0xc0 => {
-                    let second = *packet
-                        .get(pos + 1)
-                        .ok_or(DecodeError::Truncated { context: "compression pointer" })?;
+                    let second = *packet.get(pos + 1).ok_or(DecodeError::Truncated {
+                        context: "compression pointer",
+                    })?;
                     let target = (((l & 0x3f) as usize) << 8) | second as usize;
                     // Pointers must go strictly backwards to guarantee progress.
                     if target >= pos {
@@ -209,9 +209,9 @@ impl Name {
                     let l = l as usize;
                     let start = pos + 1;
                     let end = start + l;
-                    let label = packet
-                        .get(start..end)
-                        .ok_or(DecodeError::Truncated { context: "name label" })?;
+                    let label = packet.get(start..end).ok_or(DecodeError::Truncated {
+                        context: "name label",
+                    })?;
                     wire_len += 1 + l;
                     if wire_len > MAX_NAME_WIRE_LEN {
                         return Err(DecodeError::NameTooLong);

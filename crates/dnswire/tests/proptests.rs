@@ -35,35 +35,55 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
         arb_name().prop_map(RData::Ns),
         arb_name().prop_map(RData::Cname),
         arb_name().prop_map(RData::Ptr),
-        (any::<u16>(), arb_name())
-            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
         proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..3)
             .prop_map(RData::Txt),
-        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
-            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| RData::Soa {
-                mname, rname, serial, refresh, retry, expire, minimum
+        (
+            arb_name(),
+            arb_name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum,
+                }
             }),
         proptest::collection::vec(any::<u8>(), 0..48).prop_map(RData::Opaque),
     ]
 }
 
 fn arb_record() -> impl Strategy<Value = ResourceRecord> {
-    (arb_name(), arb_rdata(), any::<u32>(), any::<u16>()).prop_map(|(name, rdata, ttl, class_raw)| {
-        // Type must agree with the rdata shape for a faithful round trip;
-        // Opaque uses an unknown type code to avoid structured decoding.
-        let rtype = rdata.record_type().unwrap_or(RecordType::Other(9999));
-        ResourceRecord {
-            name,
-            rtype,
-            rclass: if rtype == RecordType::Other(9999) {
-                RecordClass::from_u16(class_raw)
-            } else {
-                RecordClass::In
-            },
-            ttl,
-            rdata,
-        }
-    })
+    (arb_name(), arb_rdata(), any::<u32>(), any::<u16>()).prop_map(
+        |(name, rdata, ttl, class_raw)| {
+            // Type must agree with the rdata shape for a faithful round trip;
+            // Opaque uses an unknown type code to avoid structured decoding.
+            let rtype = rdata.record_type().unwrap_or(RecordType::Other(9999));
+            ResourceRecord {
+                name,
+                rtype,
+                rclass: if rtype == RecordType::Other(9999) {
+                    RecordClass::from_u16(class_raw)
+                } else {
+                    RecordClass::In
+                },
+                ttl,
+                rdata,
+            }
+        },
+    )
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {

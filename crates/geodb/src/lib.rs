@@ -223,7 +223,10 @@ mod tests {
         let db = sample_db();
         assert!(db.same_as(ip("1.0.0.1"), ip("1.0.200.1")));
         assert!(!db.same_as(ip("1.0.0.1"), ip("5.5.0.1")));
-        assert!(!db.same_as(ip("9.9.9.9"), ip("9.9.9.10")), "unknown IPs never match");
+        assert!(
+            !db.same_as(ip("9.9.9.9"), ip("9.9.9.10")),
+            "unknown IPs never match"
+        );
         assert!(GeoDb::same_slash24(ip("2.3.4.5"), ip("2.3.4.200")));
         assert!(!GeoDb::same_slash24(ip("2.3.4.5"), ip("2.3.5.5")));
     }

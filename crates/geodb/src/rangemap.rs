@@ -73,7 +73,12 @@ pub struct IpRangeMapBuilder<T> {
 
 impl<T> IpRangeMapBuilder<T> {
     /// Insert `[start, end]` (inclusive) mapping to `value`.
-    pub fn insert(&mut self, start: Ipv4Addr, end: Ipv4Addr, value: T) -> Result<&mut Self, RangeError> {
+    pub fn insert(
+        &mut self,
+        start: Ipv4Addr,
+        end: Ipv4Addr,
+        value: T,
+    ) -> Result<&mut Self, RangeError> {
         let (s, e) = (u32::from(start), u32::from(end));
         if s > e {
             return Err(RangeError::Inverted { start: s, end: e });
@@ -87,15 +92,31 @@ impl<T> IpRangeMapBuilder<T> {
         if idx < self.ranges.len() && self.ranges[idx].start <= e {
             return Err(RangeError::Overlap { start: s, end: e });
         }
-        self.ranges.insert(idx, Range { start: s, end: e, value });
+        self.ranges.insert(
+            idx,
+            Range {
+                start: s,
+                end: e,
+                value,
+            },
+        );
         Ok(self)
     }
 
     /// Insert a CIDR block `base/prefix_len`.
-    pub fn insert_cidr(&mut self, base: Ipv4Addr, prefix_len: u8, value: T) -> Result<&mut Self, RangeError> {
+    pub fn insert_cidr(
+        &mut self,
+        base: Ipv4Addr,
+        prefix_len: u8,
+        value: T,
+    ) -> Result<&mut Self, RangeError> {
         assert!(prefix_len <= 32, "prefix length out of range");
         let b = u32::from(base);
-        let mask = if prefix_len == 0 { 0 } else { u32::MAX << (32 - prefix_len) };
+        let mask = if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        };
         let start = b & mask;
         let end = start | !mask;
         self.insert(Ipv4Addr::from(start), Ipv4Addr::from(end), value)
@@ -103,7 +124,9 @@ impl<T> IpRangeMapBuilder<T> {
 
     /// Finalize.
     pub fn build(self) -> IpRangeMap<T> {
-        IpRangeMap { ranges: self.ranges }
+        IpRangeMap {
+            ranges: self.ranges,
+        }
     }
 }
 

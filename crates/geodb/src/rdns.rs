@@ -15,7 +15,17 @@ use std::net::Ipv4Addr;
 use crate::rangemap::IpRangeMap;
 
 /// Tokens the churn analysis treats as indicating dynamic IP assignment.
-pub const DYNAMIC_TOKENS: &[&str] = &["dynamic", "dyn", "dialup", "dial", "broadband", "bb", "pool", "dhcp", "ppp"];
+pub const DYNAMIC_TOKENS: &[&str] = &[
+    "dynamic",
+    "dyn",
+    "dialup",
+    "dial",
+    "broadband",
+    "bb",
+    "pool",
+    "dhcp",
+    "ppp",
+];
 
 /// How hosts in a block are named in the reverse zone.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,7 +62,9 @@ impl RdnsPattern {
 
     /// Convenience constructor for static space.
     pub fn static_host(zone: &str) -> Self {
-        RdnsPattern::StaticHost { zone: zone.to_string() }
+        RdnsPattern::StaticHost {
+            zone: zone.to_string(),
+        }
     }
 
     /// Render the PTR target for `ip`.

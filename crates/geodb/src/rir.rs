@@ -31,13 +31,11 @@ impl Rir {
     pub fn for_country(c: Country) -> Rir {
         match c.as_str() {
             // RIPE NCC: Europe, Middle East, parts of Central Asia.
-            "TR" | "IT" | "DE" | "FR" | "GB" | "RU" | "PL" | "NL" | "ES" | "SE" | "GR"
-            | "BE" | "UA" | "RO" | "CZ" | "IR" | "LB" | "EE" | "CH" | "AT" | "PT" | "HU" => {
-                Rir::Ripe
-            }
+            "TR" | "IT" | "DE" | "FR" | "GB" | "RU" | "PL" | "NL" | "ES" | "SE" | "GR" | "BE"
+            | "UA" | "RO" | "CZ" | "IR" | "LB" | "EE" | "CH" | "AT" | "PT" | "HU" => Rir::Ripe,
             // APNIC: Asia-Pacific.
-            "CN" | "VN" | "IN" | "TH" | "TW" | "KR" | "JP" | "ID" | "MY" | "AU" | "PH"
-            | "BD" | "PK" | "HK" | "SG" | "MN" | "NZ" => Rir::Apnic,
+            "CN" | "VN" | "IN" | "TH" | "TW" | "KR" | "JP" | "ID" | "MY" | "AU" | "PH" | "BD"
+            | "PK" | "HK" | "SG" | "MN" | "NZ" => Rir::Apnic,
             // LACNIC: Latin America and the Caribbean.
             "MX" | "CO" | "AR" | "BR" | "CL" | "PE" | "VE" | "EC" | "UY" | "BO" | "PY" => {
                 Rir::Lacnic

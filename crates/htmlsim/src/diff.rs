@@ -102,10 +102,14 @@ pub fn diff_ops<T: PartialEq>(a: &[T], b: &[T]) -> Vec<DiffOp> {
         if d > 0 {
             if x == prev_x {
                 // Came via a down move: insertion of b[prev_y].
-                ops.push(DiffOp::Insert { b_idx: (y - 1) as usize });
+                ops.push(DiffOp::Insert {
+                    b_idx: (y - 1) as usize,
+                });
             } else {
                 // Came via a right move: deletion of a[prev_x].
-                ops.push(DiffOp::Delete { a_idx: (x - 1) as usize });
+                ops.push(DiffOp::Delete {
+                    a_idx: (x - 1) as usize,
+                });
             }
         }
         x = prev_x;

@@ -213,7 +213,10 @@ mod tests {
 
     #[test]
     fn levenshtein_symmetric() {
-        assert_eq!(levenshtein(b"abcdef", b"azced"), levenshtein(b"azced", b"abcdef"));
+        assert_eq!(
+            levenshtein(b"abcdef", b"azced"),
+            levenshtein(b"azced", b"abcdef")
+        );
     }
 
     #[test]
@@ -283,7 +286,10 @@ mod tests {
     fn distance_is_symmetric_and_bounded() {
         let mut i = TagInterner::new();
         let a = PageFeatures::extract("<p>one</p>", &mut i);
-        let b = PageFeatures::extract("<html><body><table><tr><td>x</td></tr></table></body></html>", &mut i);
+        let b = PageFeatures::extract(
+            "<html><body><table><tr><td>x</td></tr></table></body></html>",
+            &mut i,
+        );
         let w = FeatureWeights::default();
         let d1 = page_distance(&a, &b, &w);
         let d2 = page_distance(&b, &a, &w);

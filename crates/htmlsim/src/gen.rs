@@ -401,18 +401,28 @@ pub fn blank_ads(legit_html: &str) -> String {
         // Replace src values containing the marker with an empty pixel.
         while let Some(start) = out.find(&format!("src=\"http://{marker}")) {
             let value_start = start + 5;
-            let Some(rel_end) = out[value_start..].find('"') else { break };
+            let Some(rel_end) = out[value_start..].find('"') else {
+                break;
+            };
             out.replace_range(value_start..value_start + rel_end, "/blank.gif");
         }
     }
-    out.replace("<img src=\"http://ads.inject.example/banner1.gif\">", "<img src=\"/blank.gif\">")
+    out.replace(
+        "<img src=\"http://ads.inject.example/banner1.gif\">",
+        "<img src=\"/blank.gif\">",
+    )
 }
 
 /// The fake Flash/Java update page of Sec. 4.3 whose download is a
 /// malware dropper.
 pub fn fake_update_page(product: &str, ctx: &PageCtx) -> String {
     let mut rng = ctx.rng();
-    let version = format!("{}.{}.{}", rng.gen_range(11..17), rng.gen_range(0..9), rng.gen_range(100..900));
+    let version = format!(
+        "{}.{}.{}",
+        rng.gen_range(11..17),
+        rng.gen_range(0..9),
+        rng.gen_range(100..900)
+    );
     format!(
         "<html><head><title>{product} Update Required</title>\
          <script>setTimeout(function(){{document.getElementById('dl').click();}},3000);</script></head>\
@@ -439,9 +449,9 @@ fn capitalize(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::distance::{page_distance, FeatureWeights};
     use crate::page::PageFeatures;
     use crate::tagid::TagInterner;
-    use crate::distance::{page_distance, FeatureWeights};
 
     fn ctx(domain: &str, seed: u64) -> PageCtx {
         PageCtx::new(domain, seed)
@@ -460,8 +470,14 @@ mod tests {
     fn same_family_closer_than_cross_family() {
         let mut i = TagInterner::new();
         let w = FeatureWeights::default();
-        let bank1 = PageFeatures::extract(&legit_site(SiteCategory::Banking, &ctx("bank.example", 1)), &mut i);
-        let bank2 = PageFeatures::extract(&legit_site(SiteCategory::Banking, &ctx("bank.example", 2)), &mut i);
+        let bank1 = PageFeatures::extract(
+            &legit_site(SiteCategory::Banking, &ctx("bank.example", 1)),
+            &mut i,
+        );
+        let bank2 = PageFeatures::extract(
+            &legit_site(SiteCategory::Banking, &ctx("bank.example", 2)),
+            &mut i,
+        );
         let err = PageFeatures::extract(&http_error(404, &ctx("bank.example", 1)), &mut i);
         let within = page_distance(&bank1, &bank2, &w);
         let across = page_distance(&bank1, &err, &w);

@@ -31,7 +31,9 @@ pub mod tagid;
 pub mod token;
 
 pub use diff::{diff_ops, tag_delta, DiffOp, TagDelta};
-pub use distance::{jaccard_multiset, levenshtein, levenshtein_normalized, page_distance, FeatureWeights};
+pub use distance::{
+    jaccard_multiset, levenshtein, levenshtein_normalized, page_distance, FeatureWeights,
+};
 pub use page::PageFeatures;
 pub use tagid::TagInterner;
 pub use token::{tokenize, Token};

@@ -12,14 +12,93 @@ use std::collections::HashMap;
 /// common tags stable means feature vectors computed by different
 /// interner instances are comparable for ordinary pages.
 pub const KNOWN_TAGS: &[&str] = &[
-    "html", "head", "title", "meta", "link", "style", "script", "body", "div", "span", "p", "a",
-    "img", "br", "hr", "ul", "ol", "li", "table", "thead", "tbody", "tr", "td", "th", "form",
-    "input", "button", "select", "option", "textarea", "label", "h1", "h2", "h3", "h4", "h5",
-    "h6", "iframe", "frame", "frameset", "noscript", "b", "i", "u", "em", "strong", "small",
-    "center", "font", "pre", "code", "blockquote", "nav", "header", "footer", "section",
-    "article", "aside", "main", "figure", "figcaption", "video", "audio", "source", "canvas",
-    "svg", "object", "embed", "param", "base", "area", "map", "col", "colgroup", "caption",
-    "fieldset", "legend", "dl", "dt", "dd", "s", "strike", "tt", "big", "sub", "sup", "wbr",
+    "html",
+    "head",
+    "title",
+    "meta",
+    "link",
+    "style",
+    "script",
+    "body",
+    "div",
+    "span",
+    "p",
+    "a",
+    "img",
+    "br",
+    "hr",
+    "ul",
+    "ol",
+    "li",
+    "table",
+    "thead",
+    "tbody",
+    "tr",
+    "td",
+    "th",
+    "form",
+    "input",
+    "button",
+    "select",
+    "option",
+    "textarea",
+    "label",
+    "h1",
+    "h2",
+    "h3",
+    "h4",
+    "h5",
+    "h6",
+    "iframe",
+    "frame",
+    "frameset",
+    "noscript",
+    "b",
+    "i",
+    "u",
+    "em",
+    "strong",
+    "small",
+    "center",
+    "font",
+    "pre",
+    "code",
+    "blockquote",
+    "nav",
+    "header",
+    "footer",
+    "section",
+    "article",
+    "aside",
+    "main",
+    "figure",
+    "figcaption",
+    "video",
+    "audio",
+    "source",
+    "canvas",
+    "svg",
+    "object",
+    "embed",
+    "param",
+    "base",
+    "area",
+    "map",
+    "col",
+    "colgroup",
+    "caption",
+    "fieldset",
+    "legend",
+    "dl",
+    "dt",
+    "dd",
+    "s",
+    "strike",
+    "tt",
+    "big",
+    "sub",
+    "sup",
+    "wbr",
 ];
 
 /// Maps tag names to dense `u16` identifiers.

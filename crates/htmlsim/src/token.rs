@@ -89,9 +89,7 @@ pub fn tokenize(html: &str) -> Vec<Token> {
                     break;
                 }
             };
-            let name = html[pos + 2..end]
-                .trim()
-                .to_ascii_lowercase();
+            let name = html[pos + 2..end].trim().to_ascii_lowercase();
             if !name.is_empty() && name.bytes().all(valid_name_byte) {
                 tokens.push(Token::Close { name });
             }
@@ -104,7 +102,11 @@ pub fn tokenize(html: &str) -> Vec<Token> {
             Some((name, attrs, self_closing, after)) => {
                 let is_script = name == "script";
                 let is_style = name == "style";
-                tokens.push(Token::Open { name: name.clone(), attrs, self_closing });
+                tokens.push(Token::Open {
+                    name: name.clone(),
+                    attrs,
+                    self_closing,
+                });
                 pos = after;
                 text_start = pos;
                 if self_closing {
@@ -226,9 +228,7 @@ fn parse_open_tag(html: &str, pos: usize) -> Option<OpenTag> {
                         p = (p + 1).min(bytes.len());
                     } else {
                         let v_start = p;
-                        while p < bytes.len()
-                            && !bytes[p].is_ascii_whitespace()
-                            && bytes[p] != b'>'
+                        while p < bytes.len() && !bytes[p].is_ascii_whitespace() && bytes[p] != b'>'
                         {
                             p += 1;
                         }
@@ -288,7 +288,9 @@ mod tests {
     fn style_content_skipped() {
         let t = tokenize("<style>p { color: red; }</style><p>x</p>");
         assert_eq!(open_names(&t), vec!["style", "p"]);
-        assert!(!t.iter().any(|x| matches!(x, Token::Text(s) if s.contains("color"))));
+        assert!(!t
+            .iter()
+            .any(|x| matches!(x, Token::Text(s) if s.contains("color"))));
     }
 
     #[test]
@@ -301,7 +303,13 @@ mod tests {
     fn self_closing_and_void() {
         let t = tokenize(r#"<img src="a.png"/><br><input type="text">"#);
         assert_eq!(open_names(&t), vec!["img", "br", "input"]);
-        assert!(matches!(&t[0], Token::Open { self_closing: true, .. }));
+        assert!(matches!(
+            &t[0],
+            Token::Open {
+                self_closing: true,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -171,7 +171,9 @@ mod tests {
     use crate::network::NetworkConfig;
 
     fn pool_addresses(n: usize) -> Vec<Ipv4Addr> {
-        (0..n as u32).map(|i| Ipv4Addr::from(0x0505_0000 + i)).collect()
+        (0..n as u32)
+            .map(|i| Ipv4Addr::from(0x0505_0000 + i))
+            .collect()
     }
 
     fn build(net: &mut Network, members: usize, slack: usize, mean_lease: u64) -> LeasePool {
@@ -237,9 +239,7 @@ mod tests {
             pool.renumber_expired(&mut net, SimTime::from_weeks(w));
         }
         let initial_still: usize = (0..100u32)
-            .filter(|&m| {
-                pool.address_of(HostId(m)).unwrap() == Ipv4Addr::from(0x0505_0000 + m)
-            })
+            .filter(|&m| pool.address_of(HostId(m)).unwrap() == Ipv4Addr::from(0x0505_0000 + m))
             .count();
         assert!(initial_still >= 95, "still={initial_still}");
     }

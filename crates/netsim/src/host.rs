@@ -20,11 +20,7 @@ impl<'a> HostCtx<'a> {
     /// Construct a context around an outgoing-datagram buffer. Exposed
     /// so host behaviours can be driven outside a [`crate::Network`]
     /// (unit tests, the tokio loopback server).
-    pub fn new(
-        now: SimTime,
-        local_ip: Ipv4Addr,
-        outgoing: &'a mut Vec<(u64, Datagram)>,
-    ) -> Self {
+    pub fn new(now: SimTime, local_ip: Ipv4Addr, outgoing: &'a mut Vec<(u64, Datagram)>) -> Self {
         HostCtx {
             now,
             local_ip,
@@ -385,7 +381,10 @@ mod tests {
     #[test]
     fn response_constructors() {
         assert_eq!(HttpResponse::ok("x").status, 200);
-        assert_eq!(HttpResponse::redirect("http://a/").location.unwrap(), "http://a/");
+        assert_eq!(
+            HttpResponse::redirect("http://a/").location.unwrap(),
+            "http://a/"
+        );
         assert_eq!(HttpResponse::error(503, "").status, 503);
     }
 }

@@ -32,7 +32,10 @@ pub mod packet;
 pub mod time;
 
 pub use churn::{ChurnConfig, LeasePool};
-pub use host::{Host, HostCtx, HttpRequest, HttpResponse, MailProto, TcpError, TcpRequest, TcpResponse, TlsCertificate};
+pub use host::{
+    Host, HostCtx, HttpRequest, HttpResponse, MailProto, TcpError, TcpRequest, TcpResponse,
+    TlsCertificate,
+};
 pub use network::{FilterDirection, HostId, Network, NetworkConfig, PathObserver, SocketHandle};
 pub use packet::Datagram;
 pub use time::SimTime;

@@ -391,7 +391,9 @@ impl Network {
         // Measurement socket?
         if let Some(&sid) = self.socket_bindings.get(&(dgram.dst_ip, dgram.dst_port)) {
             self.stats.udp_delivered += 1;
-            self.sockets[sid as usize].queue.push_back((self.now, dgram));
+            self.sockets[sid as usize]
+                .queue
+                .push_back((self.now, dgram));
             return;
         }
         // Host binding?
@@ -532,7 +534,13 @@ mod tests {
         let h = net.add_host(Box::new(EchoHost));
         net.bind_ip(ip("9.9.9.9"), h);
         let sock = net.open_socket(ip("100.0.0.1"), 40000);
-        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, ip("9.9.9.9"), 53, &b"ping"[..]));
+        net.send_udp(Datagram::new(
+            ip("100.0.0.1"),
+            40000,
+            ip("9.9.9.9"),
+            53,
+            &b"ping"[..],
+        ));
         net.run_until(SimTime::from_secs(5));
         let (at, reply) = net.recv(sock).expect("echo reply");
         assert_eq!(&reply.payload[..], b"ping");
@@ -545,7 +553,13 @@ mod tests {
     fn unbound_ip_drops_silently() {
         let mut net = Network::new(lossless());
         let sock = net.open_socket(ip("100.0.0.1"), 40000);
-        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, ip("8.8.8.8"), 53, &b"x"[..]));
+        net.send_udp(Datagram::new(
+            ip("100.0.0.1"),
+            40000,
+            ip("8.8.8.8"),
+            53,
+            &b"x"[..],
+        ));
         net.run_until(SimTime::from_secs(5));
         assert!(net.recv(sock).is_none());
         assert_eq!(net.stats().udp_unbound, 1);
@@ -620,11 +634,23 @@ mod tests {
         let target = ip("9.9.9.9");
         net.bind_ip(target, a);
         let sock = net.open_socket(ip("100.0.0.1"), 40000);
-        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, target, 53, &b"q1"[..]));
+        net.send_udp(Datagram::new(
+            ip("100.0.0.1"),
+            40000,
+            target,
+            53,
+            &b"q1"[..],
+        ));
         net.run_until(SimTime::from_secs(2));
         net.bind_ip(target, b);
         assert_eq!(net.ips_of(a), &[] as &[Ipv4Addr]);
-        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, target, 53, &b"q2"[..]));
+        net.send_udp(Datagram::new(
+            ip("100.0.0.1"),
+            40000,
+            target,
+            53,
+            &b"q2"[..],
+        ));
         net.run_until(SimTime::from_secs(4));
         let replies: Vec<_> = net
             .recv_all(sock)
@@ -647,12 +673,24 @@ mod tests {
         );
         let sock = net.open_socket(ip("100.0.0.1"), 40000);
         // Before activation: works.
-        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, ip("9.9.9.9"), 53, &b"a"[..]));
+        net.send_udp(Datagram::new(
+            ip("100.0.0.1"),
+            40000,
+            ip("9.9.9.9"),
+            53,
+            &b"a"[..],
+        ));
         net.run_until(SimTime::from_secs(5));
         assert_eq!(net.recv_all(sock).len(), 1);
         // After activation: dropped.
         net.advance_to(SimTime::from_days(8));
-        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, ip("9.9.9.9"), 53, &b"b"[..]));
+        net.send_udp(Datagram::new(
+            ip("100.0.0.1"),
+            40000,
+            ip("9.9.9.9"),
+            53,
+            &b"b"[..],
+        ));
         net.run_until(SimTime::from_days(8) + SimTime::MINUTE);
         assert!(net.recv(sock).is_none());
         assert!(net.stats().udp_filtered >= 1);
@@ -672,10 +710,20 @@ mod tests {
             SimTime::ZERO,
         );
         let sock = net.open_socket(ip("100.0.0.1"), 40000);
-        net.send_udp(Datagram::new(ip("100.0.0.1"), 40000, ip("9.9.9.9"), 53, &b"a"[..]));
+        net.send_udp(Datagram::new(
+            ip("100.0.0.1"),
+            40000,
+            ip("9.9.9.9"),
+            53,
+            &b"a"[..],
+        ));
         net.run_until(SimTime::from_secs(5));
         assert!(net.recv(sock).is_none());
-        assert_eq!(net.stats().udp_delivered, 1, "query was delivered to the host");
+        assert_eq!(
+            net.stats().udp_delivered,
+            1,
+            "query was delivered to the host"
+        );
     }
 
     #[test]
@@ -724,7 +772,9 @@ mod tests {
         let h = net.add_host(Box::new(EchoHost));
         net.bind_ip(ip("9.9.9.9"), h);
         // Open port.
-        let r = net.tcp_query(ip("9.9.9.9"), 7, &TcpRequest::BannerProbe).unwrap();
+        let r = net
+            .tcp_query(ip("9.9.9.9"), 7, &TcpRequest::BannerProbe)
+            .unwrap();
         assert_eq!(r.as_banner(), Some("echo"));
         // Closed port.
         assert_eq!(
@@ -761,7 +811,11 @@ mod tests {
             ));
         }
         net.run_until(SimTime::from_secs(5));
-        let order: Vec<u8> = net.recv_all(sock).iter().map(|(_, d)| d.payload[0]).collect();
+        let order: Vec<u8> = net
+            .recv_all(sock)
+            .iter()
+            .map(|(_, d)| d.payload[0])
+            .collect();
         assert_eq!(order, (0..10).collect::<Vec<u8>>());
     }
 }

@@ -7,7 +7,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// A point in simulated time, in milliseconds since the epoch (which
 /// experiments conventionally set to the paper's first scan date,
 /// Jan 31, 2014).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -120,7 +122,11 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let t = SimTime::from_days(2) + 3 * SimTime::HOUR + 4 * SimTime::MINUTE + 5 * SimTime::SECOND + 6;
+        let t = SimTime::from_days(2)
+            + 3 * SimTime::HOUR
+            + 4 * SimTime::MINUTE
+            + 5 * SimTime::SECOND
+            + 6;
         assert_eq!(t.to_string(), "d2+03:04:05.006");
     }
 

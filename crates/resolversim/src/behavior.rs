@@ -64,7 +64,10 @@ impl CensorPolicy {
 
     /// All domains/categories this policy touches — used by reports.
     pub fn censored_categories(&self) -> BTreeSet<DomainCategory> {
-        self.rules.iter().flat_map(|r| r.categories.iter().copied()).collect()
+        self.rules
+            .iter()
+            .flat_map(|r| r.categories.iter().copied())
+            .collect()
     }
 }
 
@@ -351,7 +354,11 @@ impl ResolverBehavior {
                 categories,
                 block_ip,
             } => {
-                if ctx.category.map(|c| categories.contains(&c)).unwrap_or(false) {
+                if ctx
+                    .category
+                    .map(|c| categories.contains(&c))
+                    .unwrap_or(false)
+                {
                     Reply::single(Answer::Ips {
                         ips: vec![*block_ip],
                         ttl: 300,
@@ -442,9 +449,9 @@ impl ResolverBehavior {
     /// domain (only meaningful for `Censor` / `GfwPoisoned`).
     pub fn censors(&self, ctx: &QueryCtx<'_>) -> bool {
         match self {
-            ResolverBehavior::Censor { policy } => {
-                policy.landing_for(&ctx.qname, ctx.category, ctx.salt).is_some()
-            }
+            ResolverBehavior::Censor { policy } => policy
+                .landing_for(&ctx.qname, ctx.category, ctx.salt)
+                .is_some(),
             ResolverBehavior::GfwPoisoned { censored, .. } => censored.contains(&ctx.qname),
             ResolverBehavior::Layered { censor, .. } => censor.censors(ctx),
             _ => false,
@@ -557,7 +564,9 @@ mod tests {
             escapes_gfw: false,
         };
         let forged = b.answer(&ctx(&u, "facebook.example")).primary;
-        let Answer::Ips { ips, .. } = &forged else { panic!() };
+        let Answer::Ips { ips, .. } = &forged else {
+            panic!()
+        };
         assert_ne!(ips[0], ip("198.51.100.7"), "must be forged");
         // Deterministic per salt+domain.
         assert_eq!(b.answer(&ctx(&u, "facebook.example")).primary, forged);
@@ -610,16 +619,20 @@ mod tests {
             }
         );
         assert_eq!(
-            ResolverBehavior::SelfIp.answer(&ctx(&u, "anything.example")).primary,
+            ResolverBehavior::SelfIp
+                .answer(&ctx(&u, "anything.example"))
+                .primary,
             Answer::Ips {
                 ips: vec![ip("5.5.5.5")],
                 ttl: 3600
             }
         );
         assert_eq!(
-            ResolverBehavior::LanRedirect { ip: ip("192.168.1.1") }
-                .answer(&ctx(&u, "facebook.example"))
-                .primary,
+            ResolverBehavior::LanRedirect {
+                ip: ip("192.168.1.1")
+            }
+            .answer(&ctx(&u, "facebook.example"))
+            .primary,
             Answer::Ips {
                 ips: vec![ip("192.168.1.1")],
                 ttl: 60
@@ -631,12 +644,22 @@ mod tests {
     fn error_behaviours() {
         let u = universe();
         let c = ctx(&u, "facebook.example");
-        assert_eq!(ResolverBehavior::RefusedAll.answer(&c).primary, Answer::Refused);
-        assert_eq!(ResolverBehavior::ServFailAll.answer(&c).primary, Answer::ServFail);
+        assert_eq!(
+            ResolverBehavior::RefusedAll.answer(&c).primary,
+            Answer::Refused
+        );
+        assert_eq!(
+            ResolverBehavior::ServFailAll.answer(&c).primary,
+            Answer::ServFail
+        );
         assert_eq!(ResolverBehavior::EmptyAll.answer(&c).primary, Answer::Empty);
         assert_eq!(ResolverBehavior::Dead.answer(&c).primary, Answer::Silent);
         assert!(matches!(
-            ResolverBehavior::NsOnly { ns_host: "ns.x".into() }.answer(&c).primary,
+            ResolverBehavior::NsOnly {
+                ns_host: "ns.x".into()
+            }
+            .answer(&c)
+            .primary,
             Answer::NsOnly { .. }
         ));
     }

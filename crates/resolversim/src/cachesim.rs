@@ -103,12 +103,16 @@ impl TldCacheSim {
             CacheProfile::SingleThenSilent => {
                 self.answered += 1;
                 if self.answered == 1 {
-                    SnoopObservation::Cached { remaining_ttl: 3600 }
+                    SnoopObservation::Cached {
+                        remaining_ttl: 3600,
+                    }
                 } else {
                     SnoopObservation::Silent
                 }
             }
-            CacheProfile::StaticTtl { ttl } => SnoopObservation::Cached { remaining_ttl: *ttl },
+            CacheProfile::StaticTtl { ttl } => SnoopObservation::Cached {
+                remaining_ttl: *ttl,
+            },
             CacheProfile::ZeroTtl => SnoopObservation::Cached { remaining_ttl: 0 },
             CacheProfile::InUse {
                 refresh_gap_s,
@@ -217,7 +221,10 @@ mod tests {
     #[test]
     fn single_then_silent() {
         let mut sim = TldCacheSim::new(CacheProfile::SingleThenSilent);
-        assert!(matches!(sim.observe(0, 3600, 0), SnoopObservation::Cached { .. }));
+        assert!(matches!(
+            sim.observe(0, 3600, 0),
+            SnoopObservation::Cached { .. }
+        ));
         assert_eq!(sim.observe(1, 3600, 60), SnoopObservation::Silent);
         assert_eq!(sim.observe(0, 3600, 3600), SnoopObservation::Silent);
     }
@@ -226,10 +233,16 @@ mod tests {
     fn static_and_zero_ttl() {
         let mut s = TldCacheSim::new(CacheProfile::StaticTtl { ttl: 777 });
         for h in 0..10 {
-            assert_eq!(s.observe(0, 3600, h * 3600), SnoopObservation::Cached { remaining_ttl: 777 });
+            assert_eq!(
+                s.observe(0, 3600, h * 3600),
+                SnoopObservation::Cached { remaining_ttl: 777 }
+            );
         }
         let mut z = TldCacheSim::new(CacheProfile::ZeroTtl);
-        assert_eq!(z.observe(0, 3600, 0), SnoopObservation::Cached { remaining_ttl: 0 });
+        assert_eq!(
+            z.observe(0, 3600, 0),
+            SnoopObservation::Cached { remaining_ttl: 0 }
+        );
     }
 
     #[test]

@@ -264,8 +264,8 @@ mod tests {
         let mut fwd = ForwarderHost::new(ip("20.0.0.53"));
         let mut outgoing = Vec::new();
         for i in 0..(MAX_PENDING as u16 + 50) {
-            let q = MessageBuilder::query(i, Name::parse("x.example").unwrap(), RecordType::A)
-                .build();
+            let q =
+                MessageBuilder::query(i, Name::parse("x.example").unwrap(), RecordType::A).build();
             let d = Datagram::new(ip("100.0.0.1"), 40_000, ip("5.5.5.5"), 53, q.encode());
             let mut ctx = HostCtx::new(SimTime::ZERO, ip("5.5.5.5"), &mut outgoing);
             fwd.on_udp(&mut ctx, &d);

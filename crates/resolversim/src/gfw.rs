@@ -122,7 +122,10 @@ mod tests {
         // names. The injector fires regardless of whether anything is
         // bound at the destination.
         let mut g = gfw();
-        let out = g.on_transit(SimTime::ZERO, &query_dgram("facebook.example", "110.200.0.77"));
+        let out = g.on_transit(
+            SimTime::ZERO,
+            &query_dgram("facebook.example", "110.200.0.77"),
+        );
         assert_eq!(out.len(), 1);
     }
 
@@ -158,9 +161,8 @@ mod tests {
         let a = g.on_transit(SimTime::ZERO, &query_dgram("facebook.example", "110.1.2.3"));
         let b = g.on_transit(SimTime::ZERO, &query_dgram("facebook.example", "110.1.2.3"));
         let c = g.on_transit(SimTime::ZERO, &query_dgram("facebook.example", "110.1.2.4"));
-        let ip_of = |v: &Vec<(u64, Datagram)>| {
-            Message::decode(&v[0].1.payload).unwrap().answer_ips()[0]
-        };
+        let ip_of =
+            |v: &Vec<(u64, Datagram)>| Message::decode(&v[0].1.payload).unwrap().answer_ips()[0];
         assert_eq!(ip_of(&a), ip_of(&b));
         assert_ne!(ip_of(&a), ip_of(&c));
     }

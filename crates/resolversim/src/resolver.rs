@@ -119,7 +119,10 @@ impl ResolverHost {
         match self.software.version_bind_answer() {
             Some(text) => Some(
                 MessageBuilder::response_to(query, Rcode::NoError)
-                    .answer(ResourceRecord::chaos_txt(query.questions[0].qname.clone(), &text))
+                    .answer(ResourceRecord::chaos_txt(
+                        query.questions[0].qname.clone(),
+                        &text,
+                    ))
                     .build(),
             ),
             None => match &self.software.chaos {
@@ -141,7 +144,9 @@ impl ResolverHost {
         let qname = query.questions[0].qname.to_ascii_lower();
         let tlds = self.universe.tlds();
         let idx = tlds.iter().position(|t| t.name == qname)?;
-        let obs = self.cache.observe(idx as u32, tlds[idx].ttl, now.millis() / 1000);
+        let obs = self
+            .cache
+            .observe(idx as u32, tlds[idx].ttl, now.millis() / 1000);
         match obs {
             SnoopObservation::Cached { remaining_ttl } => {
                 let ns_name = Name::parse(&tlds[idx].ns_host).ok()?;
@@ -255,7 +260,11 @@ impl Host for ResolverHost {
 /// Helper shared by tests and the tokio server: compute the full wire
 /// response(s) for a raw query payload, without a network. Returns
 /// `(delay_ms, payload)` pairs.
-pub fn offline_responses(host: &mut ResolverHost, dgram: &Datagram, now: SimTime) -> Vec<(u64, Vec<u8>)> {
+pub fn offline_responses(
+    host: &mut ResolverHost,
+    dgram: &Datagram,
+    now: SimTime,
+) -> Vec<(u64, Vec<u8>)> {
     let mut outgoing: Vec<(u64, Datagram)> = Vec::new();
     {
         let mut ctx = HostCtx::new(now, dgram.dst_ip, &mut outgoing);
@@ -436,7 +445,8 @@ mod tests {
         let junk = Datagram::new(ip("1.1.1.1"), 1, ip("5.5.5.5"), 53, &b"\xff\xfe"[..]);
         assert!(run(&mut h, &junk).is_empty());
         // A response packet must not trigger a reply (loop prevention).
-        let q = MessageBuilder::query(7, Name::parse("paypal.example").unwrap(), RecordType::A).build();
+        let q =
+            MessageBuilder::query(7, Name::parse("paypal.example").unwrap(), RecordType::A).build();
         let r = MessageBuilder::response_to(&q, Rcode::NoError).build();
         let d = Datagram::new(ip("1.1.1.1"), 53, ip("5.5.5.5"), 53, r.encode());
         assert!(run(&mut h, &d).is_empty());

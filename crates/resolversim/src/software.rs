@@ -194,7 +194,10 @@ mod tests {
                     .map(|(_, _, s)| s),
             )
             .sum();
-        assert!((0.57..0.63).contains(&bind), "BIND share {bind} vs paper 0.602");
+        assert!(
+            (0.57..0.63).contains(&bind),
+            "BIND share {bind} vs paper 0.602"
+        );
     }
 
     #[test]

@@ -27,10 +27,7 @@ pub struct ResolverServer {
 impl ResolverServer {
     /// Bind `host` to `addr` (e.g. `127.0.0.1:0`) and serve until
     /// [`ResolverServer::shutdown`] or drop.
-    pub async fn spawn(
-        host: ResolverHost,
-        addr: SocketAddrV4,
-    ) -> std::io::Result<ResolverServer> {
+    pub async fn spawn(host: ResolverHost, addr: SocketAddrV4) -> std::io::Result<ResolverServer> {
         let socket = UdpSocket::bind(SocketAddr::V4(addr)).await?;
         let local_addr = match socket.local_addr()? {
             SocketAddr::V4(a) => a,
@@ -151,18 +148,18 @@ mod tests {
 
     #[tokio::test]
     async fn serves_real_udp_queries() {
-        let server = ResolverServer::spawn(
-            test_host(),
-            SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0),
-        )
-        .await
-        .unwrap();
+        let server = ResolverServer::spawn(test_host(), SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))
+            .await
+            .unwrap();
         let addr = server.local_addr;
 
         let client = UdpSocket::bind("127.0.0.1:0").await.unwrap();
         let q = MessageBuilder::query(0x1337, Name::parse("loop.example").unwrap(), RecordType::A)
             .build();
-        client.send_to(&q.encode(), SocketAddr::V4(addr)).await.unwrap();
+        client
+            .send_to(&q.encode(), SocketAddr::V4(addr))
+            .await
+            .unwrap();
         let mut buf = [0u8; 1024];
         let (len, _) = tokio::time::timeout(
             std::time::Duration::from_secs(5),

@@ -165,8 +165,7 @@ impl DnsUniverse {
     /// Register a wildcard zone: `*.suffix` (and `suffix` itself)
     /// resolves to `ips`.
     pub fn add_wildcard(&mut self, suffix: &str, ips: Vec<Ipv4Addr>, ttl: u32) {
-        self.wildcards
-            .push((suffix.to_ascii_lowercase(), ips, ttl));
+        self.wildcards.push((suffix.to_ascii_lowercase(), ips, ttl));
     }
 
     /// Register the TLD set for cache snooping.
@@ -237,7 +236,10 @@ impl DnsUniverse {
                             if n > 1 {
                                 out.push(ips[(start + 1) % n]);
                             }
-                            Resolution::Ips { ips: out, ttl: rec.ttl }
+                            Resolution::Ips {
+                                ips: out,
+                                ttl: rec.ttl,
+                            }
                         }
                         _ => Resolution::NxDomain,
                     }
@@ -266,8 +268,10 @@ impl DnsUniverse {
             Some(rec) => match &rec.kind {
                 DomainKind::Fixed(ips) => ips.clone(),
                 DomainKind::Cdn { pools } => {
-                    let mut all: Vec<Ipv4Addr> =
-                        pools.iter().flat_map(|(_, ips)| ips.iter().copied()).collect();
+                    let mut all: Vec<Ipv4Addr> = pools
+                        .iter()
+                        .flat_map(|(_, ips)| ips.iter().copied())
+                        .collect();
                     all.sort();
                     all.dedup();
                     all
@@ -311,7 +315,10 @@ mod tests {
             category: DomainCategory::Alexa,
             kind: DomainKind::Cdn {
                 pools: vec![
-                    (Rir::Arin, vec![ip("203.0.113.1"), ip("203.0.113.2"), ip("203.0.113.3")]),
+                    (
+                        Rir::Arin,
+                        vec![ip("203.0.113.1"), ip("203.0.113.2"), ip("203.0.113.3")],
+                    ),
                     (Rir::Apnic, vec![ip("203.0.113.129"), ip("203.0.113.130")]),
                 ],
             },
@@ -339,7 +346,10 @@ mod tests {
                 ttl: 300
             }
         );
-        assert_eq!(u.resolve("BANK.Example", Rir::Ripe, 0), u.resolve("bank.example", Rir::Ripe, 0));
+        assert_eq!(
+            u.resolve("BANK.Example", Rir::Ripe, 0),
+            u.resolve("bank.example", Rir::Ripe, 0)
+        );
     }
 
     #[test]
@@ -348,8 +358,12 @@ mod tests {
         let arin = u.resolve("cdn.example", Rir::Arin, 0);
         let apnic = u.resolve("cdn.example", Rir::Apnic, 0);
         assert_ne!(arin, apnic);
-        let Resolution::Ips { ips, .. } = arin else { panic!() };
-        assert!(ips.iter().all(|i| u32::from(*i) < u32::from(ip("203.0.113.128"))));
+        let Resolution::Ips { ips, .. } = arin else {
+            panic!()
+        };
+        assert!(ips
+            .iter()
+            .all(|i| u32::from(*i) < u32::from(ip("203.0.113.128"))));
     }
 
     #[test]
@@ -361,7 +375,9 @@ mod tests {
         // But all are in the legitimate set.
         let legit = u.all_legitimate_ips("cdn.example");
         for r in [a, b] {
-            let Resolution::Ips { ips, .. } = r else { panic!() };
+            let Resolution::Ips { ips, .. } = r else {
+                panic!()
+            };
             assert!(ips.iter().all(|i| legit.contains(i)));
         }
     }
@@ -376,8 +392,14 @@ mod tests {
     #[test]
     fn nxdomain_cases() {
         let u = universe();
-        assert_eq!(u.resolve("gone.example", Rir::Ripe, 0), Resolution::NxDomain);
-        assert_eq!(u.resolve("never-registered.example", Rir::Ripe, 0), Resolution::NxDomain);
+        assert_eq!(
+            u.resolve("gone.example", Rir::Ripe, 0),
+            Resolution::NxDomain
+        );
+        assert_eq!(
+            u.resolve("never-registered.example", Rir::Ripe, 0),
+            Resolution::NxDomain
+        );
     }
 
     #[test]
@@ -388,7 +410,10 @@ mod tests {
             "abc123.scan.gwild.example",
             "r4nd.c0a80001.scan.gwild.example",
         ] {
-            assert!(matches!(u.resolve(q, Rir::Ripe, 0), Resolution::Ips { .. }), "{q}");
+            assert!(
+                matches!(u.resolve(q, Rir::Ripe, 0), Resolution::Ips { .. }),
+                "{q}"
+            );
         }
         assert_eq!(
             u.resolve("notscan.gwild.example", Rir::Ripe, 0),

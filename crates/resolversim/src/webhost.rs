@@ -234,9 +234,9 @@ impl WebHost {
                                     TlsCertificate::valid_for(domain)
                                 }
                                 Some(_) => TlsCertificate::valid_for(domain),
-                                None => TlsCertificate::valid_for(&format!(
-                                    "edge.{provider}.example"
-                                )),
+                                None => {
+                                    TlsCertificate::valid_for(&format!("edge.{provider}.example"))
+                                }
                             };
                             r = r.with_certificate(cert);
                         }
@@ -288,10 +288,7 @@ impl WebHost {
                 let body = if *bank_clone {
                     gen::phishing_bank_clone(&PageCtx::new(target, domain_seed(target)))
                 } else {
-                    gen::phishing_kit_images(
-                        target.split('.').next().unwrap_or(target),
-                        &ctx,
-                    )
+                    gen::phishing_kit_images(target.split('.').next().unwrap_or(target), &ctx)
                 };
                 let mut r = HttpResponse::ok(body);
                 if req.tls {
@@ -329,7 +326,9 @@ impl WebHost {
             WebRole::MailServer { .. } => {
                 return None; // mail hosts expose no HTTP
             }
-            WebRole::FakeUpdate { product } => HttpResponse::ok(gen::fake_update_page(product, &ctx)),
+            WebRole::FakeUpdate { product } => {
+                HttpResponse::ok(gen::fake_update_page(product, &ctx))
+            }
         };
         Some(resp)
     }
@@ -363,9 +362,9 @@ impl Host for WebHost {
                 _ => None,
             },
             TcpRequest::BannerProbe => match &self.role {
-                WebRole::MailServer { banners } => {
-                    banners.for_port(port).map(|b| TcpResponse::Banner(b.to_string()))
-                }
+                WebRole::MailServer { banners } => banners
+                    .for_port(port)
+                    .map(|b| TcpResponse::Banner(b.to_string())),
                 _ if port == 80 => Some(TcpResponse::Banner(
                     "HTTP/1.0 200 OK\r\nServer: Apache".into(),
                 )),
@@ -471,7 +470,10 @@ mod tests {
 
     #[test]
     fn cdn_edge_serves_hosted_domains_with_default_cert_fallback() {
-        let hosted = Arc::new(vec![("cdn-site.example".to_string(), DomainCategory::Alexa)]);
+        let hosted = Arc::new(vec![(
+            "cdn-site.example".to_string(),
+            DomainCategory::Alexa,
+        )]);
         let mut e = WebHost::new(
             WebRole::CdnEdge {
                 provider: "cdnone".into(),
@@ -482,12 +484,23 @@ mod tests {
         // SNI request → per-domain cert.
         let sni = TcpRequest::Http(HttpRequest::https_sni("cdn-site.example"));
         let r = get(&mut e, 443, &sni).unwrap();
-        assert!(r.as_http().unwrap().certificate.as_ref().unwrap().covers("cdn-site.example"));
+        assert!(r
+            .as_http()
+            .unwrap()
+            .certificate
+            .as_ref()
+            .unwrap()
+            .covers("cdn-site.example"));
         // No-SNI → provider default cert.
         let nosni = TcpRequest::Http(HttpRequest::https_no_sni("cdn-site.example"));
         let r2 = get(&mut e, 443, &nosni).unwrap();
         assert_eq!(
-            r2.as_http().unwrap().certificate.as_ref().unwrap().common_name,
+            r2.as_http()
+                .unwrap()
+                .certificate
+                .as_ref()
+                .unwrap()
+                .common_name,
             "edge.cdnone.example"
         );
     }
@@ -505,7 +518,12 @@ mod tests {
         let r = get(&mut img, 80, &http("paypal.example")).unwrap();
         assert!(r.as_http().unwrap().body.contains("collect.php"));
         // No TLS listener.
-        assert!(get(&mut img, 443, &TcpRequest::Http(HttpRequest::https_sni("paypal.example"))).is_none());
+        assert!(get(
+            &mut img,
+            443,
+            &TcpRequest::Http(HttpRequest::https_sni("paypal.example"))
+        )
+        .is_none());
 
         let mut tls_kit = WebHost::new(
             WebRole::PhishKit {
@@ -515,8 +533,20 @@ mod tests {
             },
             4,
         );
-        let r2 = get(&mut tls_kit, 443, &TcpRequest::Http(HttpRequest::https_sni("paypal.example"))).unwrap();
-        assert!(!r2.as_http().unwrap().certificate.as_ref().unwrap().valid_chain);
+        let r2 = get(
+            &mut tls_kit,
+            443,
+            &TcpRequest::Http(HttpRequest::https_sni("paypal.example")),
+        )
+        .unwrap();
+        assert!(
+            !r2.as_http()
+                .unwrap()
+                .certificate
+                .as_ref()
+                .unwrap()
+                .valid_chain
+        );
     }
 
     #[test]
@@ -529,7 +559,11 @@ mod tests {
             5,
         );
         let r = get(&mut h, 80, &http("youporn.example")).unwrap();
-        assert!(r.as_http().unwrap().body.contains("blocked by the order of"));
+        assert!(r
+            .as_http()
+            .unwrap()
+            .body
+            .contains("blocked by the order of"));
     }
 
     #[test]
@@ -549,8 +583,7 @@ mod tests {
         // Wrong port for the protocol: refused.
         assert!(get(&mut m, 25, &TcpRequest::MailProbe(MailProto::Imap)).is_none());
         // No HTTP.
-        assert!(get(&mut m, 80, &http("smtp.gmail.example"))
-            .is_none());
+        assert!(get(&mut m, 80, &http("smtp.gmail.example")).is_none());
     }
 
     #[test]

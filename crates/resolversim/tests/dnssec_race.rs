@@ -57,7 +57,10 @@ fn setup() -> (Network, Ipv4Addr) {
     let censored: Arc<BTreeSet<String>> =
         Arc::new(["blocked.example".to_string()].into_iter().collect());
     net.add_injector(Box::new(GreatFirewall::new(
-        vec![(Ipv4Addr::new(110, 0, 0, 0), Ipv4Addr::new(110, 255, 255, 255))],
+        vec![(
+            Ipv4Addr::new(110, 0, 0, 0),
+            Ipv4Addr::new(110, 255, 255, 255),
+        )],
         censored,
     )));
     (net, resolver_ip)
@@ -66,9 +69,19 @@ fn setup() -> (Network, Ipv4Addr) {
 fn query(net: &mut Network, resolver_ip: Ipv4Addr) -> Vec<Message> {
     let client_ip = Ipv4Addr::new(100, 0, 0, 1);
     let sock = net.open_socket(client_ip, 47_000);
-    let q = MessageBuilder::query(0xD05, Name::parse("blocked.example").unwrap(), RecordType::A)
-        .build();
-    net.send_udp(Datagram::new(client_ip, 47_000, resolver_ip, 53, q.encode()));
+    let q = MessageBuilder::query(
+        0xD05,
+        Name::parse("blocked.example").unwrap(),
+        RecordType::A,
+    )
+    .build();
+    net.send_udp(Datagram::new(
+        client_ip,
+        47_000,
+        resolver_ip,
+        53,
+        q.encode(),
+    ));
     net.run_until(SimTime::from_secs(10));
     net.recv_all(sock)
         .into_iter()
@@ -143,7 +156,10 @@ fn unsigned_zone_has_no_defense() {
     let censored: Arc<BTreeSet<String>> =
         Arc::new(["blocked.example".to_string()].into_iter().collect());
     net.add_injector(Box::new(GreatFirewall::new(
-        vec![(Ipv4Addr::new(110, 0, 0, 0), Ipv4Addr::new(110, 255, 255, 255))],
+        vec![(
+            Ipv4Addr::new(110, 0, 0, 0),
+            Ipv4Addr::new(110, 255, 255, 255),
+        )],
         censored,
     )));
     let responses = query(&mut net, resolver_ip);

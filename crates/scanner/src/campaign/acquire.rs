@@ -123,7 +123,10 @@ fn fetch_chain(
         // Browsers retry transient timeouts; so do we (twice).
         let mut attempt = 0;
         let resp = loop {
-            match world.net.tcp_query(ip, port, &TcpRequest::Http(req.clone())) {
+            match world
+                .net
+                .tcp_query(ip, port, &TcpRequest::Http(req.clone()))
+            {
                 Ok(r) => break r,
                 Err(netsim::TcpError::Timeout) if attempt < 2 => attempt += 1,
                 Err(_) => return None,

@@ -73,6 +73,36 @@ pub fn chaos_scan(
         .collect()
 }
 
+/// Like [`chaos_scan`], but also writes each responding resolver into
+/// `sink` as an [`scanstore::Observation`] with the CHAOS outcome in
+/// its flag bits and the version string interned into `software`.
+/// Silent resolvers produce no record, matching the scan's return map.
+pub fn chaos_scan_with_sink(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    resolvers: &[Ipv4Addr],
+    seed: u64,
+    sink: &mut dyn scanstore::ObservationSink,
+) -> HashMap<Ipv4Addr, ChaosObservation> {
+    use scanstore::{flags, Observation};
+    let observations = chaos_scan(world, vantage, resolvers, seed);
+    let now_ms = world.now().millis();
+    for (&ip, obs) in &observations {
+        let (outcome, software) = match obs {
+            ChaosObservation::Silent => continue,
+            ChaosObservation::Errors => (flags::CHAOS_ERRORS, 0),
+            ChaosObservation::EmptyAnswers => (flags::CHAOS_EMPTY, 0),
+            ChaosObservation::Version(v) => (flags::CHAOS_VERSION, sink.intern(v)),
+        };
+        sink.observe(Observation {
+            flags: flags::with_chaos(0, outcome),
+            software,
+            ..Observation::at(u32::from(ip), Rcode::NoError.to_u8(), now_ms)
+        });
+    }
+    observations
+}
+
 fn collect(
     world: &mut World,
     scanner: &SimScanner,

@@ -4,13 +4,22 @@
 //! addresses*: re-probe the same addresses over time and count how many
 //! still provide DNS resolutions, plus the day-one measurement and the
 //! dynamic-rDNS attribution of early leavers.
+//!
+//! The campaign streams into a [`SnapshotSink`] — one snapshot per
+//! probe round (`cohort`, `day1`, `week-1`…) — and the Figure 2 numbers
+//! are derived back out of any [`SnapshotSource`] by
+//! [`churn_from_source`], so a reopened on-disk store yields the same
+//! report as the live run. Already-committed rounds are skipped on
+//! resume.
 
 use crate::encode::{enumeration_query, target_from_qname};
 use crate::simio::SimScanner;
 use dnswire::{Message, Rcode};
 use netsim::SimTime;
+use scanstore::{Observation, SnapshotSink, SnapshotSource};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::io;
 use std::net::Ipv4Addr;
 use worldgen::World;
 
@@ -80,8 +89,119 @@ fn collect_alive(world: &mut World, scanner: &SimScanner, alive: &mut HashSet<Ip
     }
 }
 
-/// Run the full churn experiment: day-one probe, then weekly probes for
-/// `weeks` weeks. Advances world time as it goes.
+/// Meta keys carried by the `day1` snapshot.
+const META_LEAVERS_RDNS: &str = "day1_leavers_with_rdns";
+const META_LEAVERS_DYN: &str = "day1_leavers_dynamic_rdns";
+
+/// Commits the sorted `ips` (all answering NOERROR) as one snapshot.
+fn commit_round(
+    world: &World,
+    sink: &mut dyn SnapshotSink,
+    ips: impl Iterator<Item = Ipv4Addr>,
+    label: &str,
+    meta: &[(String, String)],
+) -> io::Result<u32> {
+    let now_ms = world.now().millis();
+    for ip in ips {
+        sink.observe(Observation::at(
+            u32::from(ip),
+            Rcode::NoError.to_u8(),
+            now_ms,
+        ));
+    }
+    sink.commit(label, now_ms, meta)
+}
+
+/// Run the full churn experiment against `sink`: a cohort snapshot,
+/// the day-one probe, then weekly probes for `weeks` weeks. Advances
+/// world time as it goes. The first `committed` probe rounds are
+/// skipped — they are already durable in the sink — so a killed run
+/// resumes where its checkpoint left off.
+pub fn track_cohort_with_sink(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    cohort: &[Ipv4Addr],
+    weeks: u32,
+    seed: u64,
+    sink: &mut dyn SnapshotSink,
+    committed: u32,
+) -> io::Result<()> {
+    let t0 = world.now();
+    if committed == 0 {
+        commit_round(world, sink, cohort.iter().copied(), "cohort", &[])?;
+    }
+
+    // Day 1.
+    world.advance_to(SimTime(t0.millis() + SimTime::DAY));
+    if committed < 2 {
+        let alive_day1 = probe_alive(world, vantage, cohort, seed ^ 0xD1);
+        let mut with_rdns = 0u64;
+        let mut dynamic = 0u64;
+        for &ip in cohort {
+            if !alive_day1.contains(&ip) && world.rdns.lookup(ip).is_some() {
+                with_rdns += 1;
+                if world.rdns.is_dynamic(ip) {
+                    dynamic += 1;
+                }
+            }
+        }
+        let meta = vec![
+            (META_LEAVERS_RDNS.to_string(), with_rdns.to_string()),
+            (META_LEAVERS_DYN.to_string(), dynamic.to_string()),
+        ];
+        commit_round(
+            world,
+            sink,
+            cohort.iter().copied().filter(|ip| alive_day1.contains(ip)),
+            "day1",
+            &meta,
+        )?;
+    }
+
+    // Weekly probes.
+    for w in 1..=weeks {
+        world.advance_to(SimTime(t0.millis() + w as u64 * SimTime::WEEK));
+        if w + 1 < committed {
+            continue;
+        }
+        let alive = probe_alive(world, vantage, cohort, seed ^ (w as u64) << 8);
+        commit_round(
+            world,
+            sink,
+            cohort.iter().copied().filter(|ip| alive.contains(ip)),
+            &format!("week-{w}"),
+            &[],
+        )?;
+    }
+    Ok(())
+}
+
+/// Derive the Figure 2 numbers back out of a committed snapshot
+/// sequence (`cohort`, `day1`, `week-1`…).
+pub fn churn_from_source(src: &dyn SnapshotSource) -> io::Result<ChurnResult> {
+    let mut result = ChurnResult::default();
+    src.for_each_snapshot(&mut |snap| {
+        match snap.seq {
+            0 => result.cohort = snap.records.len() as u64,
+            1 => {
+                result.day1_survivors = snap.records.len() as u64;
+                let get = |key: &str| {
+                    snap.meta_value(key)
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or(0)
+                };
+                result.day1_leavers_with_rdns = get(META_LEAVERS_RDNS);
+                result.day1_leavers_dynamic_rdns = get(META_LEAVERS_DYN);
+            }
+            _ => result.survivors.push(snap.records.len() as u64),
+        }
+        Ok(())
+    })?;
+    Ok(result)
+}
+
+/// Run the full churn experiment in memory: day-one probe, then weekly
+/// probes for `weeks` weeks. Advances world time as it goes.
 pub fn track_cohort(
     world: &mut World,
     vantage: Ipv4Addr,
@@ -89,32 +209,8 @@ pub fn track_cohort(
     weeks: u32,
     seed: u64,
 ) -> ChurnResult {
-    let mut result = ChurnResult {
-        cohort: cohort.len() as u64,
-        ..Default::default()
-    };
-
-    // Day 1.
-    let t0 = world.now();
-    world.advance_to(SimTime(t0.millis() + SimTime::DAY));
-    let alive_day1 = probe_alive(world, vantage, cohort, seed ^ 0xD1);
-    result.day1_survivors = alive_day1.len() as u64;
-    for &ip in cohort {
-        if !alive_day1.contains(&ip) {
-            if let Some(_name) = world.rdns.lookup(ip) {
-                result.day1_leavers_with_rdns += 1;
-                if world.rdns.is_dynamic(ip) {
-                    result.day1_leavers_dynamic_rdns += 1;
-                }
-            }
-        }
-    }
-
-    // Weekly probes.
-    for w in 1..=weeks {
-        world.advance_to(SimTime(t0.millis() + w as u64 * SimTime::WEEK));
-        let alive = probe_alive(world, vantage, cohort, seed ^ (w as u64) << 8);
-        result.survivors.push(alive.len() as u64);
-    }
-    result
+    let mut mem = scanstore::MemoryStore::new();
+    track_cohort_with_sink(world, vantage, cohort, weeks, seed, &mut mem, 0)
+        .expect("in-memory sink cannot fail");
+    churn_from_source(&mem).expect("in-memory source cannot fail")
 }

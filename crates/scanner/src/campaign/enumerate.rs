@@ -5,6 +5,7 @@ use crate::encode::{enumeration_query, target_from_qname};
 use crate::lfsr::IpPermutation;
 use crate::simio::SimScanner;
 use dnswire::{Message, Rcode};
+use scanstore::{flags, Observation, ObservationSink};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -70,6 +71,18 @@ impl EnumerationResult {
 /// Scan every address in `world`'s allocated space from `vantage`,
 /// LFSR-permuted, in rate-limited batches.
 pub fn enumerate(world: &mut World, vantage: Ipv4Addr, seed: u64) -> EnumerationResult {
+    enumerate_with_sink(world, vantage, seed, &mut scanstore::NullSink)
+}
+
+/// Like [`enumerate`], but streams each first-response observation into
+/// `sink` as it is collected, so a snapshot store sees the scan as it
+/// happens instead of after the fact.
+pub fn enumerate_with_sink(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    seed: u64,
+    sink: &mut dyn ObservationSink,
+) -> EnumerationResult {
     let zone = world.catalog.scan_zone.clone();
     let ranges = world.scannable_ranges().to_vec();
     // Honor opt-out requests: blacklisted addresses are never probed
@@ -96,17 +109,23 @@ pub fn enumerate(world: &mut World, vantage: Ipv4Addr, seed: u64) -> Enumeration
         if batch_count == BATCH {
             batch_count = 0;
             scanner.pump(world, 500);
-            collect(world, &scanner, &mut result);
+            collect(world, &scanner, &mut result, sink);
         }
     }
     // Grace period for stragglers.
     scanner.pump(world, 5_000);
-    collect(world, &scanner, &mut result);
+    collect(world, &scanner, &mut result, sink);
     scanner.close(world);
     result
 }
 
-fn collect(world: &mut World, scanner: &SimScanner, result: &mut EnumerationResult) {
+fn collect(
+    world: &mut World,
+    scanner: &SimScanner,
+    result: &mut EnumerationResult,
+    sink: &mut dyn ObservationSink,
+) {
+    let now_ms = world.now().millis();
     for (_off, _t, dgram) in scanner.drain(world) {
         let Ok(msg) = Message::decode(&dgram.payload) else {
             continue; // corrupted packets are ignored (Sec. 5)
@@ -123,7 +142,17 @@ fn collect(world: &mut World, scanner: &SimScanner, result: &mut EnumerationResu
             answers: msg.answer_ips(),
         };
         // First response wins (clients behave the same way).
-        result.observations.entry(target).or_insert(obs);
+        if let std::collections::hash_map::Entry::Vacant(e) = result.observations.entry(target) {
+            sink.observe(Observation {
+                flags: if obs.answered_from_other_ip {
+                    flags::PROXY
+                } else {
+                    0
+                },
+                ..Observation::at(u32::from(target), obs.rcode.to_u8(), now_ms)
+            });
+            e.insert(obs);
+        }
     }
 }
 

@@ -39,17 +39,13 @@ pub fn parse_hex_ip(label: &str) -> Option<std::net::Ipv4Addr> {
 /// Build the enumeration query for `target`: random cache-busting
 /// prefix + hex target + zone, with a transaction ID derived from the
 /// same deterministic stream.
-pub fn enumeration_query(
-    target: std::net::Ipv4Addr,
-    zone: &str,
-    seed: u64,
-) -> (Message, Name) {
+pub fn enumeration_query(target: std::net::Ipv4Addr, zone: &str, seed: u64) -> (Message, Name) {
     let mut rng = SmallRng::seed_from_u64(seed ^ u32::from(target) as u64);
     let prefix: String = (0..8)
         .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
         .collect();
-    let name = Name::parse(&format!("{prefix}.{}.{zone}", hex_ip(target)))
-        .expect("scan name is valid");
+    let name =
+        Name::parse(&format!("{prefix}.{}.{zone}", hex_ip(target))).expect("scan name is valid");
     let txid: u16 = rng.gen();
     // Advertise EDNS0 like real scanners do — resolvers that need more
     // than 512 bytes can answer without truncation.
@@ -155,7 +151,11 @@ mod tests {
             let p = encode_probe(id, "paypal.example");
             let q = MessageBuilder::query(p.txid, p.qname.clone(), RecordType::A).build();
             let resp = MessageBuilder::response_to(&q, dnswire::Rcode::NoError).build();
-            assert_eq!(decode_probe(&resp, Some(p.port_offset)), Some(id), "id={id}");
+            assert_eq!(
+                decode_probe(&resp, Some(p.port_offset)),
+                Some(id),
+                "id={id}"
+            );
         }
     }
 

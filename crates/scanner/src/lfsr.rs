@@ -139,7 +139,11 @@ impl IpPermutation {
     fn index_to_ip(&self, idx: u64) -> Ipv4Addr {
         // Find the range containing the idx-th address.
         let pos = self.cumulative.partition_point(|&c| c <= idx);
-        let base = if pos == 0 { 0 } else { self.cumulative[pos - 1] };
+        let base = if pos == 0 {
+            0
+        } else {
+            self.cumulative[pos - 1]
+        };
         let (a, _) = self.ranges[pos];
         Ipv4Addr::from(a + (idx - base) as u32)
     }
@@ -191,7 +195,11 @@ mod tests {
         for _ in 0..l.period() {
             seen.insert(l.next_state());
         }
-        assert_eq!(seen.len() as u64, l.period(), "degree-16 LFSR must be maximal");
+        assert_eq!(
+            seen.len() as u64,
+            l.period(),
+            "degree-16 LFSR must be maximal"
+        );
         assert!(!seen.contains(&0));
     }
 

@@ -27,14 +27,14 @@ pub mod rate;
 pub mod simio;
 pub mod tokio_scan;
 
-pub use campaign::acquire::{acquire, acquire_trusted, resolve_at, Acquired, FetchedPage};
-pub use campaign::banner::{banner_scan, BannerObservation};
-pub use campaign::chaos::{chaos_scan, ChaosObservation};
-pub use campaign::churn::{track_cohort, ChurnResult};
-pub use campaign::domains::{scan_domains, scan_domains_streaming, TupleObs};
-pub use campaign::enumerate::{enumerate, EnumObservation, EnumerationResult};
-pub use campaign::snoop::{snoop_scan, SnoopResult, SnoopSample};
 pub use blacklist::Blacklist;
+pub use campaign::acquire::{acquire, acquire_trusted, resolve_at, Acquired, FetchedPage};
+pub use campaign::banner::{banner_scan, banner_scan_with_sink, BannerObservation};
+pub use campaign::chaos::{chaos_scan, chaos_scan_with_sink, ChaosObservation};
+pub use campaign::churn::{churn_from_source, track_cohort, track_cohort_with_sink, ChurnResult};
+pub use campaign::domains::{scan_domains, scan_domains_streaming, TupleObs};
+pub use campaign::enumerate::{enumerate, enumerate_with_sink, EnumObservation, EnumerationResult};
+pub use campaign::snoop::{snoop_scan, SnoopResult, SnoopSample};
 pub use encode::{decode_probe, encode_probe, enumeration_query, target_from_qname};
 pub use lfsr::{IpPermutation, Lfsr};
 pub use rate::TokenBucket;

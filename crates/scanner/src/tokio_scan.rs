@@ -83,15 +83,14 @@ pub async fn scan_targets_paced(
                 .wrapping_add(target.port())
                 .wrapping_add(i as u16);
             let msg = match &probe {
-                Probe::A(name) => {
-                    MessageBuilder::query(txid, name.clone(), RecordType::A).build()
-                }
+                Probe::A(name) => MessageBuilder::query(txid, name.clone(), RecordType::A).build(),
                 Probe::VersionBind => {
-                    MessageBuilder::chaos_query(txid, Name::parse("version.bind").unwrap())
-                        .build()
+                    MessageBuilder::chaos_query(txid, Name::parse("version.bind").unwrap()).build()
                 }
             };
-            socket.send_to(&msg.encode(), SocketAddr::V4(target)).await?;
+            socket
+                .send_to(&msg.encode(), SocketAddr::V4(target))
+                .await?;
             expected.insert(target, txid);
         }
         // Collect until the window is drained or the deadline passes.
@@ -100,7 +99,9 @@ pub async fn scan_targets_paced(
             let recv = timeout(deadline, socket.recv_from(&mut buf)).await;
             let Ok(Ok((len, peer))) = recv else { break };
             let SocketAddr::V4(peer) = peer else { continue };
-            let Some(&txid) = expected.get(&peer) else { continue };
+            let Some(&txid) = expected.get(&peer) else {
+                continue;
+            };
             let Ok(msg) = Message::decode(&buf[..len]) else {
                 continue;
             };
@@ -199,18 +200,20 @@ mod tests {
         .unwrap();
         let targets: Vec<SocketAddrV4> = fleet.iter().map(|s| s.local_addr).collect();
 
-        let results = enumerate_and_fingerprint(
-            &targets,
-            "probe.example",
-            16,
-            Duration::from_secs(3),
-        )
-        .await
-        .unwrap();
+        let results =
+            enumerate_and_fingerprint(&targets, "probe.example", 16, Duration::from_secs(3))
+                .await
+                .unwrap();
 
         assert_eq!(results.len(), 3);
-        let noerror: Vec<_> = results.iter().filter(|(_, r, _)| *r == Rcode::NoError).collect();
-        let refused: Vec<_> = results.iter().filter(|(_, r, _)| *r == Rcode::Refused).collect();
+        let noerror: Vec<_> = results
+            .iter()
+            .filter(|(_, r, _)| *r == Rcode::NoError)
+            .collect();
+        let refused: Vec<_> = results
+            .iter()
+            .filter(|(_, r, _)| *r == Rcode::Refused)
+            .collect();
         assert_eq!(noerror.len(), 2);
         assert_eq!(refused.len(), 1);
         let versions: Vec<&str> = noerror

@@ -26,16 +26,16 @@ fn enumeration_finds_the_fleet() {
     assert!(all > 0);
     // Loss-free tiny world: we should find every alive NOERROR resolver
     // except those whose addresses opted out of scanning.
-    let blacklist = scanner::Blacklist::new(
-        w.blacklist_ranges.clone(),
-        w.blacklist_singles.clone(),
-    );
+    let blacklist =
+        scanner::Blacklist::new(w.blacklist_ranges.clone(), w.blacklist_singles.clone());
     let opted_out = w
         .resolvers
         .iter()
         .filter(|m| {
             m.response_class == worldgen::world::ResponseClass::NoError
-                && w.resolver_ip(m).map(|ip| blacklist.contains(ip)).unwrap_or(false)
+                && w.resolver_ip(m)
+                    .map(|ip| blacklist.contains(ip))
+                    .unwrap_or(false)
         })
         .count() as u64;
     assert!(
@@ -57,10 +57,8 @@ fn enumeration_finds_the_fleet() {
 fn blacklisted_addresses_are_never_probed() {
     let mut w = world();
     let vantage = w.scanner_ip;
-    let blacklist = scanner::Blacklist::new(
-        w.blacklist_ranges.clone(),
-        w.blacklist_singles.clone(),
-    );
+    let blacklist =
+        scanner::Blacklist::new(w.blacklist_ranges.clone(), w.blacklist_singles.clone());
     assert!(!blacklist.is_empty());
     let result = enumerate(&mut w, vantage, 99);
     assert!(result.skipped_blacklisted > 0, "some space must be skipped");
@@ -181,9 +179,7 @@ fn domain_scan_separates_honest_and_bogus() {
     let fb_bogus = tuples
         .iter()
         .filter(|t| {
-            t.domain_idx == 1
-                && !t.ips.is_empty()
-                && t.ips.iter().all(|i| !legit_fb.contains(i))
+            t.domain_idx == 1 && !t.ips.is_empty() && t.ips.iter().all(|i| !legit_fb.contains(i))
         })
         .count();
     assert!(fb_bogus > 10, "censored facebook answers: {fb_bogus}");
@@ -271,14 +267,32 @@ fn acquisition_fetches_phish_and_portal_content() {
 
     // Captive portal: redirect followed to the login page.
     let portal_ip = w.infra.portal_ips[0];
-    let got = acquire(&mut w, vantage, portal_ip, "weatherhub.example", portal_ip, false);
+    let got = acquire(
+        &mut w,
+        vantage,
+        portal_ip,
+        "weatherhub.example",
+        portal_ip,
+        false,
+    );
     let http = got.http.expect("portal serves HTTP");
     assert_eq!(http.redirects, 1);
-    assert!(http.body.contains("authenticate"), "{}", &http.body[..120.min(http.body.len())]);
+    assert!(
+        http.body.contains("authenticate"),
+        "{}",
+        &http.body[..120.min(http.body.len())]
+    );
 
     // Mail interception banners.
     let mail_ip = w.infra.mail_intercept_ips[0];
-    let got = acquire(&mut w, vantage, mail_ip, "smtp.gmail.example", mail_ip, true);
+    let got = acquire(
+        &mut w,
+        vantage,
+        mail_ip,
+        "smtp.gmail.example",
+        mail_ip,
+        true,
+    );
     assert!(!got.mail_banners.is_empty());
 
     // HTTP-only proxy refuses TLS but serves content.

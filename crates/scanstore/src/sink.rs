@@ -1,0 +1,50 @@
+//! Sink traits: how campaigns hand observations to a store.
+//!
+//! Campaign code (`scanner::campaign::*`) is written against
+//! [`ObservationSink`] so the same scan loop can stream into an
+//! in-memory store, a persistent [`CampaignStore`](crate::CampaignStore),
+//! or a [`NullSink`] when the caller only wants the returned summary.
+
+use crate::record::Observation;
+use std::io;
+
+/// Receives observations for the snapshot currently being built.
+pub trait ObservationSink {
+    /// Records one observation. Observations may arrive in any order;
+    /// the sink sorts by IP at commit time. If the same IP is observed
+    /// twice within one snapshot, the first observation wins (matching
+    /// the first-response-wins semantics of the enumeration scan).
+    fn observe(&mut self, obs: Observation);
+
+    /// Interns a string, returning its id (stable for the lifetime of
+    /// the campaign; `0` is reserved for "absent").
+    fn intern(&mut self, s: &str) -> u32;
+}
+
+/// A sink that can seal the pending observations into a committed,
+/// durable snapshot.
+pub trait SnapshotSink: ObservationSink {
+    /// Commits the pending observations as the next snapshot and
+    /// returns its sequence number. `meta` carries small key/value
+    /// annotations (ground truth, per-scan counters).
+    fn commit(&mut self, label: &str, t_ms: u64, meta: &[(String, String)]) -> io::Result<u32>;
+}
+
+/// Swallows everything. Lets campaign entry points keep a sink
+/// parameter without forcing callers to persist.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl ObservationSink for NullSink {
+    fn observe(&mut self, _obs: Observation) {}
+
+    fn intern(&mut self, _s: &str) -> u32 {
+        0
+    }
+}
+
+impl SnapshotSink for NullSink {
+    fn commit(&mut self, _label: &str, _t_ms: u64, _meta: &[(String, String)]) -> io::Result<u32> {
+        Ok(0)
+    }
+}

@@ -1,0 +1,90 @@
+//! Typed read API over committed snapshots.
+//!
+//! Report code consumes [`SnapshotSource`] instead of in-memory
+//! vectors, so the same derivations (Fig. 1 weekly counts, Table 1/2
+//! flux, Fig. 2 churn) run identically over a live in-memory campaign
+//! or a reopened on-disk store.
+
+use crate::record::{Observation, SnapshotDiff};
+use std::io;
+
+/// One materialized snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Sequence number (0-based commit order).
+    pub seq: u32,
+    /// Label the campaign committed under (`week-3`, `cohort`, …).
+    pub label: String,
+    /// Snapshot timestamp (sim milliseconds).
+    pub t_ms: u64,
+    /// Key/value annotations recorded at commit time.
+    pub meta: Vec<(String, String)>,
+    /// Records sorted by IP, unique per IP.
+    pub records: Vec<Observation>,
+}
+
+impl Snapshot {
+    /// Looks up a meta value by key.
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read access to a committed snapshot sequence.
+pub trait SnapshotSource {
+    /// Number of committed snapshots.
+    fn snapshot_count(&self) -> u32;
+
+    /// Resolves an interned string id (`0` and unknown ids yield `""`).
+    fn string(&self, id: u32) -> &str;
+
+    /// Materializes snapshot `seq`.
+    fn snapshot(&self, seq: u32) -> io::Result<Snapshot>;
+
+    /// Streams every snapshot in commit order. The default
+    /// materializes each via [`snapshot`](Self::snapshot); stores that
+    /// hold deltas override-friendly callers should prefer this to
+    /// repeated `snapshot` calls (a store can reconstruct incrementally
+    /// in one pass instead of replaying deltas per call).
+    fn for_each_snapshot(&self, f: &mut dyn FnMut(&Snapshot) -> io::Result<()>) -> io::Result<()> {
+        for seq in 0..self.snapshot_count() {
+            f(&self.snapshot(seq)?)?;
+        }
+        Ok(())
+    }
+
+    /// The delta cursor from snapshot `seq` to `seq + 1`.
+    fn diff(&self, seq: u32) -> io::Result<SnapshotDiff> {
+        let prev = self.snapshot(seq)?;
+        let next = self.snapshot(seq + 1)?;
+        Ok(SnapshotDiff::between(&prev.records, &next.records))
+    }
+}
+
+/// Week-over-week survival of the cohort fixed by snapshot `base`:
+/// element `w` counts how many of base's IPs are still present in
+/// snapshot `base + w` (element 0 is the cohort size itself). Runs a
+/// single streaming pass over the source.
+pub fn cohort_survival(src: &dyn SnapshotSource, base: u32) -> io::Result<Vec<usize>> {
+    let cohort: Vec<u32> = src.snapshot(base)?.records.iter().map(|o| o.ip).collect();
+    let mut survival = Vec::new();
+    src.for_each_snapshot(&mut |snap| {
+        if snap.seq < base {
+            return Ok(());
+        }
+        let mut alive = 0usize;
+        let mut records = snap.records.iter().peekable();
+        for &ip in &cohort {
+            while records.next_if(|o| o.ip < ip).is_some() {}
+            if records.next_if(|o| o.ip == ip).is_some() {
+                alive += 1;
+            }
+        }
+        survival.push(alive);
+        Ok(())
+    })?;
+    Ok(survival)
+}

@@ -1,0 +1,290 @@
+//! Integration tests for the persistent store: property-based
+//! encode/decode round-trips, torn-write recovery, and
+//! checkpoint/resume semantics.
+
+use proptest::prelude::*;
+use scanstore::record::{decode_record, encode_record};
+use scanstore::segment::{self, Kind, Segment};
+use scanstore::varint::Reader;
+use scanstore::{
+    CampaignStore, Observation, ObservationSink, SnapshotDiff, SnapshotSink, SnapshotSource,
+};
+use std::fs;
+use std::path::PathBuf;
+
+/// A scratch directory that cleans up on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("scanstore-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+const BASE_MS: u64 = 1_000_000;
+
+fn arb_observation() -> impl Strategy<Value = Observation> {
+    (
+        any::<u32>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        0u64..1 << 40,
+        0u64..1 << 40,
+    )
+        .prop_map(
+            |(ip, rcode, flags, software, country, banner_hash, first, dur)| Observation {
+                ip,
+                rcode,
+                flags,
+                software,
+                device: software % 7,
+                country,
+                rdns: country % 3,
+                banner_hash,
+                first_seen_ms: first,
+                last_seen_ms: first + dur,
+            },
+        )
+}
+
+/// Sorted-unique batch, as produced by a sink commit.
+fn arb_batch() -> impl Strategy<Value = Vec<Observation>> {
+    proptest::collection::vec(arb_observation(), 0..120).prop_map(|mut v| {
+        v.sort_by_key(|o| o.ip);
+        v.dedup_by_key(|o| o.ip);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn record_roundtrip_arbitrary(obs in arb_observation(), prev in any::<u32>()) {
+        let prev_ip = prev.min(obs.ip);
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &obs, prev_ip, BASE_MS);
+        let mut r = Reader::new(&buf);
+        let back = decode_record(&mut r, prev_ip, BASE_MS).unwrap();
+        prop_assert_eq!(back, obs);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn segment_roundtrip_arbitrary_batches(prev in arb_batch(), next in arb_batch()) {
+        let diff = SnapshotDiff::between(&prev, &next);
+        prop_assert_eq!(diff.apply(&prev), next.clone());
+        let seg = Segment {
+            seq: 1,
+            t_ms: BASE_MS,
+            kind: Kind::Delta,
+            label: "week-1".to_string(),
+            meta: vec![("truth".to_string(), "42".to_string())],
+            new_strings: vec!["US".to_string()],
+            diff,
+        };
+        let decoded = segment::decode(&segment::encode(&seg)).unwrap();
+        prop_assert_eq!(decoded, seg);
+    }
+
+    #[test]
+    fn store_roundtrip_arbitrary_batches(batches in proptest::collection::vec(arb_batch(), 1..5)) {
+        let tmp = TempDir::new("prop-store");
+        {
+            let mut store = CampaignStore::open(&tmp.0).unwrap();
+            for (w, batch) in batches.iter().enumerate() {
+                for o in batch {
+                    store.observe(*o);
+                }
+                store
+                    .commit(&format!("week-{w}"), BASE_MS + w as u64, &[])
+                    .unwrap();
+            }
+        }
+        let store = CampaignStore::open(&tmp.0).unwrap();
+        prop_assert_eq!(store.snapshot_count() as usize, batches.len());
+        for (w, batch) in batches.iter().enumerate() {
+            let snap = store.snapshot(w as u32).unwrap();
+            prop_assert_eq!(&snap.records, batch);
+            prop_assert_eq!(snap.label, format!("week-{w}"));
+        }
+    }
+}
+
+fn obs(ip: u32, rcode: u8) -> Observation {
+    Observation::at(ip, rcode, BASE_MS)
+}
+
+fn commit_weeks(store: &mut CampaignStore, weeks: std::ops::Range<u32>) {
+    for w in weeks {
+        // Population drifts so every segment has removals and upserts.
+        for ip in 0..200u32 {
+            if (ip + w) % 7 != 0 {
+                store.observe(obs(ip, (ip % 3) as u8));
+            }
+        }
+        store
+            .commit(&format!("week-{w}"), BASE_MS + u64::from(w), &[])
+            .unwrap();
+    }
+}
+
+#[test]
+fn torn_write_rolls_back_to_last_valid_segment() {
+    let tmp = TempDir::new("torn");
+    {
+        let mut store = CampaignStore::open(&tmp.0).unwrap();
+        commit_weeks(&mut store, 0..3);
+        assert_eq!(store.snapshot_count(), 3);
+    }
+    // Tear the last segment mid-record.
+    let seg2 = tmp.0.join("seg-00002.gws");
+    let bytes = fs::read(&seg2).unwrap();
+    fs::write(&seg2, &bytes[..bytes.len() / 2]).unwrap();
+
+    let store = CampaignStore::open(&tmp.0).unwrap();
+    assert_eq!(store.snapshot_count(), 2, "checkpoint must roll back");
+    assert_eq!(store.stats().recovery_events, 1);
+    assert!(!seg2.exists(), "torn segment must be deleted");
+    // The surviving prefix still serves intact snapshots.
+    let snap = store.snapshot(1).unwrap();
+    assert!(!snap.records.is_empty());
+
+    // The campaign can re-run week 2 and commit on top of the rollback.
+    let mut store = CampaignStore::open(&tmp.0).unwrap();
+    commit_weeks(&mut store, 2..3);
+    assert_eq!(store.snapshot_count(), 3);
+    assert_eq!(store.stats().recovery_events, 1, "recovery count persists");
+}
+
+#[test]
+fn corrupted_middle_segment_rolls_back_past_it() {
+    let tmp = TempDir::new("bitflip");
+    {
+        let mut store = CampaignStore::open(&tmp.0).unwrap();
+        commit_weeks(&mut store, 0..4);
+    }
+    let seg1 = tmp.0.join("seg-00001.gws");
+    let mut bytes = fs::read(&seg1).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    fs::write(&seg1, &bytes).unwrap();
+
+    let store = CampaignStore::open(&tmp.0).unwrap();
+    assert_eq!(
+        store.snapshot_count(),
+        1,
+        "only the prefix before the flip survives"
+    );
+    assert_eq!(store.stats().recovery_events, 1);
+    assert!(
+        !tmp.0.join("seg-00002.gws").exists(),
+        "segments past the rollback are deleted"
+    );
+    assert!(!tmp.0.join("seg-00003.gws").exists());
+}
+
+#[test]
+fn resume_keeps_committed_prefix_bytes_unchanged() {
+    let tmp = TempDir::new("resume");
+    {
+        let mut store = CampaignStore::open(&tmp.0).unwrap();
+        assert_eq!(store.resumed_at(), None);
+        commit_weeks(&mut store, 0..2);
+    }
+    let seg0 = fs::read(tmp.0.join("seg-00000.gws")).unwrap();
+    let seg1 = fs::read(tmp.0.join("seg-00001.gws")).unwrap();
+
+    {
+        let mut store = CampaignStore::open(&tmp.0).unwrap();
+        assert_eq!(store.resumed_at(), Some(2), "resume skips committed weeks");
+        commit_weeks(&mut store, 2..4);
+        assert_eq!(store.snapshot_count(), 4);
+    }
+    assert_eq!(fs::read(tmp.0.join("seg-00000.gws")).unwrap(), seg0);
+    assert_eq!(fs::read(tmp.0.join("seg-00001.gws")).unwrap(), seg1);
+
+    let store = CampaignStore::open(&tmp.0).unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.segments, 4);
+    assert_eq!(stats.recovery_events, 0, "clean resume is not a recovery");
+    assert!(stats.bytes_written > 0);
+    assert!(
+        stats.compression_ratio > 1.0,
+        "delta coding must beat JSON lines"
+    );
+}
+
+#[test]
+fn orphan_segment_and_tmp_files_are_swept() {
+    let tmp = TempDir::new("orphan");
+    {
+        let mut store = CampaignStore::open(&tmp.0).unwrap();
+        commit_weeks(&mut store, 0..2);
+    }
+    // Crash between segment rename and manifest write leaves an orphan.
+    fs::write(tmp.0.join("seg-00002.gws"), b"half-written").unwrap();
+    fs::write(tmp.0.join("seg-00003.gws.tmp"), b"scratch").unwrap();
+
+    let store = CampaignStore::open(&tmp.0).unwrap();
+    assert_eq!(store.snapshot_count(), 2);
+    assert!(!tmp.0.join("seg-00002.gws").exists());
+    assert!(!tmp.0.join("seg-00003.gws.tmp").exists());
+}
+
+#[test]
+fn interned_strings_survive_reopen() {
+    let tmp = TempDir::new("strings");
+    let (us, de);
+    {
+        let mut store = CampaignStore::open(&tmp.0).unwrap();
+        us = store.intern("US");
+        de = store.intern("DE");
+        let mut o = obs(1, 0);
+        o.country = us;
+        store.observe(o);
+        store.commit("week-0", BASE_MS, &[]).unwrap();
+
+        let mut o = obs(2, 0);
+        o.country = de;
+        store.observe(o);
+        store.commit("week-1", BASE_MS + 1, &[]).unwrap();
+    }
+    let mut store = CampaignStore::open(&tmp.0).unwrap();
+    assert_eq!(store.string(us), "US");
+    assert_eq!(store.string(de), "DE");
+    assert_eq!(
+        store.intern("US"),
+        us,
+        "intern ids are stable across reopen"
+    );
+    assert_eq!(store.string(0), "");
+}
+
+#[test]
+fn diff_cursor_matches_materialized_snapshots() {
+    let tmp = TempDir::new("diff");
+    {
+        let mut store = CampaignStore::open(&tmp.0).unwrap();
+        commit_weeks(&mut store, 0..3);
+    }
+    let store = CampaignStore::open(&tmp.0).unwrap();
+    for seq in 0..2 {
+        let prev = store.snapshot(seq).unwrap();
+        let next = store.snapshot(seq + 1).unwrap();
+        let expect = SnapshotDiff::between(&prev.records, &next.records);
+        assert_eq!(store.diff(seq).unwrap(), expect);
+    }
+    assert!(store.diff(2).is_err(), "no diff past the last snapshot");
+}

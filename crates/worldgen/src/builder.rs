@@ -4,19 +4,19 @@ use crate::catalog::DomainCatalog;
 use crate::plan::*;
 use crate::world::{InfraIndex, ResolverMeta, ResponseClass, World, WorldStats};
 use geodb::{AsInfo, Country, GeoDb, IpRangeMap, RdnsDb, RdnsPattern, Rir};
-use netsim::{
-    ChurnConfig, FilterDirection, HostId, LeasePool, Network, NetworkConfig, SimTime,
-};
+use netsim::{ChurnConfig, FilterDirection, HostId, LeasePool, Network, NetworkConfig, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use resolversim::software::{
+    ChaosErrorKind, CUSTOM_STRINGS, PAPER_CHAOS_MIX, TABLE3_SOFTWARE, TAIL_SOFTWARE,
+};
+use resolversim::universe::TldInfo;
+use resolversim::webhost::{AdMode, MailBanners};
 use resolversim::{
     CacheProfile, CensorPolicy, CensorRule, ChaosPolicy, DeviceClass, DeviceOs, DeviceProfile,
     DnsUniverse, DomainCategory, DomainKind, DomainRecord, ForwarderHost, GreatFirewall,
     ResolverBehavior, ResolverHost, SoftwareProfile, TldCacheSim, WebHost, WebRole,
 };
-use resolversim::software::{ChaosErrorKind, CUSTOM_STRINGS, PAPER_CHAOS_MIX, TABLE3_SOFTWARE, TAIL_SOFTWARE};
-use resolversim::universe::TldInfo;
-use resolversim::webhost::{AdMode, MailBanners};
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 use std::sync::atomic::AtomicBool;
@@ -109,8 +109,8 @@ pub fn build_world(cfg: WorldConfig) -> World {
 
     // ---- TLDs for cache snooping (Sec. 2.6's 15 TLDs) ----
     let tlds = [
-        "br", "cn", "co.uk", "com", "de", "fr", "in", "info", "it", "jp", "net", "nl", "org",
-        "pl", "ru",
+        "br", "cn", "co.uk", "com", "de", "fr", "in", "info", "it", "jp", "net", "nl", "org", "pl",
+        "ru",
     ];
     universe.set_tlds(
         tlds.iter()
@@ -242,7 +242,10 @@ pub fn build_world(cfg: WorldConfig) -> World {
                         hosted: hosted.clone(),
                     }
                 };
-                let host = net.add_host(Box::new(WebHost::new(role, subseed(cfg.seed, 50 + ip_hash(ip)))));
+                let host = net.add_host(Box::new(WebHost::new(
+                    role,
+                    subseed(cfg.seed, 50 + ip_hash(ip)),
+                )));
                 net.bind_ip(ip, host);
                 web_hosts += 1;
             }
@@ -304,16 +307,11 @@ pub fn build_world(cfg: WorldConfig) -> World {
         }
         if d.cdn {
             let pi = cdn_provider_of(&d.name, providers.len());
-            let pools: Vec<(Rir, Vec<Ipv4Addr>)> = [
-                Rir::Arin,
-                Rir::Ripe,
-                Rir::Apnic,
-                Rir::Lacnic,
-                Rir::Afrinic,
-            ]
-            .iter()
-            .map(|r| (*r, cdn_pools[&(pi, *r)].clone()))
-            .collect();
+            let pools: Vec<(Rir, Vec<Ipv4Addr>)> =
+                [Rir::Arin, Rir::Ripe, Rir::Apnic, Rir::Lacnic, Rir::Afrinic]
+                    .iter()
+                    .map(|r| (*r, cdn_pools[&(pi, *r)].clone()))
+                    .collect();
             let all: Vec<Ipv4Addr> = pools.iter().flat_map(|(_, v)| v.iter().copied()).collect();
             universe.add_domain(DomainRecord {
                 name: d.name.clone(),
@@ -354,10 +352,10 @@ pub fn build_world(cfg: WorldConfig) -> World {
 
     // ---- Special-purpose host groups ----
     let spawn_group = |net: &mut Network,
-                           alloc: &mut Allocator,
-                           count: usize,
-                           mut role_for: Box<dyn FnMut(usize) -> WebRole>,
-                           seed_tag: u64|
+                       alloc: &mut Allocator,
+                       count: usize,
+                       mut role_for: Box<dyn FnMut(usize) -> WebRole>,
+                       seed_tag: u64|
      -> Vec<Ipv4Addr> {
         let mut out = Vec::with_capacity(count);
         for i in 0..count {
@@ -390,7 +388,11 @@ pub fn build_world(cfg: WorldConfig) -> World {
         &mut alloc,
         8,
         Box::new(|i| WebRole::Parking {
-            provider: if i % 2 == 0 { "parkco".into() } else { "domainlot".into() },
+            provider: if i % 2 == 0 {
+                "parkco".into()
+            } else {
+                "domainlot".into()
+            },
         }),
         120,
     );
@@ -402,7 +404,11 @@ pub fn build_world(cfg: WorldConfig) -> World {
         &mut alloc,
         4,
         Box::new(|i| WebRole::Search {
-            engine: if i % 2 == 0 { "Finder".into() } else { "Lookup".into() },
+            engine: if i % 2 == 0 {
+                "Finder".into()
+            } else {
+                "Lookup".into()
+            },
             mimicry: false,
         }),
         140,
@@ -415,7 +421,13 @@ pub fn build_world(cfg: WorldConfig) -> World {
         &mut alloc,
         5,
         Box::new(|i| WebRole::CaptivePortal {
-            operator: ["MetroWifi", "HotelNet", "CampusLan", "AirportFree", "CafeSpot"][i % 5]
+            operator: [
+                "MetroWifi",
+                "HotelNet",
+                "CampusLan",
+                "AirportFree",
+                "CafeSpot",
+            ][i % 5]
                 .into(),
         }),
         160,
@@ -428,7 +440,11 @@ pub fn build_world(cfg: WorldConfig) -> World {
         &mut alloc,
         4,
         Box::new(|i| WebRole::BlockPage {
-            operator: if i % 2 == 0 { "SafeGuardDNS".into() } else { "FamilyShield".into() },
+            operator: if i % 2 == 0 {
+                "SafeGuardDNS".into()
+            } else {
+                "FamilyShield".into()
+            },
             reason: if i % 2 == 0 {
                 "the site distributes malware".into()
             } else {
@@ -462,28 +478,36 @@ pub fn build_world(cfg: WorldConfig) -> World {
         &mut net,
         &mut alloc,
         2,
-        Box::new(|_| WebRole::AdManipulator { mode: AdMode::InjectBanner }),
+        Box::new(|_| WebRole::AdManipulator {
+            mode: AdMode::InjectBanner,
+        }),
         220,
     );
     infra.ad_script_ips = spawn_group(
         &mut net,
         &mut alloc,
         2,
-        Box::new(|_| WebRole::AdManipulator { mode: AdMode::InjectScript }),
+        Box::new(|_| WebRole::AdManipulator {
+            mode: AdMode::InjectScript,
+        }),
         230,
     );
     infra.ad_blank_ips = spawn_group(
         &mut net,
         &mut alloc,
         7,
-        Box::new(|_| WebRole::AdManipulator { mode: AdMode::Blank }),
+        Box::new(|_| WebRole::AdManipulator {
+            mode: AdMode::Blank,
+        }),
         240,
     );
     infra.ad_fake_search_ips = spawn_group(
         &mut net,
         &mut alloc,
         2,
-        Box::new(|_| WebRole::AdManipulator { mode: AdMode::FakeSearch }),
+        Box::new(|_| WebRole::AdManipulator {
+            mode: AdMode::FakeSearch,
+        }),
         250,
     );
     web_hosts += 13;
@@ -553,7 +577,11 @@ pub fn build_world(cfg: WorldConfig) -> World {
         &mut alloc,
         2,
         Box::new(|i| WebRole::MailServer {
-            banners: MailBanners::provider(if i == 0 { "gmail.example" } else { "yandex.example" }),
+            banners: MailBanners::provider(if i == 0 {
+                "gmail.example"
+            } else {
+                "yandex.example"
+            }),
         }),
         320,
     );
@@ -565,7 +593,11 @@ pub fn build_world(cfg: WorldConfig) -> World {
         &mut alloc,
         30,
         Box::new(|i| WebRole::FakeUpdate {
-            product: if i % 2 == 0 { "Flash".into() } else { "Java".into() },
+            product: if i % 2 == 0 {
+                "Flash".into()
+            } else {
+                "Java".into()
+            },
         }),
         340,
     );
@@ -759,19 +791,58 @@ pub fn build_world(cfg: WorldConfig) -> World {
 
     // Case-study population budgets (scaled).
     let mut case_budget: Vec<(BehaviorKind, u64)> = vec![
-        (BehaviorKind::SelfIp, cfg.scaled_min(CASE_STUDY_PLAN.self_ip_everywhere, 3)),
-        (BehaviorKind::AdInjectBanner, cfg.scaled_min(CASE_STUDY_PLAN.ad_redirect_resolvers / 2, 2)),
-        (BehaviorKind::AdInjectScript, cfg.scaled_min(CASE_STUDY_PLAN.ad_redirect_resolvers / 2, 2)),
-        (BehaviorKind::AdBlank, cfg.scaled_min(CASE_STUDY_PLAN.ad_blank_resolvers, 1)),
-        (BehaviorKind::AdFakeSearch, cfg.scaled_min(CASE_STUDY_PLAN.ad_fake_search_resolvers, 1)),
-        (BehaviorKind::ProxyTls, cfg.scaled_min(CASE_STUDY_PLAN.proxy_tls_resolvers, 2)),
-        (BehaviorKind::ProxyHttp, cfg.scaled_min(CASE_STUDY_PLAN.proxy_http_resolvers, 6)),
-        (BehaviorKind::PhishPaypal, cfg.scaled_min(CASE_STUDY_PLAN.phish_paypal_resolvers, 3)),
-        (BehaviorKind::PhishBankBr, cfg.scaled_min(CASE_STUDY_PLAN.phish_bank_br_resolvers, 2)),
-        (BehaviorKind::PhishBankRu, cfg.scaled_min(CASE_STUDY_PLAN.phish_bank_ru_resolvers, 1)),
-        (BehaviorKind::PhishMisc, cfg.scaled_min(CASE_STUDY_PLAN.phish_misc_resolvers, 2)),
-        (BehaviorKind::MailClone, cfg.scaled_min(CASE_STUDY_PLAN.mail_clone_resolvers, 1)),
-        (BehaviorKind::MalwareUpdate, cfg.scaled_min(CASE_STUDY_PLAN.malware_update_resolvers, 2)),
+        (
+            BehaviorKind::SelfIp,
+            cfg.scaled_min(CASE_STUDY_PLAN.self_ip_everywhere, 3),
+        ),
+        (
+            BehaviorKind::AdInjectBanner,
+            cfg.scaled_min(CASE_STUDY_PLAN.ad_redirect_resolvers / 2, 2),
+        ),
+        (
+            BehaviorKind::AdInjectScript,
+            cfg.scaled_min(CASE_STUDY_PLAN.ad_redirect_resolvers / 2, 2),
+        ),
+        (
+            BehaviorKind::AdBlank,
+            cfg.scaled_min(CASE_STUDY_PLAN.ad_blank_resolvers, 1),
+        ),
+        (
+            BehaviorKind::AdFakeSearch,
+            cfg.scaled_min(CASE_STUDY_PLAN.ad_fake_search_resolvers, 1),
+        ),
+        (
+            BehaviorKind::ProxyTls,
+            cfg.scaled_min(CASE_STUDY_PLAN.proxy_tls_resolvers, 2),
+        ),
+        (
+            BehaviorKind::ProxyHttp,
+            cfg.scaled_min(CASE_STUDY_PLAN.proxy_http_resolvers, 6),
+        ),
+        (
+            BehaviorKind::PhishPaypal,
+            cfg.scaled_min(CASE_STUDY_PLAN.phish_paypal_resolvers, 3),
+        ),
+        (
+            BehaviorKind::PhishBankBr,
+            cfg.scaled_min(CASE_STUDY_PLAN.phish_bank_br_resolvers, 2),
+        ),
+        (
+            BehaviorKind::PhishBankRu,
+            cfg.scaled_min(CASE_STUDY_PLAN.phish_bank_ru_resolvers, 1),
+        ),
+        (
+            BehaviorKind::PhishMisc,
+            cfg.scaled_min(CASE_STUDY_PLAN.phish_misc_resolvers, 2),
+        ),
+        (
+            BehaviorKind::MailClone,
+            cfg.scaled_min(CASE_STUDY_PLAN.mail_clone_resolvers, 1),
+        ),
+        (
+            BehaviorKind::MalwareUpdate,
+            cfg.scaled_min(CASE_STUDY_PLAN.malware_update_resolvers, 2),
+        ),
     ];
 
     let mut resolvers: Vec<ResolverMeta> = Vec::new();
@@ -787,8 +858,16 @@ pub fn build_world(cfg: WorldConfig) -> World {
         // separately below, so the regular population excludes them and
         // the end target excludes the event AS's surviving remnant.
         let special = match plan.code {
-            "AR" => Some((cfg.scaled(737_424).max(3) as usize, 16u32, cfg.scaled(17_000) as usize)),
-            "KR" => Some((cfg.scaled(434_567).max(3) as usize, 30u32, cfg.scaled(22) as usize)),
+            "AR" => Some((
+                cfg.scaled(737_424).max(3) as usize,
+                16u32,
+                cfg.scaled(17_000) as usize,
+            )),
+            "KR" => Some((
+                cfg.scaled(434_567).max(3) as usize,
+                30u32,
+                cfg.scaled(22) as usize,
+            )),
             _ => None,
         };
         let (special_count, _special_week, special_leftover) = special.unwrap_or((0, 0, 0));
@@ -927,10 +1006,16 @@ pub fn build_world(cfg: WorldConfig) -> World {
                 ResponseClass::NoError => {
                     if i >= start {
                         // Spawner.
-                        (1 + country_rng.gen_range(0..cfg.weeks.saturating_sub(2).max(1)), None)
+                        (
+                            1 + country_rng.gen_range(0..cfg.weeks.saturating_sub(2).max(1)),
+                            None,
+                        )
                     } else if (i % start.max(1)) < retirees {
                         // Retiree (deterministic stripe, random week).
-                        (0, Some(1 + country_rng.gen_range(0..cfg.weeks.saturating_sub(2).max(1))))
+                        (
+                            0,
+                            Some(1 + country_rng.gen_range(0..cfg.weeks.saturating_sub(2).max(1))),
+                        )
                     } else {
                         (0, None)
                     }
@@ -986,7 +1071,9 @@ pub fn build_world(cfg: WorldConfig) -> World {
                 })
             } else if chaos_u < PAPER_CHAOS_MIX.error + PAPER_CHAOS_MIX.empty {
                 ChaosPolicy::EmptyAnswer
-            } else if chaos_u < PAPER_CHAOS_MIX.error + PAPER_CHAOS_MIX.empty + PAPER_CHAOS_MIX.custom {
+            } else if chaos_u
+                < PAPER_CHAOS_MIX.error + PAPER_CHAOS_MIX.empty + PAPER_CHAOS_MIX.custom
+            {
                 ChaosPolicy::Custom(
                     CUSTOM_STRINGS[country_rng.gen_range(0..CUSTOM_STRINGS.len())].to_string(),
                 )
@@ -1024,8 +1111,8 @@ pub fn build_world(cfg: WorldConfig) -> World {
             // NAT: the upstream ISP recursive answers the client
             // directly, from its own address (Sec. 2.2: 630k-750k
             // source-mismatch responders per week).
-            let multihomed = country_rng.gen::<f64>() < 0.025
-                && response_class == ResponseClass::NoError;
+            let multihomed =
+                country_rng.gen::<f64>() < 0.025 && response_class == ResponseClass::NoError;
             let host_id = if multihomed {
                 net.add_host(Box::new(
                     ForwarderHost::leaky(isp_recursive_ip).with_alive(alive.clone()),
@@ -1044,10 +1131,7 @@ pub fn build_world(cfg: WorldConfig) -> World {
                 net.add_host(Box::new(host))
             };
 
-            let class_idx = churn_mix
-                .iter()
-                .position(|(c, _, _)| *c == churn)
-                .unwrap();
+            let class_idx = churn_mix.iter().position(|(c, _, _)| *c == churn).unwrap();
             class_members.entry(class_idx).or_default().push(host_id);
 
             metas_this_country.push(resolvers.len());
@@ -1109,9 +1193,7 @@ pub fn build_world(cfg: WorldConfig) -> World {
             let pattern = if dynamic_rdns {
                 RdnsPattern::DynamicPool {
                     zone: format!("{}.isp{}.example", plan.code.to_lowercase(), asn),
-                    token: ["dynamic", "broadband", "dialup"]
-                        [(asn as usize) % 3]
-                        .to_string(),
+                    token: ["dynamic", "broadband", "dialup"][(asn as usize) % 3].to_string(),
                 }
             } else {
                 RdnsPattern::static_host(&format!(
@@ -1157,7 +1239,15 @@ pub fn build_world(cfg: WorldConfig) -> World {
             });
             let block = alloc.block((count as u32 * 13 / 10).max(count as u32 + 2));
             geo_builder
-                .insert(block.0, block.1, geodb::NetBlock { country: cc, asn, rdns: None })
+                .insert(
+                    block.0,
+                    block.1,
+                    geodb::NetBlock {
+                        country: cc,
+                        asn,
+                        rdns: None,
+                    },
+                )
                 .expect("special block");
             let mut members = Vec::new();
             for j in 0..count {
@@ -1232,7 +1322,15 @@ pub fn build_world(cfg: WorldConfig) -> World {
             });
             let block = alloc.block((per_net as u32 + 4).max(8));
             geo_builder
-                .insert(block.0, block.1, geodb::NetBlock { country: cc, asn, rdns: None })
+                .insert(
+                    block.0,
+                    block.1,
+                    geodb::NetBlock {
+                        country: cc,
+                        asn,
+                        rdns: None,
+                    },
+                )
                 .expect("blocker block");
             let ips = ips_of_block(block);
             #[allow(clippy::needless_range_loop)]
@@ -1280,7 +1378,10 @@ pub fn build_world(cfg: WorldConfig) -> World {
     let geo = GeoDb::new(geo_builder.build(), ases);
     // GFW ranges = every CN block in the geo DB.
     let cn_ranges: Vec<(Ipv4Addr, Ipv4Addr)> = geo_ranges_for(&geo, Country::new("CN"));
-    net.add_injector(Box::new(GreatFirewall::new(cn_ranges, censored_social.clone())));
+    net.add_injector(Box::new(GreatFirewall::new(
+        cn_ranges,
+        censored_social.clone(),
+    )));
 
     let rdns = RdnsDb::new(rdns_builder.build(), rdns_overrides);
 
@@ -1356,7 +1457,10 @@ fn geo_ranges_for(geo: &GeoDb, country: Country) -> Vec<(Ipv4Addr, Ipv4Addr)> {
 /// Figure 4 censorship signal is not polluted by the disabled-edge
 /// phenomenon, which the paper reports separately (Sec. 4.2).
 fn cdn_provider_of(name: &str, providers: usize) -> usize {
-    if matches!(name, "facebook.example" | "twitter.example" | "youtube.example") {
+    if matches!(
+        name,
+        "facebook.example" | "twitter.example" | "youtube.example"
+    ) {
         return 0;
     }
     (domain_hash(name) as usize) % providers
@@ -1530,7 +1634,9 @@ fn materialize_behavior(
             } else {
                 pick(&infra.misc_site_ips, salt)
             };
-            ResolverBehavior::NxMonetizer { search_ips: vec![ip] }
+            ResolverBehavior::NxMonetizer {
+                search_ips: vec![ip],
+            }
         }
         BehaviorKind::StaticError => ResolverBehavior::StaticIp {
             ip: pick(&infra.error_ips, salt),

@@ -144,8 +144,14 @@ impl DomainCatalog {
                 DomainCategory::Antivirus,
             ));
         }
-        d.push(CatalogDomain::site("update.avvendor01.example", DomainCategory::Antivirus));
-        d.push(CatalogDomain::site("sigs.avvendor02.example", DomainCategory::Antivirus));
+        d.push(CatalogDomain::site(
+            "update.avvendor01.example",
+            DomainCategory::Antivirus,
+        ));
+        d.push(CatalogDomain::site(
+            "sigs.avvendor02.example",
+            DomainCategory::Antivirus,
+        ));
 
         // Banking / payment (20).
         let banks = [
@@ -370,13 +376,19 @@ mod tests {
     fn nx_entries_do_not_exist() {
         let c = DomainCatalog::standard();
         assert!(c.in_category(DomainCategory::Nx).iter().all(|d| !d.exists));
-        assert!(c.in_category(DomainCategory::Banking).iter().all(|d| d.exists));
+        assert!(c
+            .in_category(DomainCategory::Banking)
+            .iter()
+            .all(|d| d.exists));
     }
 
     #[test]
     fn mail_hosts_flagged() {
         let c = DomainCatalog::standard();
-        assert!(c.in_category(DomainCategory::Mx).iter().all(|d| d.is_mail_host));
+        assert!(c
+            .in_category(DomainCategory::Mx)
+            .iter()
+            .all(|d| d.is_mail_host));
         assert_eq!(
             c.domains.iter().filter(|d| d.is_mail_host).count(),
             13,
@@ -389,7 +401,9 @@ mod tests {
         let c = DomainCatalog::standard();
         for s in c.social_media() {
             assert!(
-                c.domains.iter().any(|d| d.name == s && d.category == DomainCategory::Alexa),
+                c.domains
+                    .iter()
+                    .any(|d| d.name == s && d.category == DomainCategory::Alexa),
                 "{s}"
             );
         }

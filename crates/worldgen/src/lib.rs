@@ -26,12 +26,12 @@
 //! the ground-truth metadata ([`ResolverMeta`]) is exposed only for
 //! validation.
 
-pub mod catalog;
 pub mod builder;
+pub mod catalog;
 pub mod plan;
 pub mod world;
 
-pub use catalog::{CatalogDomain, DomainCatalog};
 pub use builder::build_world;
+pub use catalog::{CatalogDomain, DomainCatalog};
 pub use plan::{BehaviorKind, ChurnClass, CountryPlan, WorldConfig, COUNTRY_PLANS};
 pub use world::{ResolverMeta, World, WorldStats};

@@ -67,70 +67,310 @@ pub struct CountryPlan {
 /// tail bringing the total to ≈26.8M.
 pub const COUNTRY_PLANS: &[CountryPlan] = &[
     // Table 1 (start and end measured).
-    CountryPlan { code: "US", start: 2_958_640, end: 2_537_269 },
-    CountryPlan { code: "CN", start: 2_418_949, end: 2_104_663 },
-    CountryPlan { code: "TR", start: 1_439_736, end: 976_226 },
-    CountryPlan { code: "VN", start: 1_393_618, end: 1_039_075 },
-    CountryPlan { code: "MX", start: 1_372_934, end: 1_175_343 },
-    CountryPlan { code: "IN", start: 1_269_714, end: 1_431_522 },
-    CountryPlan { code: "TH", start: 1_214_042, end: 564_482 },
-    CountryPlan { code: "IT", start: 1_172_001, end: 722_756 },
-    CountryPlan { code: "CO", start: 1_062_080, end: 677_572 },
-    CountryPlan { code: "TW", start: 1_061_218, end: 453_016 },
+    CountryPlan {
+        code: "US",
+        start: 2_958_640,
+        end: 2_537_269,
+    },
+    CountryPlan {
+        code: "CN",
+        start: 2_418_949,
+        end: 2_104_663,
+    },
+    CountryPlan {
+        code: "TR",
+        start: 1_439_736,
+        end: 976_226,
+    },
+    CountryPlan {
+        code: "VN",
+        start: 1_393_618,
+        end: 1_039_075,
+    },
+    CountryPlan {
+        code: "MX",
+        start: 1_372_934,
+        end: 1_175_343,
+    },
+    CountryPlan {
+        code: "IN",
+        start: 1_269_714,
+        end: 1_431_522,
+    },
+    CountryPlan {
+        code: "TH",
+        start: 1_214_042,
+        end: 564_482,
+    },
+    CountryPlan {
+        code: "IT",
+        start: 1_172_001,
+        end: 722_756,
+    },
+    CountryPlan {
+        code: "CO",
+        start: 1_062_080,
+        end: 677_572,
+    },
+    CountryPlan {
+        code: "TW",
+        start: 1_061_218,
+        end: 453_016,
+    },
     // Countries named in the text with known dynamics.
-    CountryPlan { code: "AR", start: 960_000, end: 240_000 },  // −75.0%
-    CountryPlan { code: "GB", start: 520_000, end: 189_280 },  // −63.6%
-    CountryPlan { code: "MY", start: 180_000, end: 287_460 },  // +59.7%
-    CountryPlan { code: "LB", start: 60_000, end: 106_020 },   // +76.7%
-    CountryPlan { code: "KR", start: 640_000, end: 205_000 },  // ISP shutdown
+    CountryPlan {
+        code: "AR",
+        start: 960_000,
+        end: 240_000,
+    }, // −75.0%
+    CountryPlan {
+        code: "GB",
+        start: 520_000,
+        end: 189_280,
+    }, // −63.6%
+    CountryPlan {
+        code: "MY",
+        start: 180_000,
+        end: 287_460,
+    }, // +59.7%
+    CountryPlan {
+        code: "LB",
+        start: 60_000,
+        end: 106_020,
+    }, // +76.7%
+    CountryPlan {
+        code: "KR",
+        start: 640_000,
+        end: 205_000,
+    }, // ISP shutdown
     // Figure 4-a visible populations.
-    CountryPlan { code: "ID", start: 850_000, end: 640_000 },
-    CountryPlan { code: "IR", start: 820_000, end: 700_000 },
-    CountryPlan { code: "EG", start: 660_000, end: 500_000 },
-    CountryPlan { code: "BR", start: 640_000, end: 500_000 },
-    CountryPlan { code: "RU", start: 630_000, end: 490_000 },
-    CountryPlan { code: "PL", start: 560_000, end: 430_000 },
-    CountryPlan { code: "DZ", start: 520_000, end: 400_000 },
-    CountryPlan { code: "JP", start: 360_000, end: 280_000 },
+    CountryPlan {
+        code: "ID",
+        start: 850_000,
+        end: 640_000,
+    },
+    CountryPlan {
+        code: "IR",
+        start: 820_000,
+        end: 700_000,
+    },
+    CountryPlan {
+        code: "EG",
+        start: 660_000,
+        end: 500_000,
+    },
+    CountryPlan {
+        code: "BR",
+        start: 640_000,
+        end: 500_000,
+    },
+    CountryPlan {
+        code: "RU",
+        start: 630_000,
+        end: 490_000,
+    },
+    CountryPlan {
+        code: "PL",
+        start: 560_000,
+        end: 430_000,
+    },
+    CountryPlan {
+        code: "DZ",
+        start: 520_000,
+        end: 400_000,
+    },
+    CountryPlan {
+        code: "JP",
+        start: 360_000,
+        end: 280_000,
+    },
     // Censorship-relevant smaller countries (Sec. 4.2).
-    CountryPlan { code: "GR", start: 120_000, end: 90_000 },
-    CountryPlan { code: "BE", start: 110_000, end: 85_000 },
-    CountryPlan { code: "MN", start: 40_000, end: 30_000 },
-    CountryPlan { code: "EE", start: 35_000, end: 27_000 },
+    CountryPlan {
+        code: "GR",
+        start: 120_000,
+        end: 90_000,
+    },
+    CountryPlan {
+        code: "BE",
+        start: 110_000,
+        end: 85_000,
+    },
+    CountryPlan {
+        code: "MN",
+        start: 40_000,
+        end: 30_000,
+    },
+    CountryPlan {
+        code: "EE",
+        start: 35_000,
+        end: 27_000,
+    },
     // Long tail.
-    CountryPlan { code: "DE", start: 980_000, end: 740_000 },
-    CountryPlan { code: "FR", start: 930_000, end: 700_000 },
-    CountryPlan { code: "ES", start: 700_000, end: 530_000 },
-    CountryPlan { code: "UA", start: 500_000, end: 380_000 },
-    CountryPlan { code: "RO", start: 460_000, end: 350_000 },
-    CountryPlan { code: "CA", start: 420_000, end: 330_000 },
-    CountryPlan { code: "NL", start: 340_000, end: 260_000 },
-    CountryPlan { code: "PH", start: 330_000, end: 250_000 },
-    CountryPlan { code: "PK", start: 320_000, end: 240_000 },
-    CountryPlan { code: "BD", start: 300_000, end: 230_000 },
-    CountryPlan { code: "CL", start: 280_000, end: 210_000 },
-    CountryPlan { code: "PE", start: 260_000, end: 200_000 },
-    CountryPlan { code: "VE", start: 250_000, end: 190_000 },
-    CountryPlan { code: "CZ", start: 230_000, end: 175_000 },
-    CountryPlan { code: "HU", start: 210_000, end: 160_000 },
-    CountryPlan { code: "PT", start: 200_000, end: 150_000 },
-    CountryPlan { code: "SE", start: 190_000, end: 145_000 },
-    CountryPlan { code: "AT", start: 180_000, end: 135_000 },
-    CountryPlan { code: "CH", start: 170_000, end: 130_000 },
-    CountryPlan { code: "ZA", start: 160_000, end: 120_000 },
-    CountryPlan { code: "NG", start: 150_000, end: 115_000 },
-    CountryPlan { code: "MA", start: 140_000, end: 105_000 },
-    CountryPlan { code: "TN", start: 130_000, end: 100_000 },
-    CountryPlan { code: "KE", start: 120_000, end: 90_000 },
-    CountryPlan { code: "AU", start: 240_000, end: 185_000 },
-    CountryPlan { code: "HK", start: 200_000, end: 155_000 },
-    CountryPlan { code: "SG", start: 150_000, end: 115_000 },
-    CountryPlan { code: "NZ", start: 80_000, end: 60_000 },
-    CountryPlan { code: "UY", start: 90_000, end: 68_000 },
-    CountryPlan { code: "BO", start: 85_000, end: 64_000 },
-    CountryPlan { code: "PY", start: 80_000, end: 60_000 },
-    CountryPlan { code: "EC", start: 95_000, end: 72_000 },
-    CountryPlan { code: "GH", start: 70_000, end: 53_000 },
+    CountryPlan {
+        code: "DE",
+        start: 980_000,
+        end: 740_000,
+    },
+    CountryPlan {
+        code: "FR",
+        start: 930_000,
+        end: 700_000,
+    },
+    CountryPlan {
+        code: "ES",
+        start: 700_000,
+        end: 530_000,
+    },
+    CountryPlan {
+        code: "UA",
+        start: 500_000,
+        end: 380_000,
+    },
+    CountryPlan {
+        code: "RO",
+        start: 460_000,
+        end: 350_000,
+    },
+    CountryPlan {
+        code: "CA",
+        start: 420_000,
+        end: 330_000,
+    },
+    CountryPlan {
+        code: "NL",
+        start: 340_000,
+        end: 260_000,
+    },
+    CountryPlan {
+        code: "PH",
+        start: 330_000,
+        end: 250_000,
+    },
+    CountryPlan {
+        code: "PK",
+        start: 320_000,
+        end: 240_000,
+    },
+    CountryPlan {
+        code: "BD",
+        start: 300_000,
+        end: 230_000,
+    },
+    CountryPlan {
+        code: "CL",
+        start: 280_000,
+        end: 210_000,
+    },
+    CountryPlan {
+        code: "PE",
+        start: 260_000,
+        end: 200_000,
+    },
+    CountryPlan {
+        code: "VE",
+        start: 250_000,
+        end: 190_000,
+    },
+    CountryPlan {
+        code: "CZ",
+        start: 230_000,
+        end: 175_000,
+    },
+    CountryPlan {
+        code: "HU",
+        start: 210_000,
+        end: 160_000,
+    },
+    CountryPlan {
+        code: "PT",
+        start: 200_000,
+        end: 150_000,
+    },
+    CountryPlan {
+        code: "SE",
+        start: 190_000,
+        end: 145_000,
+    },
+    CountryPlan {
+        code: "AT",
+        start: 180_000,
+        end: 135_000,
+    },
+    CountryPlan {
+        code: "CH",
+        start: 170_000,
+        end: 130_000,
+    },
+    CountryPlan {
+        code: "ZA",
+        start: 160_000,
+        end: 120_000,
+    },
+    CountryPlan {
+        code: "NG",
+        start: 150_000,
+        end: 115_000,
+    },
+    CountryPlan {
+        code: "MA",
+        start: 140_000,
+        end: 105_000,
+    },
+    CountryPlan {
+        code: "TN",
+        start: 130_000,
+        end: 100_000,
+    },
+    CountryPlan {
+        code: "KE",
+        start: 120_000,
+        end: 90_000,
+    },
+    CountryPlan {
+        code: "AU",
+        start: 240_000,
+        end: 185_000,
+    },
+    CountryPlan {
+        code: "HK",
+        start: 200_000,
+        end: 155_000,
+    },
+    CountryPlan {
+        code: "SG",
+        start: 150_000,
+        end: 115_000,
+    },
+    CountryPlan {
+        code: "NZ",
+        start: 80_000,
+        end: 60_000,
+    },
+    CountryPlan {
+        code: "UY",
+        start: 90_000,
+        end: 68_000,
+    },
+    CountryPlan {
+        code: "BO",
+        start: 85_000,
+        end: 64_000,
+    },
+    CountryPlan {
+        code: "PY",
+        start: 80_000,
+        end: 60_000,
+    },
+    CountryPlan {
+        code: "EC",
+        start: 95_000,
+        end: 72_000,
+    },
+    CountryPlan {
+        code: "GH",
+        start: 70_000,
+        end: 53_000,
+    },
 ];
 
 /// IP-lease churn classes (Sec. 2.5 / Figure 2). Shares calibrated so
@@ -307,25 +547,25 @@ pub struct CaseStudyPlan {
     /// Resolvers answering everything with their own IP (8,194).
     pub self_ip_everywhere: u64,
     /// Ad-banner/script redirectors (281 resolvers, 4 IPs).
-    pub ad_redirect_resolvers: u64,   // 281 → 4 IPs
+    pub ad_redirect_resolvers: u64, // 281 → 4 IPs
     /// Blank-creative suppressors (14 resolvers, 7 IPs).
-    pub ad_blank_resolvers: u64,      // 14 → 7 IPs
+    pub ad_blank_resolvers: u64, // 14 → 7 IPs
     /// Fake-search redirectors (7 resolvers, 2 IPs).
     pub ad_fake_search_resolvers: u64, // 7 → 2 IPs
     /// TLS-capable transparent proxies (99 resolvers, 10 IPs).
-    pub proxy_tls_resolvers: u64,     // 99 → 10 IPs
+    pub proxy_tls_resolvers: u64, // 99 → 10 IPs
     /// HTTP-only transparent proxies (10,179 resolvers, 10 IPs).
-    pub proxy_http_resolvers: u64,    // 10,179 → 10 IPs
+    pub proxy_http_resolvers: u64, // 10,179 → 10 IPs
     /// PayPal phishing redirectors (176 resolvers, 16 IPs).
-    pub phish_paypal_resolvers: u64,  // 176 → 16 IPs
+    pub phish_paypal_resolvers: u64, // 176 → 16 IPs
     /// Brazilian bank clone redirectors (285 resolvers, 1 IP).
     pub phish_bank_br_resolvers: u64, // 285 → 1 IP
     /// Russian bank clone redirectors (46 resolvers, 1 IP).
     pub phish_bank_ru_resolvers: u64, // 46 → 1 IP
     /// Remainder of the 1,360 phishing-labelled resolvers.
-    pub phish_misc_resolvers: u64,    // remainder of 1,360
+    pub phish_misc_resolvers: u64, // remainder of 1,360
     /// Mail-provider clone redirectors (8 resolvers).
-    pub mail_clone_resolvers: u64,    // 8
+    pub mail_clone_resolvers: u64, // 8
     /// Fake-update dropper redirectors (228 resolvers, 30 IPs).
     pub malware_update_resolvers: u64, // 228 → 30 IPs
 }
@@ -375,42 +615,382 @@ pub struct CensorPlan {
 /// GFW (no landing pages — forged random IPs); the other 33 countries
 /// use landing pages, matching the paper's "34 different countries".
 pub const CENSOR_PLANS: &[CensorPlan] = &[
-    CensorPlan { code: "CN", compliance: 0.997, social: true, adult: false, gambling: false, dating: false, filesharing: false, extra_domains: &[], landing_ips: 0 },
-    CensorPlan { code: "IR", compliance: 0.60, social: true, adult: true, gambling: true, dating: true, filesharing: false, extra_domains: &["blogspot.example"], landing_ips: 30 },
-    CensorPlan { code: "TR", compliance: 0.90, social: false, adult: true, gambling: true, dating: false, filesharing: true, extra_domains: &["rotten.example", "wikileaks.example"], landing_ips: 22 },
-    CensorPlan { code: "ID", compliance: 0.80, social: false, adult: true, gambling: true, dating: false, filesharing: false, extra_domains: &["blogspot.example", "rotten.example"], landing_ips: 30 },
-    CensorPlan { code: "MY", compliance: 0.60, social: false, adult: true, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 12 },
-    CensorPlan { code: "IT", compliance: 0.693, social: false, adult: false, gambling: true, dating: false, filesharing: true, extra_domains: &[], landing_ips: 20 },
-    CensorPlan { code: "RU", compliance: 0.70, social: false, adult: false, gambling: true, dating: false, filesharing: true, extra_domains: &["wikileaks.example"], landing_ips: 24 },
-    CensorPlan { code: "GR", compliance: 0.839, social: false, adult: false, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 8 },
-    CensorPlan { code: "BE", compliance: 0.786, social: false, adult: false, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 8 },
-    CensorPlan { code: "MN", compliance: 0.789, social: false, adult: true, gambling: false, dating: false, filesharing: false, extra_domains: &[], landing_ips: 6 },
+    CensorPlan {
+        code: "CN",
+        compliance: 0.997,
+        social: true,
+        adult: false,
+        gambling: false,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 0,
+    },
+    CensorPlan {
+        code: "IR",
+        compliance: 0.60,
+        social: true,
+        adult: true,
+        gambling: true,
+        dating: true,
+        filesharing: false,
+        extra_domains: &["blogspot.example"],
+        landing_ips: 30,
+    },
+    CensorPlan {
+        code: "TR",
+        compliance: 0.90,
+        social: false,
+        adult: true,
+        gambling: true,
+        dating: false,
+        filesharing: true,
+        extra_domains: &["rotten.example", "wikileaks.example"],
+        landing_ips: 22,
+    },
+    CensorPlan {
+        code: "ID",
+        compliance: 0.80,
+        social: false,
+        adult: true,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &["blogspot.example", "rotten.example"],
+        landing_ips: 30,
+    },
+    CensorPlan {
+        code: "MY",
+        compliance: 0.60,
+        social: false,
+        adult: true,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 12,
+    },
+    CensorPlan {
+        code: "IT",
+        compliance: 0.693,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: true,
+        extra_domains: &[],
+        landing_ips: 20,
+    },
+    CensorPlan {
+        code: "RU",
+        compliance: 0.70,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: true,
+        extra_domains: &["wikileaks.example"],
+        landing_ips: 24,
+    },
+    CensorPlan {
+        code: "GR",
+        compliance: 0.839,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 8,
+    },
+    CensorPlan {
+        code: "BE",
+        compliance: 0.786,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 8,
+    },
+    CensorPlan {
+        code: "MN",
+        compliance: 0.789,
+        social: false,
+        adult: true,
+        gambling: false,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 6,
+    },
     // Estonia resolves gambling domains to *Russian* landing pages
     // (Sec. 6, Levis confirmation) — the builder wires EE to RU's IPs.
-    CensorPlan { code: "EE", compliance: 0.569, social: false, adult: false, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 0 },
-    CensorPlan { code: "VN", compliance: 0.40, social: false, adult: true, gambling: false, dating: false, filesharing: false, extra_domains: &[], landing_ips: 14 },
-    CensorPlan { code: "TH", compliance: 0.45, social: false, adult: true, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 12 },
-    CensorPlan { code: "PK", compliance: 0.25, social: false, adult: true, gambling: false, dating: false, filesharing: false, extra_domains: &[], landing_ips: 12 },
-    CensorPlan { code: "EG", compliance: 0.35, social: false, adult: true, gambling: true, dating: true, filesharing: false, extra_domains: &[], landing_ips: 10 },
-    CensorPlan { code: "DZ", compliance: 0.30, social: false, adult: true, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 8 },
-    CensorPlan { code: "IN", compliance: 0.15, social: false, adult: true, gambling: false, dating: false, filesharing: true, extra_domains: &[], landing_ips: 14 },
-    CensorPlan { code: "UA", compliance: 0.25, social: false, adult: false, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 6 },
-    CensorPlan { code: "RO", compliance: 0.30, social: false, adult: false, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 6 },
-    CensorPlan { code: "PH", compliance: 0.25, social: false, adult: true, gambling: false, dating: false, filesharing: false, extra_domains: &[], landing_ips: 5 },
-    CensorPlan { code: "BD", compliance: 0.45, social: false, adult: true, gambling: false, dating: false, filesharing: false, extra_domains: &[], landing_ips: 6 },
-    CensorPlan { code: "MA", compliance: 0.30, social: false, adult: true, gambling: false, dating: true, filesharing: false, extra_domains: &[], landing_ips: 5 },
-    CensorPlan { code: "TN", compliance: 0.25, social: false, adult: true, gambling: false, dating: false, filesharing: false, extra_domains: &[], landing_ips: 4 },
-    CensorPlan { code: "KE", compliance: 0.20, social: false, adult: false, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 4 },
-    CensorPlan { code: "ZA", compliance: 0.15, social: false, adult: false, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 4 },
-    CensorPlan { code: "NG", compliance: 0.20, social: false, adult: true, gambling: false, dating: false, filesharing: false, extra_domains: &[], landing_ips: 4 },
-    CensorPlan { code: "VE", compliance: 0.30, social: false, adult: false, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 4 },
-    CensorPlan { code: "PY", compliance: 0.25, social: false, adult: true, gambling: false, dating: false, filesharing: false, extra_domains: &[], landing_ips: 3 },
-    CensorPlan { code: "BO", compliance: 0.25, social: false, adult: true, gambling: false, dating: false, filesharing: false, extra_domains: &[], landing_ips: 3 },
-    CensorPlan { code: "EC", compliance: 0.20, social: false, adult: false, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 3 },
-    CensorPlan { code: "GH", compliance: 0.20, social: false, adult: true, gambling: false, dating: false, filesharing: false, extra_domains: &[], landing_ips: 3 },
-    CensorPlan { code: "UY", compliance: 0.20, social: false, adult: false, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 3 },
-    CensorPlan { code: "HU", compliance: 0.20, social: false, adult: false, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 3 },
-    CensorPlan { code: "CZ", compliance: 0.15, social: false, adult: false, gambling: true, dating: false, filesharing: false, extra_domains: &[], landing_ips: 3 },
+    CensorPlan {
+        code: "EE",
+        compliance: 0.569,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 0,
+    },
+    CensorPlan {
+        code: "VN",
+        compliance: 0.40,
+        social: false,
+        adult: true,
+        gambling: false,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 14,
+    },
+    CensorPlan {
+        code: "TH",
+        compliance: 0.45,
+        social: false,
+        adult: true,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 12,
+    },
+    CensorPlan {
+        code: "PK",
+        compliance: 0.25,
+        social: false,
+        adult: true,
+        gambling: false,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 12,
+    },
+    CensorPlan {
+        code: "EG",
+        compliance: 0.35,
+        social: false,
+        adult: true,
+        gambling: true,
+        dating: true,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 10,
+    },
+    CensorPlan {
+        code: "DZ",
+        compliance: 0.30,
+        social: false,
+        adult: true,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 8,
+    },
+    CensorPlan {
+        code: "IN",
+        compliance: 0.15,
+        social: false,
+        adult: true,
+        gambling: false,
+        dating: false,
+        filesharing: true,
+        extra_domains: &[],
+        landing_ips: 14,
+    },
+    CensorPlan {
+        code: "UA",
+        compliance: 0.25,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 6,
+    },
+    CensorPlan {
+        code: "RO",
+        compliance: 0.30,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 6,
+    },
+    CensorPlan {
+        code: "PH",
+        compliance: 0.25,
+        social: false,
+        adult: true,
+        gambling: false,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 5,
+    },
+    CensorPlan {
+        code: "BD",
+        compliance: 0.45,
+        social: false,
+        adult: true,
+        gambling: false,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 6,
+    },
+    CensorPlan {
+        code: "MA",
+        compliance: 0.30,
+        social: false,
+        adult: true,
+        gambling: false,
+        dating: true,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 5,
+    },
+    CensorPlan {
+        code: "TN",
+        compliance: 0.25,
+        social: false,
+        adult: true,
+        gambling: false,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 4,
+    },
+    CensorPlan {
+        code: "KE",
+        compliance: 0.20,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 4,
+    },
+    CensorPlan {
+        code: "ZA",
+        compliance: 0.15,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 4,
+    },
+    CensorPlan {
+        code: "NG",
+        compliance: 0.20,
+        social: false,
+        adult: true,
+        gambling: false,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 4,
+    },
+    CensorPlan {
+        code: "VE",
+        compliance: 0.30,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 4,
+    },
+    CensorPlan {
+        code: "PY",
+        compliance: 0.25,
+        social: false,
+        adult: true,
+        gambling: false,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 3,
+    },
+    CensorPlan {
+        code: "BO",
+        compliance: 0.25,
+        social: false,
+        adult: true,
+        gambling: false,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 3,
+    },
+    CensorPlan {
+        code: "EC",
+        compliance: 0.20,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 3,
+    },
+    CensorPlan {
+        code: "GH",
+        compliance: 0.20,
+        social: false,
+        adult: true,
+        gambling: false,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 3,
+    },
+    CensorPlan {
+        code: "UY",
+        compliance: 0.20,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 3,
+    },
+    CensorPlan {
+        code: "HU",
+        compliance: 0.20,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 3,
+    },
+    CensorPlan {
+        code: "CZ",
+        compliance: 0.15,
+        social: false,
+        adult: false,
+        gambling: true,
+        dating: false,
+        filesharing: false,
+        extra_domains: &[],
+        landing_ips: 3,
+    },
 ];
 
 /// Device/OS assignment (Table 4): shares over the 26.3% of resolvers
@@ -478,22 +1058,22 @@ pub const TCP_EXPOSED_FRACTION: f64 = 0.263;
 /// Cache / utilization profile shares (Sec. 2.6).
 pub struct UtilizationPlan {
     /// Cache-snoop NS queries get empty NOERROR answers (7.3%).
-    pub empty_answer: f64,      // 7.3%
+    pub empty_answer: f64, // 7.3%
     /// Answers the first snoop query then falls silent (3.3%).
     pub single_then_silent: f64, // 3.3%
     /// TTL never decreases (2.0%, half of the paper's 4.0%).
-    pub static_ttl: f64,        // 2.0% (half of the 4.0%)
+    pub static_ttl: f64, // 2.0% (half of the 4.0%)
     /// TTL always zero (2.0%).
     pub zero_ttl: f64,
     /// In use with refresh gaps of at most 5 s (38.7%).
-    pub frequent: f64,          // 38.7% — refresh ≤ 5 s
+    pub frequent: f64, // 38.7% — refresh ≤ 5 s
     /// In use with refresh gaps of minutes-hours (22.9%).
-    pub in_use_slow: f64,       // 22.9% — refresh in minutes-hours (61.6% total in use)
+    pub in_use_slow: f64, // 22.9% — refresh in minutes-hours (61.6% total in use)
     /// Resets the TTL to the zone value on every query (19.6%).
-    pub ttl_resetter: f64,      // 19.6%
+    pub ttl_resetter: f64, // 19.6%
     /// TTL decreases slower than wall-clock (4.0%).
-    pub slow_decreasing: f64,   // 4.0%
-    // Remainder: unreachable during snooping (IP churn).
+    pub slow_decreasing: f64, // 4.0%
+                              // Remainder: unreachable during snooping (IP churn).
 }
 
 /// The calibrated Sec. 2.6 utilization plan.
@@ -561,7 +1141,10 @@ mod tests {
     fn censor_plan_has_34_countries_and_299_landing_ips() {
         assert_eq!(CENSOR_PLANS.len(), 34);
         let ips: u32 = CENSOR_PLANS.iter().map(|c| c.landing_ips).sum();
-        assert!((280..=320).contains(&ips), "landing ips = {ips} (paper: 299)");
+        assert!(
+            (280..=320).contains(&ips),
+            "landing ips = {ips} (paper: 299)"
+        );
         // All censor countries have a population plan.
         for c in CENSOR_PLANS {
             assert!(
@@ -575,7 +1158,10 @@ mod tests {
     #[test]
     fn device_mix_within_tcp_exposed_budget() {
         let sum: f64 = DEVICE_MIX.iter().map(|(_, s)| s).sum();
-        assert!(sum < 1.0, "device mix sums to {sum}, must leave Unknown remainder");
+        assert!(
+            sum < 1.0,
+            "device mix sums to {sum}, must leave Unknown remainder"
+        );
         assert!(sum > 0.8);
     }
 

@@ -57,8 +57,8 @@ fn resolvers_bound_and_answering() {
         .expect("some honest resolver");
     let ip = w.resolver_ip(meta).unwrap();
     let sock = w.net.open_socket(w.scanner_ip, 40_000);
-    let q = MessageBuilder::query(0xAB, Name::parse("paypal.example").unwrap(), RecordType::A)
-        .build();
+    let q =
+        MessageBuilder::query(0xAB, Name::parse("paypal.example").unwrap(), RecordType::A).build();
     w.net
         .send_udp(Datagram::new(w.scanner_ip, 40_000, ip, 53, q.encode()));
     w.net.run_until(SimTime::from_secs(5));
@@ -79,13 +79,20 @@ fn gfw_injects_for_social_media_queries_into_cn() {
         .expect("CN resolver");
     let ip = w.resolver_ip(meta).unwrap();
     let sock = w.net.open_socket(w.scanner_ip, 40_001);
-    let q = MessageBuilder::query(0xCD, Name::parse("facebook.example").unwrap(), RecordType::A)
-        .build();
+    let q = MessageBuilder::query(
+        0xCD,
+        Name::parse("facebook.example").unwrap(),
+        RecordType::A,
+    )
+    .build();
     w.net
         .send_udp(Datagram::new(w.scanner_ip, 40_001, ip, 53, q.encode()));
     w.net.run_until(SimTime::from_secs(5));
     let replies = w.net.recv_all(sock);
-    assert!(!replies.is_empty(), "GFW must inject even if the resolver is mute");
+    assert!(
+        !replies.is_empty(),
+        "GFW must inject even if the resolver is mute"
+    );
     let msg = Message::decode(&replies[0].1.payload).unwrap();
     let legit = &w.infra.legit_ips["facebook.example"];
     assert!(
@@ -108,10 +115,15 @@ fn gfw_answers_even_unbound_cn_space() {
     // Use the block's last address — likely pool slack, often unbound.
     let probe_ip = lo;
     let sock = w.net.open_socket(w.scanner_ip, 40_002);
-    let q = MessageBuilder::query(1, Name::parse("twitter.example").unwrap(), RecordType::A)
-        .build();
-    w.net
-        .send_udp(Datagram::new(w.scanner_ip, 40_002, probe_ip, 53, q.encode()));
+    let q =
+        MessageBuilder::query(1, Name::parse("twitter.example").unwrap(), RecordType::A).build();
+    w.net.send_udp(Datagram::new(
+        w.scanner_ip,
+        40_002,
+        probe_ip,
+        53,
+        q.encode(),
+    ));
     w.net.run_until(SimTime::from_secs(5));
     let replies = w.net.recv_all(sock);
     assert!(!replies.is_empty());
@@ -200,7 +212,11 @@ fn universe_covers_catalog() {
                 d.name
             );
         } else {
-            assert!(w.universe.record(&d.name).map(|r| matches!(r.kind, resolversim::DomainKind::NonExistent)).unwrap_or(true));
+            assert!(w
+                .universe
+                .record(&d.name)
+                .map(|r| matches!(r.kind, resolversim::DomainKind::NonExistent))
+                .unwrap_or(true));
         }
     }
 }
@@ -230,7 +246,11 @@ fn infra_groups_nonempty() {
     assert_eq!(w.infra.proxy_http_ips.len(), 10);
     assert_eq!(w.infra.phish_ips.len(), 39);
     assert_eq!(w.infra.malware_update_ips.len(), 30);
-    assert!(w.infra.landing_ips.len() >= 30, "{}", w.infra.landing_ips.len());
+    assert!(
+        w.infra.landing_ips.len() >= 30,
+        "{}",
+        w.infra.landing_ips.len()
+    );
     let landing_total: usize = {
         // EE aliases RU's pages; count distinct IPs.
         let mut all: Vec<_> = w
@@ -243,7 +263,10 @@ fn infra_groups_nonempty() {
         all.dedup();
         all.len()
     };
-    assert!((250..=320).contains(&landing_total), "landing={landing_total}");
+    assert!(
+        (250..=320).contains(&landing_total),
+        "landing={landing_total}"
+    );
     assert_eq!(w.infra.cdn_default_cns.len(), 2);
 }
 

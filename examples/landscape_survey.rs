@@ -28,7 +28,10 @@ fn main() {
     );
 
     println!("== Table 2: RIR fluctuation ==");
-    println!("{}", report::render_flux("Registries", &table2_rir_flux(&fig1)));
+    println!(
+        "{}",
+        report::render_flux("Registries", &table2_rir_flux(&fig1))
+    );
 
     // Software + devices on a fresh world snapshot.
     let mut world = build_world(cfg);

@@ -27,7 +27,12 @@ fn universe() -> Arc<DnsUniverse> {
     Arc::new(u)
 }
 
-fn resolver(behavior: ResolverBehavior, family: &str, version: &str, chaos: ChaosPolicy) -> ResolverHost {
+fn resolver(
+    behavior: ResolverBehavior,
+    family: &str,
+    version: &str,
+    chaos: ChaosPolicy,
+) -> ResolverHost {
     ResolverHost::new(
         universe(),
         behavior,
@@ -44,16 +49,36 @@ async fn main() -> std::io::Result<()> {
     // A little fleet with the behaviours a real scan encounters.
     let fleet = spawn_fleet(
         vec![
-            resolver(ResolverBehavior::Honest, "BIND", "9.8.2", ChaosPolicy::Genuine),
-            resolver(ResolverBehavior::Honest, "BIND", "9.3.6", ChaosPolicy::Genuine),
-            resolver(ResolverBehavior::Honest, "Dnsmasq", "2.52", ChaosPolicy::Genuine),
+            resolver(
+                ResolverBehavior::Honest,
+                "BIND",
+                "9.8.2",
+                ChaosPolicy::Genuine,
+            ),
+            resolver(
+                ResolverBehavior::Honest,
+                "BIND",
+                "9.3.6",
+                ChaosPolicy::Genuine,
+            ),
+            resolver(
+                ResolverBehavior::Honest,
+                "Dnsmasq",
+                "2.52",
+                ChaosPolicy::Genuine,
+            ),
             resolver(
                 ResolverBehavior::Honest,
                 "BIND",
                 "9.9.5",
                 ChaosPolicy::Custom("none of your business".into()),
             ),
-            resolver(ResolverBehavior::RefusedAll, "BIND", "9.7.3", ChaosPolicy::Genuine),
+            resolver(
+                ResolverBehavior::RefusedAll,
+                "BIND",
+                "9.7.3",
+                ChaosPolicy::Genuine,
+            ),
             resolver(
                 ResolverBehavior::StaticIp {
                     ip: Ipv4Addr::new(203, 0, 113, 99),

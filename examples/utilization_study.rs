@@ -18,7 +18,10 @@ fn main() {
     let vantage = world.scanner_ip;
     println!("enumerating the fleet...");
     let fleet = enumerate(&mut world, vantage, 26).noerror_ips();
-    println!("fleet: {} open resolvers; snooping {sample} of them", fleet.len());
+    println!(
+        "fleet: {} open resolvers; snooping {sample} of them",
+        fleet.len()
+    );
     println!("(15 TLD NS queries with RD=0, hourly, for 36 simulated hours)\n");
 
     let util = utilization(&mut world, &fleet, sample, 36);

@@ -122,7 +122,10 @@ fn full_pipeline_recovers_the_paper_phenomena() {
         .compliance
         .rate(tr, &["youporn.example"])
         .unwrap_or(0.0);
-    assert!(tr_rate > 0.5, "TR youporn censorship rate {tr_rate} (paper: ~90%)");
+    assert!(
+        tr_rate > 0.5,
+        "TR youporn censorship rate {tr_rate} (paper: ~90%)"
+    );
     let us_rate = report
         .censorship
         .compliance
@@ -140,8 +143,14 @@ fn full_pipeline_recovers_the_paper_phenomena() {
     };
     let adult_row = row("Adult");
     let (cens_avg, cens_max) = adult_row.shares["Censorship"];
-    assert!(cens_avg > 25.0, "adult censorship avg {cens_avg}% (paper: 88.6%)");
-    assert!(cens_max > 40.0, "adult censorship max {cens_max}% (paper: 91.3%)");
+    assert!(
+        cens_avg > 25.0,
+        "adult censorship avg {cens_avg}% (paper: 88.6%)"
+    );
+    assert!(
+        cens_max > 40.0,
+        "adult censorship max {cens_max}% (paper: 91.3%)"
+    );
     let banking_row = row("Banking");
     let (bank_err, _) = banking_row.shares["HTTP Error"];
     let (bank_cens, _) = banking_row.shares["Censorship"];
@@ -219,7 +228,13 @@ fn analysis_is_deterministic() {
     assert_eq!(a.0, b.0);
     assert_eq!(a.2, b.2);
     assert_eq!(a.3, b.3);
-    let cats_a: Vec<_> = a.1.iter().map(|(k, v)| (k.clone(), v.responses, v.unexpected)).collect();
-    let cats_b: Vec<_> = b.1.iter().map(|(k, v)| (k.clone(), v.responses, v.unexpected)).collect();
+    let cats_a: Vec<_> =
+        a.1.iter()
+            .map(|(k, v)| (k.clone(), v.responses, v.unexpected))
+            .collect();
+    let cats_b: Vec<_> =
+        b.1.iter()
+            .map(|(k, v)| (k.clone(), v.responses, v.unexpected))
+            .collect();
     assert_eq!(cats_a, cats_b);
 }

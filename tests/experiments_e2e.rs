@@ -38,7 +38,11 @@ fn fig1_population_declines_and_cross_checks() {
     // NOERROR dominates both error classes at every scan.
     for w in &fig1.weeks {
         assert!(w.noerror > w.refused, "week {}: noerror vs refused", w.week);
-        assert!(w.noerror > w.servfail, "week {}: noerror vs servfail", w.week);
+        assert!(
+            w.noerror > w.servfail,
+            "week {}: noerror vs servfail",
+            w.week
+        );
         assert_eq!(w.all, w.noerror + w.refused + w.servfail);
     }
     // DNS proxies / multi-homed hosts answer from a different source IP
@@ -125,7 +129,8 @@ fn table3_chaos_mix_is_bind_dominated() {
     // dnsmasq (forwarder CPE) appears among the top versions.
     let tops = t3.top_versions(10);
     assert!(
-        tops.iter().any(|(k, _)| k.to_ascii_lowercase().contains("dnsmasq")),
+        tops.iter()
+            .any(|(k, _)| k.to_ascii_lowercase().contains("dnsmasq")),
         "dnsmasq expected among top versions: {tops:?}"
     );
 }
@@ -231,11 +236,7 @@ fn scan_tracks_each_planned_country_population() {
         if planted < 40.0 {
             continue; // too small for a stable ratio at tiny scale
         }
-        let seen = fig1
-            .first_by_country
-            .get(plan.code)
-            .copied()
-            .unwrap_or(0) as f64;
+        let seen = fig1.first_by_country.get(plan.code).copied().unwrap_or(0) as f64;
         assert!(
             seen > 0.90 * planted,
             "{}: scan sees {seen} of ~{planted} planted resolvers",

@@ -1,0 +1,141 @@
+//! Store-vs-scratch equivalence and checkpoint/resume, end to end.
+//!
+//! The acceptance bar: `repro --exp fig1 --store <dir>` run twice must
+//! produce identical output, with the second run serving from the
+//! store; a killed first run must resume from the last committed
+//! segment rather than week 0. These tests assert exactly that at
+//! `WorldConfig::tiny` through the same library entry points the
+//! binary uses.
+
+use goingwild::experiments::{fig1_weekly_counts, fig2_churn, table1_country_flux};
+use goingwild::{stored_fig1, stored_fig2, WorldConfig};
+use std::fs;
+use std::path::PathBuf;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("gw-equiv-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn weekly_files(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir.join("weekly"))
+        .expect("store dir")
+        .map(|e| {
+            let e = e.expect("dirent");
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                fs::read(e.path()).expect("read"),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn fig1_from_store_is_byte_identical_to_scratch() {
+    const WEEKS: u32 = 3;
+    let cfg = WorldConfig::tiny(0xE0);
+    let tmp = TempDir::new("fig1");
+
+    let scratch = fig1_weekly_counts(cfg.clone(), WEEKS);
+    let (first, stats1) = stored_fig1(cfg.clone(), WEEKS, &tmp.0).expect("collect into store");
+    assert_eq!(stats1.segments, WEEKS);
+    assert_eq!(stats1.resumed_at, None, "first run starts from scratch");
+    assert_eq!(
+        serde_json::to_string(&scratch).unwrap(),
+        serde_json::to_string(&first).unwrap(),
+        "store-backed fig1 must match the in-memory run byte-for-byte"
+    );
+    // Tables 1–2 derive from the same report, so equality carries over.
+    assert_eq!(
+        serde_json::to_string(&table1_country_flux(&scratch, 10)).unwrap(),
+        serde_json::to_string(&table1_country_flux(&first, 10)).unwrap(),
+    );
+
+    // Second run: served from disk, nothing re-simulated.
+    let before = weekly_files(&tmp.0);
+    let (second, stats2) = stored_fig1(cfg, WEEKS, &tmp.0).expect("serve from store");
+    assert_eq!(
+        serde_json::to_string(&first).unwrap(),
+        serde_json::to_string(&second).unwrap(),
+    );
+    assert_eq!(
+        stats2.resumed_at,
+        Some(WEEKS),
+        "second run reads the checkpoint"
+    );
+    assert_eq!(
+        before,
+        weekly_files(&tmp.0),
+        "a fully-collected store must not be rewritten by a read"
+    );
+}
+
+#[test]
+fn killed_weekly_campaign_resumes_from_checkpoint() {
+    const WEEKS: u32 = 3;
+    let cfg = WorldConfig::tiny(0xE1);
+    let tmp = TempDir::new("resume");
+
+    // A run killed after committing week 0 (simulated by collecting a
+    // shorter campaign, then tearing the next segment's write).
+    stored_fig1(cfg.clone(), 1, &tmp.0).expect("partial campaign");
+    fs::write(tmp.0.join("weekly/seg-00001.gws"), b"torn mid-write").unwrap();
+    let seg0 = fs::read(tmp.0.join("weekly/seg-00000.gws")).unwrap();
+
+    let (resumed, stats) = stored_fig1(cfg.clone(), WEEKS, &tmp.0).expect("resume");
+    assert_eq!(stats.segments, WEEKS);
+    assert_eq!(
+        stats.resumed_at,
+        Some(1),
+        "resumes after week 0, not from week 0"
+    );
+    assert_eq!(
+        fs::read(tmp.0.join("weekly/seg-00000.gws")).unwrap(),
+        seg0,
+        "the committed prefix is never rewritten"
+    );
+    // The tiny world is loss-free, so the resumed campaign reproduces
+    // the uninterrupted run exactly.
+    let scratch = fig1_weekly_counts(cfg, WEEKS);
+    assert_eq!(
+        serde_json::to_string(&scratch).unwrap(),
+        serde_json::to_string(&resumed).unwrap(),
+    );
+}
+
+#[test]
+fn fig2_from_store_matches_scratch_and_reopens_clean() {
+    const WEEKS: u32 = 2;
+    let cfg = WorldConfig::tiny(0xE2);
+    let tmp = TempDir::new("fig2");
+
+    let scratch = fig2_churn(cfg.clone(), WEEKS);
+    let (first, stats1) = stored_fig2(cfg.clone(), WEEKS, &tmp.0).expect("collect churn");
+    // cohort + day1 + one snapshot per weekly probe.
+    assert_eq!(stats1.segments, WEEKS + 2);
+    assert_eq!(
+        serde_json::to_string(&scratch).unwrap(),
+        serde_json::to_string(&first).unwrap(),
+        "store-backed fig2 must match the in-memory run byte-for-byte"
+    );
+
+    let (second, stats2) = stored_fig2(cfg, WEEKS, &tmp.0).expect("serve from store");
+    assert_eq!(stats2.resumed_at, Some(WEEKS + 2));
+    assert_eq!(
+        serde_json::to_string(&first).unwrap(),
+        serde_json::to_string(&second).unwrap(),
+    );
+}

@@ -1,0 +1,118 @@
+//! Minimal stand-in for the `bytes` crate.
+//!
+//! Provides a cheaply clonable, immutable byte buffer backed by an
+//! `Arc<[u8]>`. Only the surface this workspace actually uses is
+//! implemented: construction from slices/vectors, `Deref` to `[u8]`,
+//! equality, and ordering.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable contiguous byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies a static slice into a buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self { data: v.into() }
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Self {
+        Self {
+            data: v.as_slice().into(),
+        }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Self {
+            data: v.as_bytes().into(),
+        }
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_deref() {
+        let b: Bytes = vec![1u8, 2, 3].into();
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn from_slice_literal() {
+        let b: Bytes = (&b"ping"[..]).into();
+        assert_eq!(&b[..], b"ping");
+        assert!(!b.is_empty());
+        assert_eq!(b.len(), 4);
+    }
+}

@@ -1,0 +1,45 @@
+//! Sampling strategies: `select` and `Index`.
+
+use crate::strategy::{Arbitrary, Strategy};
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly from a fixed list.
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// `proptest::sample::select` — uniform choice from `options`.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from empty list");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].clone()
+    }
+}
+
+/// An index into a collection whose length is only known at use time.
+#[derive(Debug, Clone, Copy)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Projects this sample onto a collection of length `len`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index {
+            raw: rng.next_u64(),
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Generator for the small regex subset used as string strategies:
+//! character classes with ranges and `\xNN` escapes, literal characters,
+//! `\`-escaped literals, and `{n}` / `{m,n}` quantifiers.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+enum Atom {
+    /// One choice among these characters.
+    Class(Vec<char>),
+    /// Exactly this character.
+    Literal(char),
+}
+
+#[derive(Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Samples a string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = (piece.max - piece.min + 1) as u64;
+        let count = piece.min + rng.below(span) as usize;
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(choices) => {
+                    let idx = rng.below(choices.len() as u64) as usize;
+                    out.push(choices[idx]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut pos = 0;
+    while pos < chars.len() {
+        let atom = match chars[pos] {
+            '[' => {
+                let (class, next) = parse_class(&chars, pos + 1, pattern);
+                pos = next;
+                Atom::Class(class)
+            }
+            '\\' => {
+                let (c, next) = parse_escape(&chars, pos + 1, pattern);
+                pos = next;
+                Atom::Literal(c)
+            }
+            c => {
+                pos += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, pos, pattern);
+        pos = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Parses the body of `[...]` starting just past `[`; returns the
+/// expanded choice set and the position just past `]`.
+fn parse_class(chars: &[char], mut pos: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut choices = Vec::new();
+    while pos < chars.len() && chars[pos] != ']' {
+        let lo = if chars[pos] == '\\' {
+            let (c, next) = parse_escape(chars, pos + 1, pattern);
+            pos = next;
+            c
+        } else {
+            let c = chars[pos];
+            pos += 1;
+            c
+        };
+        // A `-` before a non-`]` char forms a range; a trailing `-` is
+        // a literal.
+        if pos + 1 < chars.len() && chars[pos] == '-' && chars[pos + 1] != ']' {
+            pos += 1;
+            let hi = if chars[pos] == '\\' {
+                let (c, next) = parse_escape(chars, pos + 1, pattern);
+                pos = next;
+                c
+            } else {
+                let c = chars[pos];
+                pos += 1;
+                c
+            };
+            assert!(lo <= hi, "invalid class range in pattern {pattern:?}");
+            for code in lo as u32..=hi as u32 {
+                if let Some(c) = char::from_u32(code) {
+                    choices.push(c);
+                }
+            }
+        } else {
+            choices.push(lo);
+        }
+    }
+    assert!(
+        pos < chars.len(),
+        "unterminated character class in pattern {pattern:?}"
+    );
+    assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+    (choices, pos + 1)
+}
+
+/// Parses the char after a `\`; returns the literal and next position.
+fn parse_escape(chars: &[char], pos: usize, pattern: &str) -> (char, usize) {
+    match chars.get(pos) {
+        Some('x') => {
+            let hex: String = chars[pos + 1..pos + 3].iter().collect();
+            let code = u32::from_str_radix(&hex, 16)
+                .unwrap_or_else(|_| panic!("bad \\x escape in pattern {pattern:?}"));
+            (
+                char::from_u32(code).expect("valid \\x escape codepoint"),
+                pos + 3,
+            )
+        }
+        Some('n') => ('\n', pos + 1),
+        Some('t') => ('\t', pos + 1),
+        Some(&c) => (c, pos + 1),
+        None => panic!("dangling escape in pattern {pattern:?}"),
+    }
+}
+
+/// Parses `{n}` or `{m,n}` at `pos` if present; default is exactly one.
+fn parse_quantifier(chars: &[char], pos: usize, pattern: &str) -> (usize, usize, usize) {
+    if chars.get(pos) != Some(&'{') {
+        return (1, 1, pos);
+    }
+    let close = chars[pos..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"))
+        + pos;
+    let body: String = chars[pos + 1..close].iter().collect();
+    let (min, max) = match body.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().expect("quantifier lower bound"),
+            hi.parse().expect("quantifier upper bound"),
+        ),
+        None => {
+            let n: usize = body.parse().expect("quantifier count");
+            (n, n)
+        }
+    };
+    assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+    (min, max, close + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests")
+    }
+
+    #[test]
+    fn fixed_width_class() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_from_pattern("[A-Z]{2}", &mut r);
+            assert_eq!(s.len(), 2);
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+        }
+    }
+
+    #[test]
+    fn literal_suffix_with_escaped_dot() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_from_pattern("[a-z]{1,12}\\.example", &mut r);
+            let (label, suffix) = s.split_once('.').expect("dot present");
+            assert_eq!(suffix, "example");
+            assert!((1..=12).contains(&label.len()));
+            assert!(label.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn hex_ranges_and_literals() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_from_pattern("[\\x20-\\x7e<>/\"'=!-]{0,300}", &mut r);
+            assert!(s.len() <= 300);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

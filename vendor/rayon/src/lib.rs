@@ -1,0 +1,146 @@
+//! Minimal stand-in for `rayon`.
+//!
+//! Supports `(range).into_par_iter().map(f).collect::<Vec<_>>()` — the
+//! only shape this workspace uses — by splitting the index range across
+//! `std::thread::available_parallelism()` scoped threads and stitching
+//! results back in order.
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A data-parallel iterator over an indexable source.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Drains the iterator into an ordered `Vec`.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects into a container (only `Vec<Item>` is supported).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallel<Self::Item>,
+    {
+        C::from_ordered(self.drive())
+    }
+}
+
+/// Collection target for [`ParallelIterator::collect`].
+pub trait FromParallel<T> {
+    /// Builds the container from an ordered vector of results.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    range: std::ops::Range<usize>,
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    fn drive(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    B::Item: Send,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let items = self.base.drive();
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        if threads <= 1 {
+            return items.into_iter().map(self.f).collect();
+        }
+        let f = &self.f;
+        let chunk = n.div_ceil(threads);
+        let mut slots: Vec<Option<Vec<R>>> = Vec::new();
+        slots.resize_with(threads, || None);
+        let mut chunks: Vec<Vec<B::Item>> = Vec::with_capacity(threads);
+        let mut items = items.into_iter();
+        for _ in 0..threads {
+            chunks.push(items.by_ref().take(chunk).collect());
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for part in chunks {
+                handles.push(scope.spawn(move || part.into_iter().map(f).collect::<Vec<R>>()));
+            }
+            for (slot, handle) in slots.iter_mut().zip(handles) {
+                *slot = Some(handle.join().expect("rayon worker panicked"));
+            }
+        });
+        slots.into_iter().flatten().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn empty_range() {
+        let out: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,518 @@
+//! `Serialize`/`Deserialize` implementations for std types, all routed
+//! through the [`Value`] tree.
+
+use crate::de::{DeserializeOwned, Error as DeError};
+use crate::ser::{to_value, Error as SerError};
+use crate::{Deserialize, Deserializer, SerdeError, Serialize, Serializer, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn ser_err<S: Serializer>(e: SerdeError) -> S::Error {
+    <S::Error as SerError>::custom(e)
+}
+
+fn de_err<'de, D: Deserializer<'de>>(e: SerdeError) -> D::Error {
+    <D::Error as DeError>::custom(e)
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                let raw = value_to_u64(&v).map_err(de_err::<D>)?;
+                <$t>::try_from(raw)
+                    .map_err(|_| de_err::<D>(SerdeError(format!("{raw} out of range"))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::I64(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                let raw = value_to_i64(&v).map_err(de_err::<D>)?;
+                <$t>::try_from(raw)
+                    .map_err(|_| de_err::<D>(SerdeError(format!("{raw} out of range"))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+fn value_to_u64(v: &Value) -> Result<u64, SerdeError> {
+    match v {
+        Value::U64(n) => Ok(*n),
+        Value::I64(n) if *n >= 0 => Ok(*n as u64),
+        // Stringified keys round-trip through JSON object keys.
+        Value::String(s) => s
+            .parse()
+            .map_err(|_| SerdeError(format!("expected unsigned integer, got {s:?}"))),
+        other => Err(SerdeError(format!(
+            "expected unsigned integer, got {other:?}"
+        ))),
+    }
+}
+
+fn value_to_i64(v: &Value) -> Result<i64, SerdeError> {
+    match v {
+        Value::I64(n) => Ok(*n),
+        Value::U64(n) => i64::try_from(*n).map_err(|_| SerdeError(format!("{n} out of range"))),
+        Value::String(s) => s
+            .parse()
+            .map_err(|_| SerdeError(format!("expected integer, got {s:?}"))),
+        other => Err(SerdeError(format!("expected integer, got {other:?}"))),
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::F64(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.deserialize_value()? {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    other => Err(de_err::<D>(SerdeError(format!(
+                        "expected number, got {other:?}"
+                    )))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+// ------------------------------------------------------------ scalar misc
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de_err::<D>(SerdeError(format!(
+                "expected bool, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(de_err::<D>(SerdeError(format!(
+                "expected single-char string, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(de_err::<D>(SerdeError(format!(
+                "expected string, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+/// `&'static str` fields (e.g. const-table rows) round-trip by leaking
+/// the decoded string; acceptable for config/report structs that are
+/// deserialized a bounded number of times.
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        Ok(Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for Ipv4Addr {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse()
+            .map_err(|_| de_err::<D>(SerdeError(format!("invalid IPv4 address {s:?}"))))
+    }
+}
+
+impl Serialize for Ipv6Addr {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for Ipv6Addr {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse()
+            .map_err(|_| de_err::<D>(SerdeError(format!("invalid IPv6 address {s:?}"))))
+    }
+}
+
+// ---------------------------------------------------------------- options
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => s.serialize_value(to_value(v).map_err(ser_err::<S>)?),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Null => Ok(None),
+            v => crate::de::from_value(v).map(Some).map_err(de_err::<D>),
+        }
+    }
+}
+
+// -------------------------------------------------------------- sequences
+
+fn seq_to_value<'a, T: Serialize + 'a>(
+    items: impl Iterator<Item = &'a T>,
+) -> Result<Value, SerdeError> {
+    Ok(Value::Array(
+        items.map(to_value).collect::<Result<Vec<_>, _>>()?,
+    ))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(seq_to_value(self.iter()).map_err(ser_err::<S>)?)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(seq_to_value(self.iter()).map_err(ser_err::<S>)?)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(seq_to_value(self.iter()).map_err(ser_err::<S>)?)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Array(a) => a
+                .into_iter()
+                .map(|v| crate::de::from_value(v))
+                .collect::<Result<Vec<T>, _>>()
+                .map_err(de_err::<D>),
+            other => Err(de_err::<D>(SerdeError(format!(
+                "expected sequence, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v: Vec<T> = Vec::deserialize(d)?;
+        let n = v.len();
+        v.try_into()
+            .map_err(|_| de_err::<D>(SerdeError(format!("expected {N} elements, got {n}"))))
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(seq_to_value(self.iter()).map_err(ser_err::<S>)?)
+    }
+}
+
+impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Sort the serialized elements for deterministic output.
+        let mut items = self
+            .iter()
+            .map(to_value)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(ser_err::<S>)?;
+        items.sort_by(value_sort_key);
+        s.serialize_value(Value::Array(items))
+    }
+}
+
+impl<'de, T: DeserializeOwned + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into_iter().collect())
+    }
+}
+
+fn value_sort_key(a: &Value, b: &Value) -> std::cmp::Ordering {
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => 2,
+            Value::String(_) => 3,
+            Value::Array(_) => 4,
+            Value::Object(_) => 5,
+        }
+    }
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::String(x), Value::String(y)) => x.cmp(y),
+        (Value::Array(x), Value::Array(y)) => {
+            for (xa, ya) in x.iter().zip(y.iter()) {
+                let o = value_sort_key(xa, ya);
+                if o != Ordering::Equal {
+                    return o;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (x, y) if rank(x) == 2 && rank(y) == 2 => {
+            let fx = match x {
+                Value::I64(n) => *n as f64,
+                Value::U64(n) => *n as f64,
+                Value::F64(f) => *f,
+                _ => unreachable!(),
+            };
+            let fy = match y {
+                Value::I64(n) => *n as f64,
+                Value::U64(n) => *n as f64,
+                Value::F64(f) => *f,
+                _ => unreachable!(),
+            };
+            fx.total_cmp(&fy)
+        }
+        (x, y) => rank(x).cmp(&rank(y)),
+    }
+}
+
+// ------------------------------------------------------------------- maps
+
+fn key_to_string(v: Value) -> Result<String, SerdeError> {
+    match v {
+        Value::String(s) => Ok(s),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(SerdeError(format!(
+            "map key must serialize to a string-like value, got {other:?}"
+        ))),
+    }
+}
+
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Result<Value, SerdeError> {
+    let mut m = BTreeMap::new();
+    for (k, v) in entries {
+        m.insert(key_to_string(to_value(k)?)?, to_value(v)?);
+    }
+    Ok(Value::Object(m))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(map_to_value(self.iter()).map_err(ser_err::<S>)?)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(map_to_value(self.iter()).map_err(ser_err::<S>)?)
+    }
+}
+
+fn map_entries<T: DeserializeOwned>(v: Value) -> Result<Vec<(String, T)>, SerdeError> {
+    match v {
+        Value::Object(m) => m
+            .into_iter()
+            .map(|(k, v)| Ok((k, crate::de::from_value(v)?)))
+            .collect(),
+        other => Err(SerdeError(format!("expected map, got {other:?}"))),
+    }
+}
+
+impl<'de, K: DeserializeOwned + Ord, V: DeserializeOwned> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        map_entries::<V>(d.deserialize_value()?)
+            .and_then(|entries| {
+                entries
+                    .into_iter()
+                    .map(|(k, v)| Ok((crate::de::from_value(Value::String(k))?, v)))
+                    .collect()
+            })
+            .map_err(de_err::<D>)
+    }
+}
+
+impl<'de, K: DeserializeOwned + Eq + Hash, V: DeserializeOwned> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        map_entries::<V>(d.deserialize_value()?)
+            .and_then(|entries| {
+                entries
+                    .into_iter()
+                    .map(|(k, v)| Ok((crate::de::from_value(Value::String(k))?, v)))
+                    .collect()
+            })
+            .map_err(de_err::<D>)
+    }
+}
+
+// ----------------------------------------------------------------- tuples
+
+macro_rules! impl_tuple {
+    ($($name:ident $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(to_value(&self.$idx).map_err(ser_err::<S>)?),+];
+                s.serialize_value(Value::Array(items))
+            }
+        }
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                const N: usize = [$($idx),+].len();
+                let a = crate::__private::into_seq(d.deserialize_value()?, N)
+                    .map_err(de_err::<D>)?;
+                let mut it = a.into_iter();
+                Ok(($({
+                    let _ = $idx;
+                    crate::de::from_value::<$name>(it.next().expect("length checked"))
+                        .map_err(de_err::<D>)?
+                },)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(T0 0);
+impl_tuple!(T0 0, T1 1);
+impl_tuple!(T0 0, T1 1, T2 2);
+impl_tuple!(T0 0, T1 1, T2 2, T3 3);
+impl_tuple!(T0 0, T1 1, T2 2, T3 3, T4 4);
+impl_tuple!(T0 0, T1 1, T2 2, T3 3, T4 4, T5 5);
+impl_tuple!(T0 0, T1 1, T2 2, T3 3, T4 4, T5 5, T6 6);
+impl_tuple!(T0 0, T1 1, T2 2, T3 3, T4 4, T5 5, T6 6, T7 7);
+
+// Value itself round-trips unchanged, so generated code and adapters can
+// pass pre-built trees around.
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::de::from_value;
+    use crate::ser::to_value;
+    use crate::Value;
+    use std::collections::BTreeMap;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_value(&42u32).unwrap(), Value::U64(42));
+        assert_eq!(from_value::<u32>(Value::U64(42)).unwrap(), 42);
+        assert_eq!(from_value::<u8>(Value::U64(300)).ok(), None);
+        let ip = Ipv4Addr::new(1, 2, 3, 4);
+        assert_eq!(from_value::<Ipv4Addr>(to_value(&ip).unwrap()).unwrap(), ip);
+    }
+
+    #[test]
+    fn map_with_ip_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(Ipv4Addr::new(9, 9, 9, 9), 7u64);
+        let v = to_value(&m).unwrap();
+        let back: BTreeMap<Ipv4Addr, u64> = from_value(v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = ("a".to_string(), 1u64, 2i64, true);
+        let back: (String, u64, i64, bool) = from_value(to_value(&t).unwrap()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(to_value(&Option::<u32>::None).unwrap(), Value::Null);
+        let some: Option<u32> = from_value(Value::U64(3)).unwrap();
+        assert_eq!(some, Some(3));
+        let none: Option<u32> = from_value(Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+}

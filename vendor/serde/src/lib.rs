@@ -1,0 +1,217 @@
+//! Minimal stand-in for `serde`.
+//!
+//! The real serde drives a visitor-based data model; this stand-in routes
+//! everything through an owned [`Value`] tree instead, which is all the
+//! workspace needs (JSON in/out plus `#[derive]`, `#[serde(skip)]` and
+//! `#[serde(with = "...")]`). The trait *signatures* match upstream closely
+//! enough that idiomatic call sites — generic `fn serialize<S: Serializer>`
+//! adapters, `serde::Serialize::serialize(&x, ser)` UFCS calls — compile
+//! unchanged.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+
+/// The self-describing data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// UTF-8 string.
+    String(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// String-keyed map (sorted; deterministic output).
+    Object(BTreeMap<String, Value>),
+}
+
+/// The error type shared by the in-tree serializers and deserializers.
+#[derive(Debug, Clone)]
+pub struct SerdeError(pub String);
+
+impl fmt::Display for SerdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SerdeError {}
+
+/// A type that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink that accepts one [`Value`] tree.
+pub trait Serializer: Sized {
+    /// Success type.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+    /// Consumes the serializer with a finished value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be reconstructed from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes an instance from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A source that yields one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+    /// Consumes the deserializer, producing its value tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Serialization-side traits and helpers.
+pub mod ser {
+    use super::{SerdeError, Serialize, Serializer, Value};
+    use std::fmt::Display;
+
+    /// Error constructor required of every [`Serializer::Error`].
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    impl Error for SerdeError {
+        fn custom<T: Display>(msg: T) -> Self {
+            SerdeError(msg.to_string())
+        }
+    }
+
+    /// A serializer that simply hands back the [`Value`] tree.
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = SerdeError;
+        fn serialize_value(self, value: Value) -> Result<Value, SerdeError> {
+            Ok(value)
+        }
+    }
+
+    /// Serializes any value into an owned [`Value`] tree.
+    pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, SerdeError> {
+        value.serialize(ValueSerializer)
+    }
+}
+
+/// Deserialization-side traits and helpers.
+pub mod de {
+    use super::{Deserialize, Deserializer, SerdeError, Value};
+    use std::fmt::Display;
+
+    /// Error constructor required of every [`Deserializer::Error`].
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    impl Error for SerdeError {
+        fn custom<T: Display>(msg: T) -> Self {
+            SerdeError(msg.to_string())
+        }
+    }
+
+    /// A `Deserialize` bound free of the `'de` lifetime (owned data).
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+    /// A deserializer over an owned [`Value`] tree.
+    pub struct ValueDeserializer {
+        value: Value,
+    }
+
+    impl ValueDeserializer {
+        /// Wraps a value tree.
+        pub fn new(value: Value) -> Self {
+            Self { value }
+        }
+    }
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = SerdeError;
+        fn deserialize_value(self) -> Result<Value, SerdeError> {
+            Ok(self.value)
+        }
+    }
+
+    /// Reconstructs a value of type `T` from a [`Value`] tree.
+    pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, SerdeError> {
+        T::deserialize(ValueDeserializer::new(value))
+    }
+}
+
+/// Support machinery for `serde_derive`-generated code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use super::de::{from_value, DeserializeOwned, ValueDeserializer};
+    pub use super::ser::{to_value, ValueSerializer};
+    use super::{SerdeError, Value};
+    use std::collections::BTreeMap;
+
+    /// The map type backing [`Value::Object`].
+    pub type Map = BTreeMap<String, Value>;
+
+    /// Extracts and deserializes a named struct field (missing → null).
+    pub fn from_field<T: DeserializeOwned>(v: &Value, name: &str) -> Result<T, SerdeError> {
+        from_value(take_field(v, name))
+    }
+
+    /// Clones a named field out of an object value (missing → null).
+    pub fn take_field(v: &Value, name: &str) -> Value {
+        match v {
+            Value::Object(m) => m.get(name).cloned().unwrap_or(Value::Null),
+            _ => Value::Null,
+        }
+    }
+
+    /// Wraps a variant payload in its externally-tagged form.
+    pub fn variant(name: &str, payload: Value) -> Value {
+        let mut m = Map::new();
+        m.insert(name.to_string(), payload);
+        Value::Object(m)
+    }
+
+    /// Splits an externally-tagged enum value into `(tag, payload)`.
+    pub fn variant_parts(v: Value) -> Result<(String, Value), SerdeError> {
+        match v {
+            Value::String(s) => Ok((s, Value::Null)),
+            Value::Object(m) if m.len() == 1 => {
+                let (k, p) = m.into_iter().next().expect("len checked");
+                Ok((k, p))
+            }
+            other => Err(SerdeError(format!(
+                "expected enum (string or single-key object), got {other:?}"
+            ))),
+        }
+    }
+
+    /// Converts a value into a fixed-arity sequence.
+    pub fn into_seq(v: Value, n: usize) -> Result<Vec<Value>, SerdeError> {
+        match v {
+            Value::Array(a) if a.len() == n => Ok(a),
+            Value::Array(a) => Err(SerdeError(format!(
+                "expected sequence of length {n}, got {}",
+                a.len()
+            ))),
+            other => Err(SerdeError(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! Minimal stand-in for `serde_derive`, written directly against
+//! `proc_macro` (no `syn`/`quote` available in this build environment).
+//!
+//! Supports the shapes this workspace uses: named structs, tuple/newtype
+//! structs, unit structs, enums with unit/tuple/struct variants, plain
+//! type parameters, and the field attributes `#[serde(skip)]` and
+//! `#[serde(with = "path")]`. Generated code routes through
+//! `serde::__private` value-tree helpers.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, PartialEq)]
+enum FieldAttr {
+    Plain,
+    Skip,
+    With(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attr: FieldAttr,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ parse
+
+/// Extracts a `#[serde(...)]` field attribute from an attribute group, if
+/// the group is one.
+fn parse_serde_attr(group: &proc_macro::Group) -> Option<FieldAttr> {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return None,
+    };
+    let toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "skip" => Some(FieldAttr::Skip),
+        Some(TokenTree::Ident(i)) if i.to_string() == "with" => {
+            let lit = toks.iter().find_map(|t| match t {
+                TokenTree::Literal(l) => Some(l.to_string()),
+                _ => None,
+            });
+            let path = lit
+                .expect("#[serde(with = \"path\")] needs a string literal")
+                .trim_matches('"')
+                .to_string();
+            Some(FieldAttr::With(path))
+        }
+        other => panic!("unsupported #[serde(...)] attribute: {other:?}"),
+    }
+}
+
+/// Consumes leading attributes from a token cursor, returning any serde
+/// field attribute found.
+fn take_attrs(toks: &[TokenTree], pos: &mut usize) -> FieldAttr {
+    let mut attr = FieldAttr::Plain;
+    while *pos + 1 < toks.len() {
+        match (&toks[*pos], &toks[*pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                if let Some(a) = parse_serde_attr(g) {
+                    attr = a;
+                }
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    attr
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(toks: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = toks.get(*pos) {
+        if i.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past a type (or expression) until a top-level comma, tracking
+/// `<...>` nesting so generic arguments don't terminate early.
+fn skip_until_comma(toks: &[TokenTree], pos: &mut usize) {
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    while let Some(t) = toks.get(*pos) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if prev_dash => {} // `->` in fn types
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        *pos += 1;
+    }
+}
+
+/// Parses the fields of a brace-delimited (named) body.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < toks.len() {
+        let attr = take_attrs(&toks, &mut pos);
+        skip_vis(&toks, &mut pos);
+        let name = match toks.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        pos += 1;
+        match toks.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_until_comma(&toks, &mut pos);
+        pos += 1; // consume the comma (or run off the end)
+        fields.push(Field { name, attr });
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited (tuple) body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < toks.len() {
+        let attr = take_attrs(&toks, &mut pos);
+        assert_eq!(
+            attr,
+            FieldAttr::Plain,
+            "#[serde(...)] on tuple-struct fields is not supported"
+        );
+        skip_vis(&toks, &mut pos);
+        if pos >= toks.len() {
+            break;
+        }
+        count += 1;
+        skip_until_comma(&toks, &mut pos);
+        pos += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < toks.len() {
+        let _ = take_attrs(&toks, &mut pos);
+        let name = match toks.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        pos += 1;
+        let shape = match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                pos += 1;
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                pos += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        skip_until_comma(&toks, &mut pos);
+        pos += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        let before = pos;
+        let _ = take_attrs(&toks, &mut pos);
+        skip_vis(&toks, &mut pos);
+        if pos == before {
+            break;
+        }
+    }
+    let is_enum = match toks.get(pos) {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" => false,
+        Some(TokenTree::Ident(i)) if i.to_string() == "enum" => true,
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    pos += 1;
+    let name = match toks.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    pos += 1;
+
+    // Optional generic parameter list. Only plain, unbounded type
+    // parameters are supported (all this workspace declares).
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = toks.get(pos) {
+        if p.as_char() == '<' {
+            pos += 1;
+            let mut depth = 1i32;
+            while depth > 0 {
+                match toks.get(pos) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                        panic!("lifetime parameters are not supported by the in-tree serde_derive")
+                    }
+                    Some(TokenTree::Ident(i)) if depth == 1 => generics.push(i.to_string()),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' && depth == 1 => {
+                        panic!(
+                            "bounded type parameters are not supported by the in-tree serde_derive"
+                        )
+                    }
+                    Some(_) => {}
+                    None => panic!("unterminated generic parameter list"),
+                }
+                pos += 1;
+            }
+        }
+    }
+
+    let kind = if is_enum {
+        match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        }
+    } else {
+        match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("expected struct body, got {other:?}"),
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+const SER_ERR: &str = ".map_err(<__S::Error as serde::ser::Error>::custom)?";
+const DE_ERR: &str = ".map_err(<__D::Error as serde::de::Error>::custom)?";
+
+fn type_generics(input: &Input) -> String {
+    if input.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", input.generics.join(", "))
+    }
+}
+
+/// Builds the expression that serializes named fields into `__m`.
+fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        match &f.attr {
+            FieldAttr::Skip => {}
+            FieldAttr::Plain => out.push_str(&format!(
+                "__m.insert(::std::string::String::from(\"{n}\"), \
+                 serde::__private::to_value(&{a}){SER_ERR});\n",
+                n = f.name,
+                a = access(&f.name),
+            )),
+            FieldAttr::With(path) => out.push_str(&format!(
+                "__m.insert(::std::string::String::from(\"{n}\"), \
+                 {path}::serialize(&{a}, serde::__private::ValueSerializer){SER_ERR});\n",
+                n = f.name,
+                a = access(&f.name),
+            )),
+        }
+    }
+    out
+}
+
+/// Builds a struct literal body deserializing named fields from `__v`.
+fn de_named_fields(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        match &f.attr {
+            FieldAttr::Skip => out.push_str(&format!(
+                "{n}: ::core::default::Default::default(),\n",
+                n = f.name
+            )),
+            FieldAttr::Plain => out.push_str(&format!(
+                "{n}: serde::__private::from_field(&__v, \"{n}\"){DE_ERR},\n",
+                n = f.name
+            )),
+            FieldAttr::With(path) => out.push_str(&format!(
+                "{n}: {path}::deserialize(serde::__private::ValueDeserializer::new(\
+                 serde::__private::take_field(&__v, \"{n}\"))){DE_ERR},\n",
+                n = f.name
+            )),
+        }
+    }
+    out
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let tg = type_generics(input);
+    let ig = if input.generics.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "<{}>",
+            input
+                .generics
+                .iter()
+                .map(|g| format!("{g}: serde::Serialize"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+
+    let body = match &input.kind {
+        Kind::UnitStruct => "__s.serialize_value(serde::Value::Null)".to_string(),
+        Kind::NamedStruct(fields) => format!(
+            "let mut __m = serde::__private::Map::new();\n{inserts}\
+             __s.serialize_value(serde::Value::Object(__m))",
+            inserts = ser_named_fields(fields, |n| format!("self.{n}")),
+        ),
+        Kind::TupleStruct(1) => {
+            format!("__s.serialize_value(serde::__private::to_value(&self.0){SER_ERR})")
+        }
+        Kind::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("serde::__private::to_value(&self.{i}){SER_ERR}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("__s.serialize_value(serde::Value::Array(::std::vec![{items}]))")
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => serde::__private::variant(\"{vn}\", \
+                         serde::__private::to_value(__f0){SER_ERR}),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds = (0..*n)
+                            .map(|i| format!("__f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = (0..*n)
+                            .map(|i| format!("serde::__private::to_value(__f{i}){SER_ERR}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => serde::__private::variant(\"{vn}\", \
+                             serde::Value::Array(::std::vec![{items}])),\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let inserts = ser_named_fields(fields, |n| n.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut __m = serde::__private::Map::new();\n{inserts}\
+                             serde::__private::variant(\"{vn}\", serde::Value::Object(__m))\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!("let __v = match self {{\n{arms}}};\n__s.serialize_value(__v)")
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{ig} serde::Serialize for {name}{tg} {{\n\
+           fn serialize<__S: serde::Serializer>(&self, __s: __S) \
+             -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let tg = type_generics(input);
+    let ig = if input.generics.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!(
+            "<'de, {}>",
+            input
+                .generics
+                .iter()
+                .map(|g| format!("{g}: serde::de::DeserializeOwned"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+
+    let body = match &input.kind {
+        Kind::UnitStruct => {
+            format!("let _ = __d.deserialize_value()?;\n::core::result::Result::Ok({name})")
+        }
+        Kind::NamedStruct(fields) => format!(
+            "let __v: serde::Value = __d.deserialize_value()?;\n\
+             ::core::result::Result::Ok({name} {{\n{fields}\n}})",
+            fields = de_named_fields(fields),
+        ),
+        Kind::TupleStruct(1) => format!(
+            "let __v = __d.deserialize_value()?;\n\
+             ::core::result::Result::Ok({name}(serde::__private::from_value(__v){DE_ERR}))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|_| {
+                    format!(
+                        "serde::__private::from_value(__it.next().expect(\"length checked\")){DE_ERR}"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __v = __d.deserialize_value()?;\n\
+                 let __a = serde::__private::into_seq(__v, {n}usize){DE_ERR};\n\
+                 let mut __it = __a.into_iter();\n\
+                 ::core::result::Result::Ok({name}({items}))"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                         serde::__private::from_value(__payload){DE_ERR})),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items = (0..*n)
+                            .map(|_| {
+                                format!(
+                                    "serde::__private::from_value(\
+                                     __it.next().expect(\"length checked\")){DE_ERR}"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __a = serde::__private::into_seq(__payload, {n}usize){DE_ERR};\n\
+                             let mut __it = __a.into_iter();\n\
+                             ::core::result::Result::Ok({name}::{vn}({items}))\n}},\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut body = String::new();
+                        for f in fields {
+                            match &f.attr {
+                                FieldAttr::Skip => body.push_str(&format!(
+                                    "{n}: ::core::default::Default::default(),\n",
+                                    n = f.name
+                                )),
+                                FieldAttr::Plain => body.push_str(&format!(
+                                    "{n}: serde::__private::from_field(&__payload, \"{n}\"){DE_ERR},\n",
+                                    n = f.name
+                                )),
+                                FieldAttr::With(path) => body.push_str(&format!(
+                                    "{n}: {path}::deserialize(\
+                                     serde::__private::ValueDeserializer::new(\
+                                     serde::__private::take_field(&__payload, \"{n}\"))){DE_ERR},\n",
+                                    n = f.name
+                                )),
+                            }
+                        }
+                        arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn} {{\n{body}\n}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let __v = __d.deserialize_value()?;\n\
+                 let (__tag, __payload) = serde::__private::variant_parts(__v){DE_ERR};\n\
+                 let _ = &__payload;\n\
+                 match __tag.as_str() {{\n{arms}\
+                 __other => ::core::result::Result::Err(\
+                 <__D::Error as serde::de::Error>::custom(\
+                 ::std::format!(\"unknown variant `{{}}`\", __other))),\n}}"
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{ig} serde::Deserialize<'de> for {name}{tg} {{\n\
+           fn deserialize<__D: serde::Deserializer<'de>>(__d: __D) \
+             -> ::core::result::Result<Self, __D::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,138 @@
+//! Minimal stand-in for `tokio-macros`: `#[tokio::test]` and
+//! `#[tokio::main]` over the in-tree single-threaded runtime. Supports
+//! zero-argument async functions without return types — the only shape
+//! this workspace uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct AsyncFn {
+    attrs: String,
+    name: String,
+    ret: String,
+    body: String,
+}
+
+fn parse_async_fn(item: TokenStream, macro_name: &str) -> AsyncFn {
+    let toks: Vec<TokenTree> = item.into_iter().collect();
+    let mut pos = 0;
+    let mut attrs = String::new();
+    // Pass through leading attributes (e.g. #[ignore]).
+    while pos + 1 < toks.len() {
+        match (&toks[pos], &toks[pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                attrs.push_str(&format!("#{g} "));
+                pos += 2;
+            }
+            _ => break,
+        }
+    }
+    // Skip visibility.
+    if let Some(TokenTree::Ident(i)) = toks.get(pos) {
+        if i.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    match toks.get(pos) {
+        Some(TokenTree::Ident(i)) if i.to_string() == "async" => pos += 1,
+        other => panic!("#[tokio::{macro_name}] requires an async fn, got {other:?}"),
+    }
+    match toks.get(pos) {
+        Some(TokenTree::Ident(i)) if i.to_string() == "fn" => pos += 1,
+        other => panic!("#[tokio::{macro_name}] requires an async fn, got {other:?}"),
+    }
+    let name = match toks.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected function name, got {other:?}"),
+    };
+    pos += 1;
+    match toks.get(pos) {
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && g.stream().is_empty() => {}
+        other => {
+            panic!("#[tokio::{macro_name}] supports only zero-argument functions, got {other:?}")
+        }
+    }
+    pos += 1;
+    // Optional return type: collect everything between `->` and the body.
+    let mut ret_toks: Vec<TokenTree> = Vec::new();
+    if matches!(toks.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '-') {
+        pos += 1; // '-'
+        pos += 1; // '>'
+        while let Some(tok) = toks.get(pos) {
+            if let TokenTree::Group(g) = tok {
+                if g.delimiter() == Delimiter::Brace {
+                    break;
+                }
+            }
+            ret_toks.push(tok.clone());
+            pos += 1;
+        }
+    }
+    // Round-trip through a TokenStream so `::` keeps its jointness.
+    let ret = ret_toks.into_iter().collect::<TokenStream>().to_string();
+    let body = match toks.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.to_string(),
+        other => panic!("#[tokio::{macro_name}] expected a function body, got {other:?}"),
+    };
+    AsyncFn {
+        attrs,
+        name,
+        ret,
+        body,
+    }
+}
+
+/// Runs an async test on a fresh runtime.
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    let f = parse_async_fn(item, "test");
+    let ret = if f.ret.is_empty() {
+        String::new()
+    } else {
+        format!("-> {}", f.ret)
+    };
+    format!(
+        "#[test]\n{attrs}\nfn {name}() {ret} {{\n\
+           async fn __tokio_body() {ret} {body}\n\
+           tokio::runtime::Runtime::new()\
+             .expect(\"tokio runtime\")\
+             .block_on(__tokio_body())\n\
+         }}",
+        attrs = f.attrs,
+        name = f.name,
+        body = f.body,
+    )
+    .parse()
+    .expect("generated test fn parses")
+}
+
+/// Runs an async main on a fresh runtime.
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    let f = parse_async_fn(item, "main");
+    let ret = if f.ret.is_empty() {
+        String::new()
+    } else {
+        format!("-> {}", f.ret)
+    };
+    format!(
+        "{attrs}\nfn {name}() {ret} {{\n\
+           async fn __tokio_body() {ret} {body}\n\
+           tokio::runtime::Runtime::new()\
+             .expect(\"tokio runtime\")\
+             .block_on(__tokio_body())\n\
+         }}",
+        attrs = f.attrs,
+        name = f.name,
+        body = f.body,
+    )
+    .parse()
+    .expect("generated main fn parses")
+}

@@ -1,0 +1,437 @@
+//! Minimal stand-in for `tokio`.
+//!
+//! A single-threaded, poll-loop async runtime: `block_on` drives the main
+//! future and every `spawn`ed task round-robin with a no-op waker,
+//! sleeping briefly between idle rounds. UDP sockets are nonblocking
+//! `std::net` sockets whose `WouldBlock` maps to `Poll::Pending`. This is
+//! enough to run the workspace's loopback scan driver and resolver
+//! servers with real packets; it makes no fairness or performance claims
+//! beyond that.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+
+pub use tokio_macros::{main, test};
+
+pub mod runtime;
+
+/// Spawns a task onto the current thread's running runtime.
+///
+/// Unlike real tokio this does not require `Send`: the runtime is
+/// single-threaded. Panics if called outside `block_on`.
+pub fn spawn<F>(future: F) -> task::JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    let slot = std::sync::Arc::new(std::sync::Mutex::new(None));
+    let writer = slot.clone();
+    let wrapped = Box::pin(async move {
+        let value = future.await;
+        *writer.lock().expect("join slot") = Some(value);
+    });
+    EXECUTOR.with(|queue| {
+        queue
+            .borrow_mut()
+            .as_mut()
+            .expect("tokio::spawn called outside a runtime")
+            .push(wrapped);
+    });
+    task::JoinHandle { slot }
+}
+
+type TaskFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+thread_local! {
+    /// Incoming-task queue; `Some` while a `block_on` is active.
+    static EXECUTOR: RefCell<Option<Vec<TaskFuture>>> = const { RefCell::new(None) };
+}
+
+fn block_on_impl<F: Future>(future: F) -> F::Output {
+    EXECUTOR.with(|queue| {
+        let prev = queue.borrow_mut().replace(Vec::new());
+        assert!(prev.is_none(), "nested block_on is not supported");
+    });
+    let waker = Waker::noop();
+    let mut cx = Context::from_waker(waker);
+    let mut main = Box::pin(future);
+    let mut tasks: Vec<TaskFuture> = Vec::new();
+    loop {
+        let outcome = main.as_mut().poll(&mut cx);
+        // Adopt tasks spawned by the main future before driving them.
+        EXECUTOR.with(|queue| {
+            if let Some(incoming) = queue.borrow_mut().as_mut() {
+                tasks.append(incoming);
+            }
+        });
+        if let Poll::Ready(value) = outcome {
+            // Background tasks die with the runtime, as in real tokio.
+            EXECUTOR.with(|queue| *queue.borrow_mut() = None);
+            return value;
+        }
+        let mut i = 0;
+        while i < tasks.len() {
+            if tasks[i].as_mut().poll(&mut cx).is_ready() {
+                drop(tasks.swap_remove(i));
+            } else {
+                i += 1;
+            }
+            EXECUTOR.with(|queue| {
+                if let Some(incoming) = queue.borrow_mut().as_mut() {
+                    tasks.append(incoming);
+                }
+            });
+        }
+        // Nothing was ready; yield the CPU briefly before re-polling.
+        std::thread::sleep(std::time::Duration::from_micros(100));
+    }
+}
+
+/// Task handles.
+pub mod task {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll};
+
+    /// Error returned when a task cannot be joined. The in-tree runtime
+    /// never cancels tasks, so this is never actually produced.
+    #[derive(Debug)]
+    pub struct JoinError(());
+
+    impl std::fmt::Display for JoinError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("task failed")
+        }
+    }
+
+    /// Awaitable handle to a spawned task's output.
+    pub struct JoinHandle<T> {
+        pub(crate) slot: Arc<Mutex<Option<T>>>,
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            match self.slot.lock().expect("join slot").take() {
+                Some(v) => Poll::Ready(Ok(v)),
+                None => Poll::Pending,
+            }
+        }
+    }
+}
+
+/// Nonblocking UDP networking.
+pub mod net {
+    use std::io;
+    use std::net::SocketAddr;
+    use std::task::Poll;
+
+    /// An async UDP socket over a nonblocking `std::net::UdpSocket`.
+    #[derive(Debug)]
+    pub struct UdpSocket {
+        inner: std::net::UdpSocket,
+    }
+
+    impl UdpSocket {
+        /// Binds to `addr` (any `std::net::ToSocketAddrs` form).
+        pub async fn bind<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+            let inner = std::net::UdpSocket::bind(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(UdpSocket { inner })
+        }
+
+        /// The locally bound address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        /// Receives one datagram, waiting until one arrives.
+        pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+            std::future::poll_fn(|_cx| match self.inner.recv_from(buf) {
+                Ok(v) => Poll::Ready(Ok(v)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+                Err(e) => Poll::Ready(Err(e)),
+            })
+            .await
+        }
+
+        /// Sends one datagram to `target`.
+        pub async fn send_to<A: std::net::ToSocketAddrs>(
+            &self,
+            buf: &[u8],
+            target: A,
+        ) -> io::Result<usize> {
+            let addr = target
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+            std::future::poll_fn(|_cx| match self.inner.send_to(buf, addr) {
+                Ok(n) => Poll::Ready(Ok(n)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+                Err(e) => Poll::Ready(Err(e)),
+            })
+            .await
+        }
+    }
+}
+
+/// Synchronization primitives.
+pub mod sync {
+    /// One-shot, single-value channel.
+    pub mod oneshot {
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::sync::{Arc, Mutex};
+        use std::task::{Context, Poll};
+
+        struct Shared<T> {
+            value: Option<T>,
+            sender_alive: bool,
+        }
+
+        /// Sending half; consumed by [`Sender::send`].
+        pub struct Sender<T> {
+            shared: Arc<Mutex<Shared<T>>>,
+        }
+
+        /// Receiving half; awaits the value.
+        pub struct Receiver<T> {
+            shared: Arc<Mutex<Shared<T>>>,
+        }
+
+        /// Error awaited out of a channel whose sender dropped silently.
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct RecvError(());
+
+        impl std::fmt::Display for RecvError {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("channel closed")
+            }
+        }
+
+        /// Creates a connected sender/receiver pair.
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            let shared = Arc::new(Mutex::new(Shared {
+                value: None,
+                sender_alive: true,
+            }));
+            (
+                Sender {
+                    shared: shared.clone(),
+                },
+                Receiver { shared },
+            )
+        }
+
+        impl<T> Sender<T> {
+            /// Delivers `value`; fails only if the receiver is gone.
+            pub fn send(self, value: T) -> Result<(), T> {
+                if Arc::strong_count(&self.shared) < 2 {
+                    return Err(value);
+                }
+                self.shared.lock().expect("oneshot").value = Some(value);
+                Ok(())
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                self.shared.lock().expect("oneshot").sender_alive = false;
+            }
+        }
+
+        impl<T> Future for Receiver<T> {
+            type Output = Result<T, RecvError>;
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let mut shared = self.shared.lock().expect("oneshot");
+                if let Some(v) = shared.value.take() {
+                    Poll::Ready(Ok(v))
+                } else if !shared.sender_alive {
+                    Poll::Ready(Err(RecvError(())))
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+/// Timers.
+pub mod time {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll};
+    use std::time::{Duration, Instant};
+
+    /// Future that completes once its deadline passes.
+    #[derive(Debug)]
+    pub struct Sleep {
+        deadline: Instant,
+    }
+
+    /// Sleeps for `duration` (poll-loop granularity, not high precision).
+    pub fn sleep(duration: Duration) -> Sleep {
+        Sleep {
+            deadline: Instant::now() + duration,
+        }
+    }
+
+    impl Future for Sleep {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+            if Instant::now() >= self.deadline {
+                Poll::Ready(())
+            } else {
+                Poll::Pending
+            }
+        }
+    }
+
+    /// Error returned when a [`timeout`] expires.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct Elapsed(());
+
+    impl std::fmt::Display for Elapsed {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("deadline has elapsed")
+        }
+    }
+
+    impl std::error::Error for Elapsed {}
+
+    /// Awaits `future`, abandoning it after `duration`.
+    pub async fn timeout<F: Future>(duration: Duration, future: F) -> Result<F::Output, Elapsed> {
+        let deadline = Instant::now() + duration;
+        let mut future = std::pin::pin!(future);
+        std::future::poll_fn(|cx| {
+            if let Poll::Ready(v) = future.as_mut().poll(cx) {
+                return Poll::Ready(Ok(v));
+            }
+            if Instant::now() >= deadline {
+                return Poll::Ready(Err(Elapsed(())));
+            }
+            Poll::Pending
+        })
+        .await
+    }
+}
+
+/// Two-branch `select!`: polls both branches in order, runs the body of
+/// whichever completes first.
+#[macro_export]
+macro_rules! select {
+    ($p1:pat = $e1:expr => $b1:expr, $p2:pat = $e2:expr => $b2:expr $(,)?) => {{
+        enum __TokioSelect<A, B> {
+            A(A),
+            B(B),
+        }
+        let __outcome = {
+            let mut __f1 = ::core::pin::pin!($e1);
+            let mut __f2 = ::core::pin::pin!($e2);
+            ::std::future::poll_fn(|__cx| {
+                if let ::core::task::Poll::Ready(v) =
+                    ::core::future::Future::poll(__f1.as_mut(), __cx)
+                {
+                    return ::core::task::Poll::Ready(__TokioSelect::A(v));
+                }
+                if let ::core::task::Poll::Ready(v) =
+                    ::core::future::Future::poll(__f2.as_mut(), __cx)
+                {
+                    return ::core::task::Poll::Ready(__TokioSelect::B(v));
+                }
+                ::core::task::Poll::Pending
+            })
+            .await
+        };
+        match __outcome {
+            __TokioSelect::A($p1) => $b1,
+            __TokioSelect::B($p2) => $b2,
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::runtime::Runtime;
+
+    #[test]
+    fn block_on_plain_future() {
+        let rt = Runtime::new().unwrap();
+        assert_eq!(rt.block_on(async { 1 + 1 }), 2);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let rt = Runtime::new().unwrap();
+        let out = rt.block_on(async {
+            let h = crate::spawn(async { 21 * 2 });
+            h.await.unwrap()
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn oneshot_roundtrip() {
+        let rt = Runtime::new().unwrap();
+        let got = rt.block_on(async {
+            let (tx, rx) = crate::sync::oneshot::channel();
+            crate::spawn(async move {
+                let _ = tx.send(7u32);
+            });
+            rx.await.unwrap()
+        });
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let rt = Runtime::new().unwrap();
+        let out = rt.block_on(async {
+            crate::time::timeout(
+                std::time::Duration::from_millis(20),
+                std::future::pending::<()>(),
+            )
+            .await
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn select_picks_ready_branch() {
+        let rt = Runtime::new().unwrap();
+        let out = rt.block_on(async {
+            let (_tx, mut rx) = crate::sync::oneshot::channel::<()>();
+            let mut n = 0;
+            loop {
+                crate::select! {
+                    _ = &mut rx => break,
+                    v = std::future::ready(5) => { n += v; if n >= 10 { break; } },
+                }
+            }
+            n
+        });
+        assert_eq!(out, 10);
+    }
+
+    #[test]
+    fn udp_loopback_echo() {
+        let rt = Runtime::new().unwrap();
+        rt.block_on(async {
+            let a = crate::net::UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let b = crate::net::UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let addr_b = b.local_addr().unwrap();
+            a.send_to(b"hello", addr_b).await.unwrap();
+            let mut buf = [0u8; 16];
+            let (n, from) =
+                crate::time::timeout(std::time::Duration::from_secs(2), b.recv_from(&mut buf))
+                    .await
+                    .unwrap()
+                    .unwrap();
+            assert_eq!(&buf[..n], b"hello");
+            assert_eq!(from, a.local_addr().unwrap());
+        });
+    }
+}

@@ -1,0 +1,22 @@
+//! The runtime handle: a thin front over the thread-local poll loop.
+
+use std::future::Future;
+
+/// A single-threaded runtime. Construction cannot fail; the `Result`
+/// mirrors real tokio's signature.
+#[derive(Debug, Default)]
+pub struct Runtime {
+    _priv: (),
+}
+
+impl Runtime {
+    /// Creates a runtime.
+    pub fn new() -> std::io::Result<Runtime> {
+        Ok(Runtime { _priv: () })
+    }
+
+    /// Drives `future` (and everything it spawns) to completion.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        crate::block_on_impl(future)
+    }
+}
