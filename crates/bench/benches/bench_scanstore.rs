@@ -3,7 +3,10 @@
 //!
 //! Beyond the criterion timings printed to stdout, `main` re-measures
 //! each figure single-shot and dumps a machine-readable summary to
-//! `BENCH_scanstore.json` at the workspace root.
+//! `BENCH_scanstore.json` at the workspace root. The summary is a
+//! telemetry metrics snapshot (`goingwild.metrics.v1`): the store's own
+//! `scanstore.*` instrumentation supplies the byte/segment counters and
+//! the bench adds its throughput figures as `bench.scanstore.*` gauges.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use scanstore::{CampaignStore, Observation, SnapshotSink, SnapshotSource};
@@ -119,38 +122,18 @@ fn bench_read(c: &mut Criterion) {
 
 criterion_group!(benches, bench_write, bench_read);
 
-#[derive(serde::Serialize)]
-struct Rate {
-    records: u64,
-    seconds: f64,
-    records_per_sec: f64,
+fn rate_gauges(what: &str, records: u64, seconds: f64) {
+    telemetry::gauge_with("bench.scanstore.records", &[("op", what)]).set(records as f64);
+    telemetry::gauge_with("bench.scanstore.seconds", &[("op", what)]).set(seconds);
+    telemetry::gauge_with("bench.scanstore.records_per_sec", &[("op", what)])
+        .set(records as f64 / seconds);
 }
 
-impl Rate {
-    fn new(records: u64, seconds: f64) -> Rate {
-        Rate {
-            records,
-            seconds,
-            records_per_sec: records as f64 / seconds,
-        }
-    }
-}
-
-#[derive(serde::Serialize)]
-struct Summary {
-    bench: &'static str,
-    weeks: u32,
-    records_per_week: u32,
-    write: Rate,
-    diff_cursor: Rate,
-    snapshot_scan: Rate,
-    store_bytes: u64,
-    json_lines_bytes: u64,
-    compression_ratio_vs_json: f64,
-}
-
-/// Single-shot re-measurement feeding `BENCH_scanstore.json`.
-fn summary() -> Summary {
+/// Single-shot re-measurement feeding `BENCH_scanstore.json`: runs with
+/// a cleared global registry so the emitted snapshot holds exactly this
+/// workload's `scanstore.*` counters plus the bench throughput gauges.
+fn summary() -> telemetry::Snapshot {
+    telemetry::global().clear();
     let tmp = TempDir::new("summary");
     let start = Instant::now();
     let store = populate(&tmp.0, WEEKS, PER_WEEK);
@@ -174,25 +157,19 @@ fn summary() -> Summary {
         .expect("scan");
     let scan_secs = start.elapsed().as_secs_f64();
 
-    Summary {
-        bench: "scanstore",
-        weeks: WEEKS,
-        records_per_week: PER_WEEK,
-        write: Rate::new(stats.upserts_total, write_secs),
-        diff_cursor: Rate::new(upserts, diff_secs),
-        snapshot_scan: Rate::new(records, scan_secs),
-        store_bytes: stats.bytes_written,
-        json_lines_bytes: stats.json_bytes_equiv,
-        compression_ratio_vs_json: stats.compression_ratio,
-    }
+    telemetry::gauge("bench.scanstore.weeks").set(WEEKS as f64);
+    telemetry::gauge("bench.scanstore.records_per_week").set(PER_WEEK as f64);
+    rate_gauges("write", stats.upserts_total, write_secs);
+    rate_gauges("diff_cursor", upserts, diff_secs);
+    rate_gauges("snapshot_scan", records, scan_secs);
+    telemetry::snapshot()
 }
 
 fn main() {
     benches();
-    let summary = summary();
+    let snap = summary();
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scanstore.json");
-    let mut text = serde_json::to_string(&summary).expect("serialize");
-    text.push('\n');
-    std::fs::write(&out, text).expect("write BENCH_scanstore.json");
+    std::fs::write(&out, snap.to_json()).expect("write BENCH_scanstore.json");
     println!("wrote {}", out.display());
+    print!("{}", snap.to_table());
 }

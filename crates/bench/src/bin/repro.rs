@@ -13,6 +13,15 @@
 //! (resuming from the last committed segment if a previous run was
 //! killed), subsequent runs serve the figures from disk without
 //! re-simulation.
+//!
+//! Observability:
+//!
+//! * `--metrics <path>` — write a one-shot telemetry snapshot (JSON)
+//!   of every counter/gauge/histogram touched by the run;
+//! * `--trace <path>` — stream JSON-lines span/event records (sim-time
+//!   only, byte-stable for a fixed seed);
+//! * `--quiet` / `-v` — status verbosity on stderr (reports on stdout
+//!   are unaffected).
 
 use goingwild::experiments::{
     self, fig1_weekly_counts, fig2_churn, known_experiment, table1_country_flux, table2_rir_flux,
@@ -34,6 +43,12 @@ struct Args {
     json: Option<String>,
     /// Persist campaign snapshots under this directory.
     store: Option<PathBuf>,
+    /// Write a one-shot telemetry metrics snapshot to this JSON file.
+    metrics: Option<String>,
+    /// Stream JSON-lines trace records (spans + events) to this file.
+    trace: Option<String>,
+    /// Status verbosity on stderr: 0 = --quiet, 1 = default, 2 = -v.
+    verbosity: u8,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -58,6 +73,9 @@ fn parse_args() -> Args {
         snoop_sample: 1_500,
         json: None,
         store: None,
+        metrics: None,
+        trace: None,
+        verbosity: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -73,6 +91,10 @@ fn parse_args() -> Args {
             "--snoop-sample" => args.snoop_sample = grab().parse().expect("snoop sample"),
             "--json" => args.json = Some(grab()),
             "--store" => args.store = Some(PathBuf::from(grab())),
+            "--metrics" => args.metrics = Some(grab()),
+            "--trace" => args.trace = Some(grab()),
+            "--quiet" | "-q" => args.verbosity = 0,
+            "-v" | "--verbose" => args.verbosity = 2,
             "--list" => {
                 print_experiment_list();
                 std::process::exit(0);
@@ -95,6 +117,16 @@ fn parse_args() -> Args {
                 "--store dir {} is not writable: {e}",
                 dir.display()
             ));
+        }
+    }
+    if let Some(path) = &args.metrics {
+        if let Err(e) = probe_writable_file(path) {
+            usage_error(&format!("--metrics path {path} is not writable: {e}"));
+        }
+    }
+    if let Some(path) = &args.trace {
+        if let Err(e) = probe_writable_file(path) {
+            usage_error(&format!("--trace path {path} is not writable: {e}"));
         }
     }
     args
@@ -132,6 +164,16 @@ fn cfg_of(args: &Args) -> WorldConfig {
 
 fn main() {
     let args = parse_args();
+    telemetry::set_verbosity(match args.verbosity {
+        0 => telemetry::Level::Error,
+        1 => telemetry::Level::Info,
+        _ => telemetry::Level::Debug,
+    });
+    if let Some(path) = &args.trace {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| usage_error(&format!("--trace path {path}: {e}")));
+        telemetry::attach_trace(Box::new(std::io::BufWriter::new(file)));
+    }
     let cfg = cfg_of(&args);
     let mut json_out = serde_json::Map::new();
     println!(
@@ -191,7 +233,12 @@ fn main() {
         let mut world = build_world(cfg.clone());
         let vantage = world.scanner_ip;
         let fleet = enumerate(&mut world, vantage, args.seed).noerror_ips();
-        println!("fleet for fingerprinting: {} open resolvers\n", fleet.len());
+        telemetry::info(
+            "repro.fleet",
+            "enumerated fingerprinting fleet",
+            &[("open_resolvers", fleet.len().into())],
+            Some(world.now().millis()),
+        );
         if want("tab3") {
             let t3 = match &args.store {
                 Some(dir) => {
@@ -308,7 +355,29 @@ fn main() {
     if let Some(path) = &args.json {
         std::fs::write(path, serde_json::to_string_pretty(&json_out).unwrap())
             .expect("write json report");
-        eprintln!("wrote machine-readable reports to {path}");
+        telemetry::info(
+            "repro.json",
+            "wrote machine-readable reports",
+            &[("path", path.as_str().into())],
+            None,
+        );
+    }
+
+    // Flush the trace stream before the metrics snapshot so the two
+    // artifacts are consistent with each other.
+    let _ = telemetry::detach_trace();
+    if let Some(path) = &args.metrics {
+        let snap = telemetry::snapshot();
+        std::fs::write(path, snap.to_json()).expect("write metrics snapshot");
+        if args.verbosity >= 2 {
+            eprint!("{}", snap.to_table());
+        }
+        telemetry::info(
+            "repro.metrics",
+            "wrote telemetry snapshot",
+            &[("path", path.as_str().into())],
+            None,
+        );
     }
 }
 

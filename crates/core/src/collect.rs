@@ -103,8 +103,18 @@ pub fn collect_weekly(
         world.blacklist_ranges.clone(),
         world.blacklist_singles.clone(),
     );
+    if start_week > 0 {
+        telemetry::info(
+            "campaign.resume",
+            "resuming weekly campaign from checkpoint",
+            &[("start_week", start_week.into()), ("weeks", weeks.into())],
+            Some(world.now().millis()),
+        );
+    }
     for week in start_week..weeks {
         world.advance_to_week(week);
+        let mut sp = telemetry::span("campaign.week", world.now().millis());
+        sp.attr("week", week);
         // Ground truth for the cross-check: alive NOERROR resolvers
         // reachable by the scan (not opted out, not behind full border
         // filters — those are invisible to every outside observer).
@@ -135,6 +145,20 @@ pub fn collect_weekly(
             ),
         ];
         sink.commit(&format!("week-{week}"), world.now().millis(), &meta)?;
+        sp.attr("probes_sent", result.probes_sent);
+        sp.attr("responders", result.observations.len());
+        sp.attr("truth_noerror", truth);
+        sp.finish(world.now().millis());
+        telemetry::info(
+            "campaign.week",
+            "weekly enumeration committed",
+            &[
+                ("week", week.into()),
+                ("probes_sent", result.probes_sent.into()),
+                ("responders", result.observations.len().into()),
+            ],
+            Some(world.now().millis()),
+        );
     }
     Ok(())
 }

@@ -248,8 +248,11 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
     let vantage = world.scanner_ip;
 
     // ---- Step 1: enumerate the fleet ----
+    let mut sp_run = telemetry::span("pipeline.analysis", world.now().millis());
     let enumeration = scanner::enumerate(world, vantage, opts.seed);
     let fleet = enumeration.noerror_ips();
+    sp_run.attr("fleet", fleet.len());
+    telemetry::counter("pipeline.resolvers_enumerated").add(fleet.len() as u64);
 
     // ---- Step 2: domain set ----
     let catalog_domains: Vec<(String, DomainCategory)> = {
@@ -272,6 +275,7 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
     let category_of: Vec<DomainCategory> = catalog_domains.iter().map(|(_, c)| *c).collect();
 
     // ---- Step 3: trusted view + prefilter ----
+    let mut sp_prefilter = telemetry::span("pipeline.prefilter", world.now().millis());
     let trusted = build_trusted_view(world, &catalog_domains);
     let universe = world.universe.clone();
     let forward = {
@@ -407,6 +411,10 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
         };
         scan_domains_streaming(world, vantage, &fleet, &domain_names, opts.seed, &mut sink);
     }
+    telemetry::counter("pipeline.tuples_unexpected").add(unexpected.len() as u64);
+    sp_prefilter.attr("domains", domain_names.len());
+    sp_prefilter.attr("unexpected_tuples", unexpected.len());
+    sp_prefilter.finish(world.now().millis());
 
     // ---- Resolver oddities ----
     let mut self_ip_resolvers: BTreeSet<u32> = BTreeSet::new();
@@ -442,7 +450,11 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
     }
 
     // ---- Step 5: acquisition for unique (domain, ip) pairs ----
-    let mut pair_content: HashMap<(u16, Ipv4Addr), Acquired> = HashMap::new();
+    // BTreeMap, not HashMap: the iteration order below fixes the page
+    // group order, which fixes cluster exemplars — random order would
+    // make the modification clusters differ run to run.
+    let mut sp_fetch = telemetry::span("pipeline.fetch", world.now().millis());
+    let mut pair_content: BTreeMap<(u16, Ipv4Addr), Acquired> = BTreeMap::new();
     for t in &unexpected {
         let Some(&ip) = t.ips.first() else { continue };
         let key = (t.domain_idx, ip);
@@ -530,8 +542,14 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
             None => true,
         })
         .collect();
+    telemetry::counter("pipeline.pages_fetched").add(pair_content.len() as u64);
+    telemetry::counter("pipeline.cert_rescued_pairs").add(cert_ok_pairs.len() as u64);
+    sp_fetch.attr("pairs_fetched", pair_content.len());
+    sp_fetch.attr("cert_rescued", cert_ok_pairs.len());
+    sp_fetch.finish(world.now().millis());
 
     // ---- Step 6: features, clustering, labeling ----
+    let mut sp_cluster = telemetry::span("pipeline.cluster", world.now().millis());
     let mut interner = TagInterner::new();
     // Unique pages: fingerprint → representative (body, status, pairs).
     struct PageGroup {
@@ -622,8 +640,14 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
     report.clusters = flat.len();
     report.clustered_directly = n_direct;
     report.assigned_to_exemplar = groups.len() - n_direct;
+    telemetry::counter("pipeline.clusters_formed").add(flat.len() as u64);
+    sp_cluster.attr("unique_pages", groups.len());
+    sp_cluster.attr("clusters", flat.len());
+    sp_cluster.attr("clustered_directly", n_direct);
+    sp_cluster.finish(world.now().millis());
 
     // Label each cluster from up to 5 exemplars.
+    let mut sp_label = telemetry::span("pipeline.label", world.now().millis());
     let mut cluster_labels: Vec<Label> = Vec::with_capacity(flat.len());
     for members in &flat.clusters {
         let exemplars: Vec<LabelInput<'_>> = members
@@ -666,14 +690,17 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
         };
     }
 
-    // Pair → label map.
-    let mut pair_label: HashMap<(u16, Ipv4Addr), Label> = HashMap::new();
+    // Pair → label map (ordered for the same reason as `pair_content`).
+    let mut pair_label: BTreeMap<(u16, Ipv4Addr), Label> = BTreeMap::new();
     for (gi, g) in groups.iter().enumerate() {
         for &pair in &g.pairs {
             pair_label.insert(pair, group_label[gi]);
         }
     }
     report.labeled_share = 1.0; // every HTTP page receives a label
+    telemetry::counter("pipeline.pages_labeled").add(groups.len() as u64);
+    sp_label.attr("pages_labeled", groups.len());
+    sp_label.finish(world.now().millis());
 
     // ---- Self-IP content drill-down (Sec. 4.1) ----
     {
@@ -925,5 +952,7 @@ pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport
         report.cases.malware = detect_malware_updates(&records);
     }
 
+    sp_run.attr("clusters", report.clusters);
+    sp_run.finish(world.now().millis());
     report
 }

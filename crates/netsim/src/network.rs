@@ -97,6 +97,73 @@ struct SocketState {
     queue: VecDeque<(SimTime, Datagram)>,
 }
 
+/// Pre-fetched global-registry handles. The hot path only bumps the
+/// plain [`NetStats`] fields the simulator keeps anyway; the shared
+/// atomic counters are updated in bulk — deltas since the last flush —
+/// at the end of each event-loop run and TCP query, so instrumentation
+/// adds no per-packet cost.
+struct NetTelemetry {
+    udp_sent: telemetry::Counter,
+    udp_delivered: telemetry::Counter,
+    udp_lost: telemetry::Counter,
+    udp_filtered: telemetry::Counter,
+    udp_unbound: telemetry::Counter,
+    injected: telemetry::Counter,
+    tcp_queries: telemetry::Counter,
+    events_dispatched: telemetry::Counter,
+    run_to_idle_calls: telemetry::Counter,
+    queue_depth_max: telemetry::Gauge,
+    /// Totals already flushed to the shared counters; each flush adds
+    /// only what accumulated since. Seeded with the network's stats at
+    /// attach time so re-enabling instrumentation does not double-count.
+    synced: NetStats,
+    synced_dispatched: u64,
+    synced_queue_max: u64,
+}
+
+impl NetTelemetry {
+    fn new(baseline: NetStats, dispatched: u64, queue_max: u64) -> NetTelemetry {
+        let reg = telemetry::global();
+        NetTelemetry {
+            udp_sent: reg.counter("netsim.udp_sent"),
+            udp_delivered: reg.counter("netsim.udp_delivered"),
+            udp_lost: reg.counter("netsim.udp_lost"),
+            udp_filtered: reg.counter("netsim.udp_filtered"),
+            udp_unbound: reg.counter("netsim.udp_unbound"),
+            injected: reg.counter("netsim.injected"),
+            tcp_queries: reg.counter("netsim.tcp_queries"),
+            events_dispatched: reg.counter("netsim.events_dispatched"),
+            run_to_idle_calls: reg.counter("netsim.run_to_idle_calls"),
+            queue_depth_max: reg.gauge("netsim.queue_depth_max"),
+            synced: baseline,
+            synced_dispatched: dispatched,
+            synced_queue_max: queue_max,
+        }
+    }
+
+    fn flush(&mut self, stats: NetStats, dispatched: u64, queue_max: u64) {
+        self.udp_sent.add(stats.udp_sent - self.synced.udp_sent);
+        self.udp_delivered
+            .add(stats.udp_delivered - self.synced.udp_delivered);
+        self.udp_lost.add(stats.udp_lost - self.synced.udp_lost);
+        self.udp_filtered
+            .add(stats.udp_filtered - self.synced.udp_filtered);
+        self.udp_unbound
+            .add(stats.udp_unbound - self.synced.udp_unbound);
+        self.injected.add(stats.injected - self.synced.injected);
+        self.tcp_queries
+            .add(stats.tcp_queries - self.synced.tcp_queries);
+        self.events_dispatched
+            .add(dispatched - self.synced_dispatched);
+        if queue_max > self.synced_queue_max {
+            self.queue_depth_max.set_max(queue_max as f64);
+            self.synced_queue_max = queue_max;
+        }
+        self.synced = stats;
+        self.synced_dispatched = dispatched;
+    }
+}
+
 struct Event {
     at: SimTime,
     seq: u64,
@@ -137,6 +204,9 @@ pub struct Network {
     injectors: Vec<Box<dyn PathObserver>>,
     filters: Vec<Filter>,
     stats: NetStats,
+    telemetry: Option<NetTelemetry>,
+    events_dispatched: u64,
+    queue_depth_max: u64,
     scratch: Vec<(u64, Datagram)>,
 }
 
@@ -157,8 +227,27 @@ impl Network {
             injectors: Vec::new(),
             filters: Vec::new(),
             stats: NetStats::default(),
+            telemetry: Some(NetTelemetry::new(NetStats::default(), 0, 0)),
+            events_dispatched: 0,
+            queue_depth_max: 0,
             scratch: Vec::new(),
         }
+    }
+
+    /// Enable or disable global-registry instrumentation for this
+    /// network. On by default; the overhead benchmark turns it off to
+    /// measure the uninstrumented baseline. [`NetStats`] counters are
+    /// unaffected either way.
+    pub fn set_instrumentation(&mut self, on: bool) {
+        self.telemetry = if on {
+            Some(NetTelemetry::new(
+                self.stats,
+                self.events_dispatched,
+                self.queue_depth_max,
+            ))
+        } else {
+            None
+        };
     }
 
     /// Current simulated time.
@@ -344,6 +433,7 @@ impl Network {
             seq: self.seq,
             dgram,
         }));
+        self.queue_depth_max = self.queue_depth_max.max(self.events.len() as u64);
     }
 
     /// Receive the next datagram queued on a socket.
@@ -367,14 +457,30 @@ impl Network {
             }
             let Reverse(ev) = self.events.pop().unwrap();
             self.now = ev.at;
+            self.events_dispatched += 1;
             self.deliver(ev.dgram);
         }
         self.now = self.now.max(t);
+        self.flush_telemetry();
+    }
+
+    /// Push the deltas accumulated in the plain counters since the last
+    /// flush out to the shared telemetry handles. Called at event-loop
+    /// quiescent points, never per packet.
+    fn flush_telemetry(&mut self) {
+        let (stats, dispatched, queue_max) =
+            (self.stats, self.events_dispatched, self.queue_depth_max);
+        if let Some(t) = &mut self.telemetry {
+            t.flush(stats, dispatched, queue_max);
+        }
     }
 
     /// Process events until the queue is empty or the clock passes
     /// `deadline`. Returns the number of delivered datagrams.
     pub fn run_to_idle(&mut self, deadline: SimTime) -> u64 {
+        if let Some(t) = &self.telemetry {
+            t.run_to_idle_calls.inc();
+        }
         let before = self.stats.udp_delivered;
         self.run_until(deadline);
         self.stats.udp_delivered - before
@@ -430,6 +536,7 @@ impl Network {
         req: &TcpRequest,
     ) -> Result<TcpResponse, TcpError> {
         self.stats.tcp_queries += 1;
+        self.flush_telemetry();
         self.tcp_seq += 1;
         let probe = Datagram::new(Ipv4Addr::new(0, 0, 0, 0), 0, dst_ip, port, &b""[..]);
         if self.filtered(&probe, self.now) {

@@ -29,6 +29,7 @@ pub fn chaos_scan(
     seed: u64,
 ) -> HashMap<Ipv4Addr, ChaosObservation> {
     let scanner = SimScanner::open(world, vantage);
+    let mut sp = telemetry::span("campaign.chaos", world.now().millis());
     // txid → (resolver, which query).
     let mut results: HashMap<Ipv4Addr, Vec<Option<Message>>> = HashMap::new();
     let mut txid_map: HashMap<u16, (Ipv4Addr, usize)> = HashMap::new();
@@ -67,10 +68,28 @@ pub fn chaos_scan(
     scanner.pump(world, 5_000);
     collect(world, &scanner, &mut txid_map, &mut results);
 
-    results
+    let out: HashMap<Ipv4Addr, ChaosObservation> = results
         .into_iter()
         .map(|(ip, slots)| (ip, classify(slots)))
-        .collect()
+        .collect();
+
+    let silent = out
+        .values()
+        .filter(|o| **o == ChaosObservation::Silent)
+        .count() as u64;
+    let responders = out.len() as u64 - silent;
+    let reg = telemetry::global();
+    let chaos = [("campaign", "chaos")];
+    reg.counter_with("scanner.probes_sent", &chaos)
+        .add(seq as u64);
+    reg.counter_with("scanner.responses", &chaos)
+        .add(responders);
+    reg.counter("scanner.chaos_silent").add(silent);
+    sp.attr("probes_sent", seq as u64);
+    sp.attr("responders", responders);
+    sp.attr("silent", silent);
+    sp.finish(world.now().millis());
+    out
 }
 
 /// Like [`chaos_scan`], but also writes each responding resolver into

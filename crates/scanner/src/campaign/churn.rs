@@ -73,6 +73,14 @@ fn probe_alive(
     }
     scanner.pump(world, 5_000);
     collect_alive(world, &scanner, &mut alive);
+    let reg = telemetry::global();
+    let churn = [("campaign", "churn")];
+    reg.counter_with("scanner.probes_sent", &churn)
+        .add(sent as u64);
+    reg.counter_with("scanner.responses", &churn)
+        .add(alive.len() as u64);
+    reg.counter_with("scanner.timeouts", &churn)
+        .add((sent as u64).saturating_sub(alive.len() as u64));
     alive
 }
 
@@ -127,6 +135,10 @@ pub fn track_cohort_with_sink(
     committed: u32,
 ) -> io::Result<()> {
     let t0 = world.now();
+    let mut sp = telemetry::span("campaign.churn", t0.millis());
+    sp.attr("cohort", cohort.len());
+    sp.attr("weeks", weeks);
+    sp.attr("resumed_rounds", committed);
     if committed == 0 {
         commit_round(world, sink, cohort.iter().copied(), "cohort", &[])?;
     }
@@ -165,6 +177,12 @@ pub fn track_cohort_with_sink(
             continue;
         }
         let alive = probe_alive(world, vantage, cohort, seed ^ (w as u64) << 8);
+        telemetry::debug(
+            "campaign.churn.round",
+            "weekly re-probe committed",
+            &[("week", w.into()), ("alive", alive.len().into())],
+            Some(world.now().millis()),
+        );
         commit_round(
             world,
             sink,
@@ -173,6 +191,7 @@ pub fn track_cohort_with_sink(
             &[],
         )?;
     }
+    sp.finish(world.now().millis());
     Ok(())
 }
 

@@ -93,6 +93,7 @@ pub fn enumerate_with_sink(
     );
     let scanner = SimScanner::open(world, vantage);
     let perm = IpPermutation::new(&ranges, seed);
+    let mut sp = telemetry::span("campaign.enumerate", world.now().millis());
 
     let mut result = EnumerationResult::default();
     const BATCH: usize = 4_096;
@@ -116,6 +117,34 @@ pub fn enumerate_with_sink(
     scanner.pump(world, 5_000);
     collect(world, &scanner, &mut result, sink);
     scanner.close(world);
+
+    let reg = telemetry::global();
+    let enumerate = [("campaign", "enumerate")];
+    reg.counter_with("scanner.probes_sent", &enumerate)
+        .add(result.probes_sent);
+    reg.counter("scanner.blacklist_skips")
+        .add(result.skipped_blacklisted);
+    let responders = result.observations.len() as u64;
+    reg.counter_with("scanner.timeouts", &enumerate)
+        .add(result.probes_sent.saturating_sub(responders));
+    // Sorted so labeled counters register in a stable order.
+    let mut by_rcode: Vec<(&str, u64)> = result
+        .counts()
+        .into_iter()
+        .filter(|&(mnemonic, _)| mnemonic != "ALL")
+        .collect();
+    by_rcode.sort_unstable();
+    for (mnemonic, n) in by_rcode {
+        reg.counter_with(
+            "scanner.responses",
+            &[("campaign", "enumerate"), ("rcode", mnemonic)],
+        )
+        .add(n);
+    }
+    sp.attr("probes_sent", result.probes_sent);
+    sp.attr("responders", responders);
+    sp.attr("blacklist_skips", result.skipped_blacklisted);
+    sp.finish(world.now().millis());
     result
 }
 

@@ -118,4 +118,67 @@ mod tests {
     fn zero_rate_rejected() {
         let _ = TokenBucket::new(0, 1);
     }
+
+    #[test]
+    fn clock_backwards_keeps_wait_estimates_sane() {
+        let mut b = TokenBucket::new(1_000, 1); // 1 token/ms, burst 1
+        assert!(b.try_acquire(1_000).is_ok());
+        // Clock jumps backwards while the bucket is dry: `last_ms`
+        // must not move, the deficit must not grow, and the advertised
+        // wait stays the one-token refill time.
+        assert_eq!(b.try_acquire(400), Err(1));
+        assert_eq!(b.try_acquire(0), Err(1));
+        assert!(b.available() >= 0.0, "deficit never goes negative");
+        // Once the clock passes the old watermark, refill resumes from
+        // `last_ms`, not from the stale timestamps.
+        assert!(b.try_acquire(1_001).is_ok());
+    }
+
+    #[test]
+    fn saturation_at_capacity_is_exact() {
+        let mut b = TokenBucket::new(250, 8);
+        // Idle long enough to overfill a naive accumulator many times
+        // over (u32 rates × large gaps stress f64 precision).
+        b.refill(u64::from(u32::MAX));
+        assert_eq!(b.available(), 8.0, "saturates exactly at capacity");
+        // Exactly `capacity` sends clear the bucket; the next is a wait.
+        let now = u64::from(u32::MAX);
+        for _ in 0..8 {
+            assert!(b.try_acquire(now).is_ok());
+        }
+        assert_eq!(b.try_acquire(now), Err(4), "250/s ⇒ 4ms per token");
+    }
+
+    #[test]
+    fn fractional_tokens_accumulate_over_long_sim_gaps() {
+        // 3 probes/s ⇒ 0.003 tokens/ms: every refill step lands on a
+        // fraction. Walk a simulated week in uneven millisecond gaps
+        // (each minting well under the burst capacity, so nothing is
+        // clamped away) and check that total throughput matches the
+        // configured rate to within one token — i.e. the fractional
+        // remainders carried between refills are never dropped.
+        let mut b = TokenBucket::new(3, 5);
+        let mut sent = 0u64;
+        let mut now = 0u64;
+        while b.try_acquire(now).is_ok() {
+            sent += 1; // initial burst
+        }
+        let week_ms = 7 * 24 * 3_600 * 1_000u64;
+        for gap in [1u64, 7, 333, 211, 97].iter().cycle() {
+            if now + gap > week_ms {
+                break;
+            }
+            now += gap;
+            while b.try_acquire(now).is_ok() {
+                sent += 1;
+            }
+        }
+        // Everything minted over `now` milliseconds plus the burst,
+        // minus at most one fractional token left in the bucket.
+        let expected = 5 + (now as f64 * 3.0 / 1_000.0) as u64;
+        assert!(
+            sent.abs_diff(expected) <= 1,
+            "sent {sent}, expected ≈{expected}"
+        );
+    }
 }

@@ -59,6 +59,8 @@ pub async fn scan_targets_paced(
     rate_per_s: Option<u32>,
 ) -> std::io::Result<HashMap<SocketAddrV4, ProbeOutcome>> {
     let mut bucket = rate_per_s.map(|r| crate::TokenBucket::new(r, window.max(1) as u32));
+    let wait_total = telemetry::counter("scanner.token_wait_ms_total");
+    let wait_hist = telemetry::histogram("scanner.token_wait_ms", &[1, 5, 10, 50, 100, 500, 1000]);
     let start = std::time::Instant::now();
     let socket = UdpSocket::bind("127.0.0.1:0").await?;
     let mut results: HashMap<SocketAddrV4, ProbeOutcome> = HashMap::new();
@@ -74,6 +76,8 @@ pub async fn scan_targets_paced(
                     match bucket.try_acquire(now_ms) {
                         Ok(()) => break,
                         Err(wait) => {
+                            wait_total.add(wait);
+                            wait_hist.observe(wait);
                             tokio::time::sleep(Duration::from_millis(wait)).await;
                         }
                     }

@@ -179,6 +179,7 @@ impl CampaignStore {
 
         // Validate the committed prefix in order, rebuilding the string
         // table and the latest snapshot as we go.
+        let crc_validations = telemetry::counter("scanstore.crc_validations");
         let mut valid = 0u32;
         for entry in manifest.segments.iter().take(manifest.committed as usize) {
             let ok = fs::read(store.dir.join(&entry.file))
@@ -187,7 +188,10 @@ impl CampaignStore {
                 .filter(|seg| seg.seq == valid)
                 .map(|seg| store.absorb(seg));
             match ok {
-                Some(()) => valid += 1,
+                Some(()) => {
+                    valid += 1;
+                    crc_validations.inc();
+                }
                 None => break,
             }
         }
@@ -200,6 +204,13 @@ impl CampaignStore {
         manifest.segments.truncate(valid as usize);
         if recovered {
             manifest.recovery_events += 1;
+            telemetry::counter("scanstore.recovery_rollbacks").inc();
+            telemetry::warn(
+                "scanstore.recover",
+                "rolled checkpoint back to longest valid prefix",
+                &[("committed", valid.into())],
+                None,
+            );
         }
 
         // Delete anything past the checkpoint: orphan segments from a
@@ -326,6 +337,32 @@ impl SnapshotSink for CampaignStore {
         let manifest_bytes = serde_json::to_vec(&self.manifest)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         write_atomic(&self.dir, MANIFEST, &manifest_bytes)?;
+
+        let reg = telemetry::global();
+        reg.counter_with("scanstore.segments_written", &[("backend", "disk")])
+            .inc();
+        reg.counter("scanstore.bytes_written")
+            .add(bytes.len() as u64);
+        reg.counter("scanstore.json_bytes_equiv").add(json_bytes);
+        reg.counter_with("scanstore.records_committed", &[("backend", "disk")])
+            .add(seg.diff.upserts.len() as u64);
+        let total_bytes: u64 = self.manifest.segments.iter().map(|e| e.bytes).sum();
+        let total_json: u64 = self.manifest.segments.iter().map(|e| e.json_bytes).sum();
+        if total_bytes > 0 {
+            reg.gauge("scanstore.compression_ratio")
+                .set(total_json as f64 / total_bytes as f64);
+        }
+        telemetry::debug(
+            "scanstore.commit",
+            "segment committed",
+            &[
+                ("label", label.into()),
+                ("seq", seq.into()),
+                ("bytes", bytes.len().into()),
+                ("records", seg.diff.upserts.len().into()),
+            ],
+            Some(t_ms),
+        );
 
         self.current = records;
         self.segments.push(StoredSegment {

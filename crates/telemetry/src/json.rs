@@ -1,0 +1,74 @@
+//! Minimal JSON writing helpers. The crate is std-only by design, so
+//! the two exporters assemble their output with these instead of a
+//! serializer. Output is always valid JSON: strings are escaped per
+//! RFC 8259 and non-finite floats degrade to `null`.
+
+use std::fmt::Write;
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number, or `null` when non-finite. Rust's
+/// shortest-roundtrip `Display` for `f64` never emits an exponent or
+/// a bare trailing dot, so the rendering is itself valid JSON.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+        // "{}" renders integral floats without a fractional part
+        // ("123"), which JSON happily parses as a number.
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn esc(s: &str) -> String {
+        let mut out = String::new();
+        push_str(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(esc("plain"), "\"plain\"");
+        assert_eq!(esc("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(esc("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(esc("\u{1}"), "\"\\u0001\"");
+        assert_eq!(esc("ünïcode"), "\"ünïcode\"");
+    }
+
+    #[test]
+    fn floats_render_as_json_numbers() {
+        let mut out = String::new();
+        push_f64(&mut out, 9.9);
+        assert_eq!(out, "9.9");
+        out.clear();
+        push_f64(&mut out, 123.0);
+        assert_eq!(out, "123");
+        out.clear();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        out.clear();
+        push_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null");
+    }
+}

@@ -1,0 +1,103 @@
+//! Metrics, sim-time-aware spans, and trace/event exporters.
+//!
+//! This crate sits *below* every other crate in the workspace graph
+//! (`netsim` depends on it), so it is std-only: metric handles are
+//! plain atomics and both exporters hand-roll their JSON.
+//!
+//! # Model
+//!
+//! - **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]) are cheap
+//!   clonable handles over atomics, registered by name (plus optional
+//!   labels) in a [`Registry`]. The process-wide registry is reachable
+//!   through [`global()`] and the free functions [`counter`],
+//!   [`gauge`], [`histogram`]. Fetch handles once, increment on the
+//!   hot path: an increment is one relaxed atomic op, no formatting,
+//!   no locking.
+//! - **Spans** ([`span`]) record a named interval in *both* clocks:
+//!   simulated milliseconds (passed in explicitly, usually
+//!   `world.now().millis()`) and wall time (measured internally).
+//!   Spans nest per-thread; a child records its parent's id. On
+//!   finish a span feeds `span.<name>.{count,sim_ms,wall_us}`
+//!   counters and, if a trace is attached, emits one JSON line.
+//! - **Events** ([`event`] and the [`debug`]/[`info`]/[`warn`]/
+//!   [`error`] shorthands) are log lines gated by a process-wide
+//!   verbosity ([`set_verbosity`]); they render to stderr and, if a
+//!   trace is attached, to the trace stream.
+//! - **Exporters**: [`attach_trace`] streams spans/events as JSON
+//!   lines to any `Write`; [`Registry::snapshot`] captures all metric
+//!   values at once, renderable as JSON ([`Snapshot::to_json`]) or a
+//!   human-readable table ([`Snapshot::to_table`]).
+//!
+//! # Determinism
+//!
+//! Trace lines carry only deterministic fields — sequence numbers,
+//! names, sim times, caller-supplied attributes. Wall-clock durations
+//! never enter the trace; they are visible only in the metrics
+//! snapshot. Two runs of the same seeded workload with a fresh trace
+//! attached therefore produce byte-identical trace files.
+
+mod json;
+mod metrics;
+mod registry;
+mod snapshot;
+mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{global, Registry};
+pub use snapshot::{HistogramData, Snapshot};
+pub use trace::{
+    attach_trace, detach_trace, enabled, event, set_verbosity, span, trace_enabled, verbosity,
+    Level, Span, Value,
+};
+
+/// A counter handle from the global registry.
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// A labeled counter handle from the global registry.
+pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> Counter {
+    global().counter_with(name, labels)
+}
+
+/// A gauge handle from the global registry.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// A labeled gauge handle from the global registry.
+pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> Gauge {
+    global().gauge_with(name, labels)
+}
+
+/// A histogram handle from the global registry. `bounds` are the
+/// inclusive upper edges of the buckets; values above the last bound
+/// land in an implicit overflow bucket.
+pub fn histogram(name: &str, bounds: &[u64]) -> Histogram {
+    global().histogram(name, bounds)
+}
+
+/// Snapshot of every metric in the global registry.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Emit a debug-level event (see [`event`]).
+pub fn debug(name: &str, msg: &str, attrs: &[(&str, Value)], sim_ms: Option<u64>) {
+    event(Level::Debug, name, msg, attrs, sim_ms);
+}
+
+/// Emit an info-level event (see [`event`]).
+pub fn info(name: &str, msg: &str, attrs: &[(&str, Value)], sim_ms: Option<u64>) {
+    event(Level::Info, name, msg, attrs, sim_ms);
+}
+
+/// Emit a warn-level event (see [`event`]).
+pub fn warn(name: &str, msg: &str, attrs: &[(&str, Value)], sim_ms: Option<u64>) {
+    event(Level::Warn, name, msg, attrs, sim_ms);
+}
+
+/// Emit an error-level event (see [`event`]).
+pub fn error(name: &str, msg: &str, attrs: &[(&str, Value)], sim_ms: Option<u64>) {
+    event(Level::Error, name, msg, attrs, sim_ms);
+}

@@ -1,0 +1,481 @@
+//! Spans, events, verbosity, and the JSON-lines trace exporter.
+//!
+//! The trace stream is designed to be byte-stable across seeded runs:
+//! every line carries only deterministic fields (sequence number, span
+//! id/parent, names, **sim** times, caller attributes). Wall-clock
+//! durations are measured but surface only as `span.<name>.wall_us`
+//! counters in the metrics snapshot, never in the trace.
+
+use crate::json;
+use crate::registry::global;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+// ---------------------------------------------------------------- verbosity
+
+/// Event severity, also the verbosity threshold for stderr logging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-loss conditions. Always printed.
+    Error = 0,
+    /// Suspicious but survivable conditions.
+    Warn = 1,
+    /// Progress and campaign milestones (the old `eprintln!` lines).
+    Info = 2,
+    /// Per-phase detail.
+    Debug = 3,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Default: warnings and errors only, so library consumers (tests,
+/// benches) stay quiet. The `repro` CLI raises this to `Info`.
+static VERBOSITY: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// Sets the stderr verbosity threshold.
+pub fn set_verbosity(level: Level) {
+    VERBOSITY.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current stderr verbosity threshold.
+pub fn verbosity() -> Level {
+    match VERBOSITY.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// True if an event at `level` would be emitted anywhere (stderr or
+/// trace) — lets callers skip building attributes entirely.
+pub fn enabled(level: Level) -> bool {
+    level <= verbosity() || trace_enabled()
+}
+
+// -------------------------------------------------------------- trace sink
+
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+static TRACE: Mutex<Option<Sink>> = Mutex::new(None);
+/// Span-id source. Reset on [`attach_trace`] so seeded runs that each
+/// attach a fresh trace assign identical ids.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+struct Sink {
+    w: Box<dyn Write + Send>,
+    seq: u64,
+}
+
+/// Attaches a JSON-lines trace writer, replacing any previous one.
+/// Resets the line sequence and span-id counters, so traces of
+/// identical seeded workloads are byte-identical.
+pub fn attach_trace(w: Box<dyn Write + Send>) {
+    let mut g = TRACE.lock().unwrap_or_else(|e| e.into_inner());
+    *g = Some(Sink { w, seq: 0 });
+    NEXT_ID.store(1, Ordering::SeqCst);
+    TRACE_ON.store(true, Ordering::SeqCst);
+}
+
+/// Detaches the trace writer, flushing it first. A no-op without one.
+pub fn detach_trace() -> io::Result<()> {
+    let sink = {
+        let mut g = TRACE.lock().unwrap_or_else(|e| e.into_inner());
+        TRACE_ON.store(false, Ordering::SeqCst);
+        g.take()
+    };
+    match sink {
+        Some(mut s) => s.w.flush(),
+        None => Ok(()),
+    }
+}
+
+/// True while a trace writer is attached (one relaxed load).
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// Writes one trace line; `build` receives the line's sequence number.
+fn emit_line(build: impl FnOnce(u64, &mut String)) {
+    let mut g = TRACE.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(sink) = g.as_mut() {
+        let seq = sink.seq;
+        sink.seq += 1;
+        let mut line = String::with_capacity(160);
+        build(seq, &mut line);
+        line.push('\n');
+        let _ = sink.w.write_all(line.as_bytes());
+    }
+}
+
+// ------------------------------------------------------------- attributes
+
+/// An attribute value on an event or span.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values render as JSON `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    fn push_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => json::push_f64(out, *v),
+            Value::Str(s) => json::push_str(out, s),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+
+    fn push_plain(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Str(s) => out.push_str(s),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+fn push_attrs_json(out: &mut String, attrs: &[(impl AsRef<str>, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_str(out, k.as_ref());
+        out.push(':');
+        v.push_json(out);
+    }
+    out.push('}');
+}
+
+// ------------------------------------------------------------------ events
+
+/// Emits an event: to stderr when `level` clears the verbosity
+/// threshold, and to the trace stream when one is attached. `sim_ms`
+/// is the simulated clock, when the caller has one.
+pub fn event(level: Level, name: &str, msg: &str, attrs: &[(&str, Value)], sim_ms: Option<u64>) {
+    let to_stderr = level <= verbosity();
+    let to_trace = trace_enabled();
+    if !to_stderr && !to_trace {
+        return;
+    }
+    if to_stderr {
+        let mut line = String::with_capacity(96);
+        let _ = write!(line, "[{:5}] {name}: {msg}", level.as_str());
+        for (k, v) in attrs {
+            let _ = write!(line, " {k}=");
+            v.push_plain(&mut line);
+        }
+        if let Some(t) = sim_ms {
+            let _ = write!(line, " sim_ms={t}");
+        }
+        eprintln!("{line}");
+    }
+    if to_trace {
+        emit_line(|seq, out| {
+            let _ = write!(out, "{{\"seq\":{seq},\"type\":\"event\",\"level\":");
+            json::push_str(out, level.as_str());
+            out.push_str(",\"name\":");
+            json::push_str(out, name);
+            out.push_str(",\"msg\":");
+            json::push_str(out, msg);
+            match sim_ms {
+                Some(t) => {
+                    let _ = write!(out, ",\"sim_ms\":{t}");
+                }
+                None => out.push_str(",\"sim_ms\":null"),
+            }
+            out.push_str(",\"attrs\":");
+            push_attrs_json(out, attrs);
+            out.push('}');
+        });
+    }
+}
+
+// ------------------------------------------------------------------- spans
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open interval in both clocks. Create with [`span`], close with
+/// [`Span::finish`] passing the simulated end time; dropping an
+/// unfinished span closes it at its own start time. Spans nest
+/// per-thread (LIFO): a span opened while another is open records it
+/// as its parent.
+pub struct Span {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    sim_start: u64,
+    wall_start: Instant,
+    attrs: Vec<(String, Value)>,
+    done: bool,
+}
+
+/// Opens a span at simulated time `sim_start_ms`.
+pub fn span(name: &str, sim_start_ms: u64) -> Span {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied();
+        s.push(id);
+        parent
+    });
+    Span {
+        id,
+        parent,
+        name: name.to_string(),
+        sim_start: sim_start_ms,
+        wall_start: Instant::now(),
+        attrs: Vec::new(),
+        done: false,
+    }
+}
+
+impl Span {
+    /// Attaches a key/value pair, reported in insertion order.
+    pub fn attr(&mut self, key: &str, value: impl Into<Value>) {
+        self.attrs.push((key.to_string(), value.into()));
+    }
+
+    /// Closes the span at simulated time `sim_end_ms`: records the
+    /// `span.<name>.{count,sim_ms,wall_us}` counters and emits one
+    /// trace line when a trace is attached.
+    pub fn finish(mut self, sim_end_ms: u64) {
+        self.done = true;
+        self.close(sim_end_ms);
+    }
+
+    fn close(&mut self, sim_end_ms: u64) {
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s.iter().rposition(|&id| id == self.id) {
+                s.remove(pos);
+            }
+        });
+        let wall_us = self.wall_start.elapsed().as_micros() as u64;
+        let sim_ms = sim_end_ms.saturating_sub(self.sim_start);
+        let reg = global();
+        reg.counter(&format!("span.{}.count", self.name)).inc();
+        reg.counter(&format!("span.{}.sim_ms", self.name))
+            .add(sim_ms);
+        reg.counter(&format!("span.{}.wall_us", self.name))
+            .add(wall_us);
+        if trace_enabled() {
+            emit_line(|seq, out| {
+                let _ = write!(out, "{{\"seq\":{seq},\"type\":\"span\",\"id\":{}", self.id);
+                match self.parent {
+                    Some(p) => {
+                        let _ = write!(out, ",\"parent\":{p}");
+                    }
+                    None => out.push_str(",\"parent\":null"),
+                }
+                out.push_str(",\"name\":");
+                json::push_str(out, &self.name);
+                let _ = write!(
+                    out,
+                    ",\"sim_start_ms\":{},\"sim_end_ms\":{sim_end_ms}",
+                    self.sim_start
+                );
+                out.push_str(",\"attrs\":");
+                push_attrs_json(out, &self.attrs);
+                out.push('}');
+            });
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.done {
+            self.done = true;
+            let start = self.sim_start;
+            self.close(start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+
+    /// The trace sink and verbosity are process-global; serialize the
+    /// tests that touch them.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| StdMutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn take(&self) -> String {
+            let mut g = self.0.lock().unwrap();
+            String::from_utf8(std::mem::take(&mut *g)).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_trace_deterministically() {
+        let _g = test_lock();
+        let run = || {
+            let buf = SharedBuf::default();
+            attach_trace(Box::new(buf.clone()));
+            let mut outer = span("outer", 100);
+            outer.attr("week", 3u32);
+            let inner = span("inner", 150);
+            inner.finish(180);
+            outer.finish(200);
+            event(
+                Level::Debug,
+                "done",
+                "all finished",
+                &[("ok", true.into())],
+                Some(200),
+            );
+            detach_trace().unwrap();
+            buf.take()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "fresh traces of the same workload are byte-identical");
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"name\":\"inner\"") && lines[0].contains("\"parent\":1"));
+        assert!(lines[1].contains("\"name\":\"outer\"") && lines[1].contains("\"parent\":null"));
+        assert!(lines[1].contains("\"attrs\":{\"week\":3}"));
+        assert!(lines[2].contains("\"type\":\"event\"") && lines[2].contains("\"sim_ms\":200"));
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with(&format!("{{\"seq\":{i},")));
+            assert!(!line.contains("wall"), "no wall clock in trace lines");
+        }
+    }
+
+    #[test]
+    fn spans_record_counters_without_trace() {
+        let _g = test_lock();
+        let before = global().counter("span.quiet.count").get();
+        let s = span("quiet", 1000);
+        s.finish(1500);
+        assert_eq!(global().counter("span.quiet.count").get(), before + 1);
+        assert!(global().counter("span.quiet.sim_ms").get() >= 500);
+    }
+
+    #[test]
+    fn dropped_span_still_closes() {
+        let _g = test_lock();
+        let before = global().counter("span.leaky.count").get();
+        {
+            let _s = span("leaky", 10);
+        }
+        assert_eq!(global().counter("span.leaky.count").get(), before + 1);
+        SPAN_STACK.with(|s| assert!(s.borrow().is_empty(), "stack popped on drop"));
+    }
+
+    #[test]
+    fn events_respect_verbosity_and_need_no_sink() {
+        let _g = test_lock();
+        assert!(!trace_enabled());
+        // No trace, default verbosity Warn: a debug event is a no-op.
+        assert!(!enabled(Level::Debug));
+        event(Level::Debug, "noop", "invisible", &[], None);
+        set_verbosity(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_verbosity(Level::Warn);
+    }
+}

@@ -90,6 +90,9 @@ fn subseed(seed: u64, tag: u64) -> u64 {
 
 /// Build the world. Pure function of `cfg`.
 pub fn build_world(cfg: WorldConfig) -> World {
+    let mut sp = telemetry::span("worldgen.build", 0);
+    sp.attr("seed", cfg.seed);
+    sp.attr("scale", cfg.scale);
     let catalog = DomainCatalog::standard();
     let mut net = Network::new(NetworkConfig {
         seed: subseed(cfg.seed, 2),
@@ -1441,6 +1444,25 @@ pub fn build_world(cfg: WorldConfig) -> World {
         blacklist_singles,
     );
     world.border_filtered_asns = border_filtered;
+    let reg = telemetry::global();
+    reg.gauge("worldgen.resolvers")
+        .set(world.stats.resolvers as f64);
+    reg.gauge("worldgen.web_hosts")
+        .set(world.stats.web_hosts as f64);
+    reg.gauge("worldgen.pools").set(world.stats.pools as f64);
+    telemetry::info(
+        "worldgen.build",
+        "world built",
+        &[
+            ("resolvers", world.stats.resolvers.into()),
+            ("web_hosts", world.stats.web_hosts.into()),
+            ("pools", world.stats.pools.into()),
+            ("countries", world.stats.countries.into()),
+        ],
+        Some(0),
+    );
+    sp.attr("resolvers", world.stats.resolvers);
+    sp.finish(0);
     world
 }
 

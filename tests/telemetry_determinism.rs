@@ -1,0 +1,124 @@
+//! Telemetry must never perturb the science: traces are byte-stable
+//! for a fixed seed, and the derived reports are identical whether or
+//! not any exporter is attached.
+
+use goingwild::{collect_weekly, fig1_from_source, run_analysis, AnalysisOptions, WorldConfig};
+use scanstore::MemoryStore;
+use std::sync::{Arc, Mutex, OnceLock};
+use worldgen::build_world;
+
+/// The trace sink and span-id counter are process-global, so the tests
+/// in this binary take turns.
+fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// An in-memory trace sink the test can read back after detaching.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> Vec<u8> {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn cfg() -> WorldConfig {
+    WorldConfig {
+        seed: 0xD1CE,
+        scale: 0.0001,
+        udp_loss: 0.004,
+        weeks: 3,
+    }
+}
+
+fn traced_weekly_run() -> Vec<u8> {
+    let buf = SharedBuf::default();
+    telemetry::attach_trace(Box::new(buf.clone()));
+    let mut store = MemoryStore::new();
+    collect_weekly(cfg(), 3, 0, &mut store).expect("collect");
+    telemetry::detach_trace().expect("flush trace");
+    buf.contents()
+}
+
+#[test]
+fn traces_are_byte_identical_across_runs() {
+    let _guard = exclusive();
+    let first = traced_weekly_run();
+    let second = traced_weekly_run();
+    assert!(!first.is_empty(), "trace captured nothing");
+    assert_eq!(
+        first, second,
+        "same seed must produce byte-identical traces"
+    );
+    // Trace lines are sim-time only: wall-clock would break stability.
+    let text = String::from_utf8(first).expect("utf8");
+    for line in text.lines() {
+        assert!(
+            !line.contains("wall"),
+            "wall time leaked into trace: {line}"
+        );
+    }
+}
+
+#[test]
+fn reports_are_unchanged_by_exporters() {
+    let _guard = exclusive();
+
+    // Bare run: no trace attached, registry left as-is.
+    let bare = {
+        let mut store = MemoryStore::new();
+        collect_weekly(cfg(), 3, 0, &mut store).expect("collect");
+        fig1_from_source(&store).expect("derive")
+    };
+
+    // Instrumented run: trace attached, registry cleared first.
+    let instrumented = {
+        telemetry::global().clear();
+        let buf = SharedBuf::default();
+        telemetry::attach_trace(Box::new(buf.clone()));
+        let mut store = MemoryStore::new();
+        collect_weekly(cfg(), 3, 0, &mut store).expect("collect");
+        telemetry::detach_trace().expect("flush trace");
+        assert!(!buf.contents().is_empty());
+        fig1_from_source(&store).expect("derive")
+    };
+
+    assert_eq!(
+        serde_json::to_string(&bare).unwrap(),
+        serde_json::to_string(&instrumented).unwrap(),
+        "attaching exporters must not change the derived report"
+    );
+}
+
+#[test]
+fn analysis_report_is_unchanged_by_exporters() {
+    let _guard = exclusive();
+    let run = |traced: bool| {
+        let buf = SharedBuf::default();
+        if traced {
+            telemetry::attach_trace(Box::new(buf.clone()));
+        }
+        let mut world = build_world(cfg());
+        let report = run_analysis(&mut world, &AnalysisOptions::default());
+        if traced {
+            telemetry::detach_trace().expect("flush trace");
+        }
+        serde_json::to_string(&report).unwrap()
+    };
+    assert_eq!(run(false), run(true));
+}
