@@ -7,31 +7,35 @@
 //! repro --list
 //! ```
 //!
-//! `--list` enumerates every experiment id. With `--store <dir>` the
-//! fig1/tab1/tab2/fig2/tab3 campaigns persist their snapshots in a
-//! [`scanstore::CampaignStore`] under `<dir>`: the first run collects
-//! (resuming from the last committed segment if a previous run was
-//! killed), subsequent runs serve the figures from disk without
-//! re-simulation.
+//! Collect once, derive many: the selected experiments' campaign
+//! requirements are unioned and collected in one pass over one world
+//! ([`goingwild::collect_bundle`]), then every experiment derives its
+//! artifact from the immutable bundle — in parallel. `repro --exp all`
+//! therefore runs each campaign exactly once, and every single-
+//! experiment invocation prints byte-identical output to its section
+//! of the `all` run.
+//!
+//! `--list` enumerates every experiment id. With `--store <dir>` each
+//! campaign persists its snapshots in a [`scanstore::CampaignStore`]
+//! under `<dir>/<campaign>`: the first run collects (resuming from the
+//! last committed segment if a previous run was killed), subsequent
+//! runs serve the artifacts from disk without re-simulation.
 //!
 //! Observability:
 //!
 //! * `--metrics <path>` — write a one-shot telemetry snapshot (JSON)
-//!   of every counter/gauge/histogram touched by the run;
+//!   of every counter/gauge/histogram touched by the run, including
+//!   the once-per-campaign proof counters `collect.world_builds` and
+//!   `collect.campaign_runs{campaign=…}`;
 //! * `--trace <path>` — stream JSON-lines span/event records (sim-time
 //!   only, byte-stable for a fixed seed);
 //! * `--quiet` / `-v` — status verbosity on stderr (reports on stdout
 //!   are unaffected).
 
-use goingwild::experiments::{
-    self, fig1_weekly_counts, fig2_churn, known_experiment, table1_country_flux, table2_rir_flux,
-    table3_software, table4_devices, utilization, EXPERIMENTS,
-};
-use goingwild::{report, run_analysis, AnalysisOptions, WorldConfig};
-use scanner::enumerate;
-use scanstore::StoreStats;
+use goingwild::experiments::{self, known_experiment, DeriveOptions, Experiment, REGISTRY};
+use goingwild::{collect_bundle, BundleOptions, CampaignKind, WorldConfig};
+use std::collections::BTreeSet;
 use std::path::PathBuf;
-use worldgen::build_world;
 
 struct Args {
     exp: String,
@@ -59,8 +63,8 @@ fn usage_error(msg: &str) -> ! {
 
 fn print_experiment_list() {
     println!("experiment ids accepted by --exp (plus `all`):");
-    for (id, what) in EXPERIMENTS {
-        println!("  {id:<10} {what}");
+    for e in REGISTRY {
+        println!("  {:<10} {}", e.id, e.title);
     }
 }
 
@@ -182,147 +186,73 @@ fn main() {
         (26_800_000.0 * cfg.scale) as u64,
         cfg.seed
     );
-    let want = |id: &str| {
-        args.exp == "all" || args.exp == id || (args.exp == "analysis" && matches!(id, "analysis"))
+
+    // Select experiments, union their campaign requirements, collect
+    // the bundle once, then derive every artifact from it in parallel.
+    let selected: Vec<&'static Experiment> = if args.exp == "all" {
+        // Subsumed experiments' sections already appear byte-for-byte
+        // inside their subsumer's report; skip them so `all` prints
+        // each section exactly once.
+        REGISTRY
+            .iter()
+            .filter(|e| e.subsumed_by.is_none())
+            .collect()
+    } else {
+        vec![experiments::experiment(&args.exp).expect("validated by known_experiment")]
     };
-    let mut store_stats: Vec<(&str, StoreStats)> = Vec::new();
-
-    // Figure 1 + Tables 1–2 share the weekly-scan series.
-    if want("fig1") || want("tab1") || want("tab2") {
-        let fig1 = match &args.store {
-            Some(dir) => {
-                let (fig1, stats) = goingwild::stored_fig1(cfg.clone(), args.weeks, dir)
-                    .unwrap_or_else(|e| die_store(dir, &e));
-                store_stats.push(("weekly", stats));
-                fig1
+    let kinds: Vec<CampaignKind> = selected
+        .iter()
+        .flat_map(|e| e.requires.iter().copied())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let bundle_opts = BundleOptions {
+        seed: args.seed,
+        weeks: args.weeks,
+        snoop_sample: args.snoop_sample,
+        ..BundleOptions::new(cfg.clone())
+    };
+    let bundle =
+        collect_bundle(&bundle_opts, &kinds, args.store.as_deref()).unwrap_or_else(|e| match &args
+            .store
+        {
+            Some(dir) => die_store(dir, &e),
+            None => {
+                eprintln!("repro: bundle collection failed: {e}");
+                std::process::exit(1);
             }
-            None => fig1_weekly_counts(cfg.clone(), args.weeks),
-        };
-        if args.json.is_some() {
-            json_out.insert("fig1".into(), serde_json::to_value(&fig1).unwrap());
-        }
-        if want("fig1") {
-            println!("{}", report::render_fig1(&fig1));
-        }
-        if want("tab1") {
-            println!(
-                "{}",
-                report::render_flux(
-                    "Table 1 — resolver fluctuation per country (Top 10)",
-                    &table1_country_flux(&fig1, 10)
-                )
-            );
-            println!("(paper: US −14.2%, CN −13.0%, TR −32.2%, …, IN +12.7%, TW −57.3%)\n");
-        }
-        if want("tab2") {
-            println!(
-                "{}",
-                report::render_flux(
-                    "Table 2 — resolver fluctuation per RIR",
-                    &table2_rir_flux(&fig1)
-                )
-            );
-            println!(
-                "(paper: RIPE −33.2%, APNIC −24.5%, LACNIC −35.1%, ARIN −12.1%, AFRINIC −8.6%)\n"
-            );
-        }
-    }
-
-    // Tables 3–4 + utilization + verification run on a fresh world.
-    if want("tab3") || want("tab4") || want("util") || want("verify") {
-        let mut world = build_world(cfg.clone());
-        let vantage = world.scanner_ip;
-        let fleet = enumerate(&mut world, vantage, args.seed).noerror_ips();
-        telemetry::info(
-            "repro.fleet",
-            "enumerated fingerprinting fleet",
-            &[("open_resolvers", fleet.len().into())],
-            Some(world.now().millis()),
-        );
-        if want("tab3") {
-            let t3 = match &args.store {
-                Some(dir) => {
-                    let (t3, stats) = goingwild::stored_table3(cfg.clone(), args.seed, dir)
-                        .unwrap_or_else(|e| die_store(dir, &e));
-                    store_stats.push(("chaos", stats));
-                    t3
+        });
+    let derive_opts = DeriveOptions {
+        cfg: cfg.clone(),
+        ..DeriveOptions::default()
+    };
+    let outputs = experiments::derive_all(&bundle, &selected, &derive_opts);
+    let mut failed = false;
+    for (exp, out) in selected.iter().zip(outputs) {
+        match out {
+            Ok(out) => {
+                println!("{}", out.text);
+                if args.json.is_some() {
+                    if let Some((key, value)) = out.json {
+                        // Experiments sharing a data product emit the
+                        // same key; first writer wins.
+                        if json_out.get(key).is_none() {
+                            json_out.insert(key.to_string(), value);
+                        }
+                    }
                 }
-                None => table3_software(&mut world, &fleet, args.seed),
-            };
-            if args.json.is_some() {
-                json_out.insert("tab3".into(), serde_json::to_value(&t3).unwrap());
             }
-            println!("{}", report::render_table3(&t3));
-        }
-        if want("tab4") {
-            let t4 = table4_devices(&mut world, &fleet);
-            if args.json.is_some() {
-                json_out.insert("tab4".into(), serde_json::to_value(&t4).unwrap());
+            Err(e) => {
+                eprintln!("repro: experiment {} failed: {e}", exp.id);
+                failed = true;
             }
-            println!("{}", report::render_table4(&t4));
-        }
-        if want("util") {
-            let util = utilization(&mut world, &fleet, args.snoop_sample, 36);
-            if args.json.is_some() {
-                json_out.insert("util".into(), serde_json::to_value(&util).unwrap());
-            }
-            println!("{}", report::render_util(&util));
-        }
-        if want("verify") {
-            let mut world = build_world(cfg.clone());
-            world.advance_to_week(30);
-            let verification = experiments::verification(&mut world, args.seed);
-            println!(
-                "Sec. 2.2 verification scan: {} NOERROR hosts seen only from the second /8 ({:.2}% of {}; paper: <1%)\n",
-                verification.missed_noerror,
-                100.0 * verification.missed_noerror as f64
-                    / verification.primary_noerror.max(1) as f64,
-                verification.primary_noerror
-            );
         }
     }
-
-    if want("fig2") {
-        let fig2 = match &args.store {
-            Some(dir) => {
-                let (fig2, stats) = goingwild::stored_fig2(cfg.clone(), args.weeks.min(55), dir)
-                    .unwrap_or_else(|e| die_store(dir, &e));
-                store_stats.push(("churn", stats));
-                fig2
-            }
-            None => fig2_churn(cfg.clone(), args.weeks.min(55)),
-        };
-        if args.json.is_some() {
-            json_out.insert("fig2".into(), serde_json::to_value(&fig2).unwrap());
-        }
-        println!("{}", report::render_fig2(&fig2));
+    if failed {
+        std::process::exit(1);
     }
 
-    if want("analysis")
-        || args.exp == "tab5"
-        || args.exp == "fig4"
-        || args.exp == "censorship"
-        || args.exp == "cases"
-        || args.exp == "prefilter"
-    {
-        let mut world = build_world(cfg.clone());
-        let analysis = run_analysis(&mut world, &AnalysisOptions::default());
-        if args.json.is_some() {
-            json_out.insert("analysis".into(), serde_json::to_value(&analysis).unwrap());
-        }
-        println!("{}", report::render_analysis(&analysis));
-    }
-
-    if want("closedloop") {
-        let mut world = build_world(cfg.clone());
-        let rows = experiments::closed_loop(&mut world, args.snoop_sample);
-        println!("{}", experiments::render_closed_loop(&rows));
-    }
-
-    if want("ablations") {
-        ablations(&cfg);
-    }
-
+    let store_stats = bundle.store_stats();
     if !store_stats.is_empty() {
         println!(
             "# Snapshot store — {}",
@@ -344,7 +274,7 @@ fn main() {
         }
         println!();
         if args.json.is_some() {
-            let stores: std::collections::BTreeMap<String, &StoreStats> = store_stats
+            let stores: std::collections::BTreeMap<String, &scanstore::StoreStats> = store_stats
                 .iter()
                 .map(|(campaign, s)| ((*campaign).to_string(), s))
                 .collect();
@@ -386,215 +316,4 @@ fn main() {
 fn die_store(dir: &std::path::Path, err: &std::io::Error) -> ! {
     eprintln!("repro: snapshot store at {} failed: {err}", dir.display());
     std::process::exit(1);
-}
-
-/// The design-choice ablations DESIGN.md calls out (A-ABL1..A-ABL4;
-/// A-ABL5 lives in `bench_lfsr`).
-fn ablations(cfg: &WorldConfig) {
-    use htmlsim::distance::FeatureWeights;
-    use htmlsim::gen::{self, PageCtx, SiteCategory};
-    use htmlsim::{PageFeatures, TagInterner};
-
-    println!("# Ablations\n");
-
-    // ---- A-ABL1a: drop-one-feature separation, coarse families ----
-    // Page *families* (bank site, error page, parking lander, phishing
-    // kit, router login). The metric is the separation ratio:
-    // (minimum cross-family distance) / (maximum within-family
-    // distance); > 1 means a clean threshold exists.
-    let mut interner = TagInterner::new();
-    let mut items: Vec<(usize, PageFeatures)> = Vec::new();
-    for s in 0..10u64 {
-        for (family, html) in [
-            (
-                0usize,
-                gen::legit_site(SiteCategory::Banking, &PageCtx::new("bank.example", s)),
-            ),
-            (1, gen::http_error(404, &PageCtx::new("e.example", s))),
-            (
-                2,
-                gen::parking_page("parkco", &PageCtx::new(&format!("d{s}.example"), s)),
-            ),
-            (
-                3,
-                gen::phishing_kit_images("paypal", &PageCtx::new("paypal.example", s)),
-            ),
-            (
-                4,
-                gen::router_login(gen::RouterVendor::ZyRouter, &PageCtx::new("r.local", s)),
-            ),
-        ] {
-            items.push((family, PageFeatures::extract(&html, &mut interner)));
-        }
-    }
-    let separation = |items: &[(usize, PageFeatures)], weights: &FeatureWeights| -> f64 {
-        use htmlsim::distance::page_distance;
-        let mut max_within: f64 = 0.0;
-        let mut min_cross = f64::INFINITY;
-        for i in 0..items.len() {
-            for j in (i + 1)..items.len() {
-                let d = page_distance(&items[i].1, &items[j].1, weights);
-                if items[i].0 == items[j].0 {
-                    max_within = max_within.max(d);
-                } else {
-                    min_cross = min_cross.min(d);
-                }
-            }
-        }
-        if max_within == 0.0 {
-            f64::INFINITY
-        } else {
-            min_cross / max_within
-        }
-    };
-    println!("A-ABL1a — coarse family separation (cross/within; >1 = separable):");
-    println!(
-        "  all 7 features : {:.2}",
-        separation(&items, &FeatureWeights::default())
-    );
-    for f in [
-        "body_len",
-        "tag_multiset",
-        "tag_sequence",
-        "title",
-        "javascript",
-        "resources",
-        "links",
-    ] {
-        println!(
-            "  without {f:<13}: {:.2}",
-            separation(&items, &FeatureWeights::without(f))
-        );
-    }
-
-    // ---- A-ABL1b: why the fine-grained stage exists ----
-    // Small *modifications* of one page (ad banner vs script injection)
-    // are NOT separable by the coarse distance — within-family noise
-    // (dynamic content across fetches) dwarfs the injected tag — but the
-    // diff-based tag-delta clustering recovers them exactly (Sec. 3.6).
-    {
-        use htmlsim::diff::tag_delta;
-        let mut mod_items: Vec<(usize, PageFeatures)> = Vec::new();
-        let mut deltas: Vec<(usize, htmlsim::diff::TagDelta)> = Vec::new();
-        for s in 0..10u64 {
-            let news = gen::legit_site(SiteCategory::Alexa, &PageCtx::new("news.example", s));
-            let banner = gen::inject_ad(&news, "ads.rogue.example");
-            let script = gen::inject_script(&news, "js.rogue.example");
-            let gt = PageFeatures::extract(&news, &mut interner);
-            for (family, html) in [(0usize, banner), (1, script)] {
-                let f = PageFeatures::extract(&html, &mut interner);
-                deltas.push((family, tag_delta(&gt.tag_sequence, &f.tag_sequence)));
-                mod_items.push((family, f));
-            }
-        }
-        let coarse = separation(&mod_items, &FeatureWeights::default());
-        let flat = classify::fine_cluster(
-            &deltas.iter().map(|(_, d)| d.clone()).collect::<Vec<_>>(),
-            0.3,
-        );
-        let mut correct = 0usize;
-        for members in &flat.clusters {
-            let mut counts = std::collections::HashMap::new();
-            for &m in members {
-                *counts.entry(deltas[m].0).or_insert(0usize) += 1;
-            }
-            correct += counts.values().max().copied().unwrap_or(0);
-        }
-        println!("\nA-ABL1b — small modifications (banner vs script injection):");
-        println!(
-            "  coarse separation ratio: {coarse:.2} (<1: coarse clustering cannot split them)"
-        );
-        println!(
-            "  fine tag-delta clustering: {} clusters, purity {:.3}",
-            flat.len(),
-            correct as f64 / deltas.len() as f64
-        );
-    }
-
-    // ---- A-ABL3: prefilter stages ----
-    // Measure unexpected-rate on a CDN-heavy domain with AS-only vs
-    // AS+cert, using the real pipeline at tiny scale.
-    {
-        let mut world = build_world(WorldConfig {
-            scale: (cfg.scale / 5.0).max(0.0001),
-            ..cfg.clone()
-        });
-        let opts = AnalysisOptions {
-            domains: Some(vec![
-                "wikipedia.example".into(), // CDN domain, never censored
-                "gt.gwild.example".into(),
-            ]),
-            ..Default::default()
-        };
-        let analysis = run_analysis(&mut world, &opts);
-        let alexa = &analysis.per_category["Alexa"];
-        println!("\nA-ABL3 — CDN domain (wikipedia.example) prefiltering:");
-        println!(
-            "  responses {}  legit(DNS stage) {}  cert-rescued {}  unexpected-after-cert {}",
-            alexa.responses, alexa.legit, alexa.cert_rescued, alexa.unexpected
-        );
-        println!("  (without the certificate stage, every non-home-region CDN answer would stay suspicious)");
-    }
-
-    // ---- A-ABL4: identifier channels under port rewriting ----
-    {
-        use dnswire::{Message, MessageBuilder, Rcode, RecordType};
-        let mut ok_with_casing = 0;
-        let mut ok_txid_only = 0;
-        let trials = 4_096u32;
-        for i in 0..trials {
-            let id = (i * 8191 + 5) % (1 << 25); // spread across the 25-bit space
-            let p = scanner::encode_probe(id % (1 << 25), "bet-at-home.example");
-            let q = MessageBuilder::query(p.txid, p.qname.clone(), RecordType::A).build();
-            let resp = MessageBuilder::response_to(&q, Rcode::NoError).build();
-            let wire = resp.encode();
-            let resp = Message::decode(&wire).unwrap();
-            // Port rewritten: arrival offset is useless.
-            if scanner::decode_probe(&resp, None) == Some(id % (1 << 25)) {
-                ok_with_casing += 1;
-            }
-            // TXID-only decoder (high bits unrecoverable).
-            // A TXID-only decoder can recover at most the low 16 bits;
-            // the full identifier is unrecoverable unless it happens to
-            // fit in them.
-            if id < 0x10000 {
-                ok_txid_only += 1;
-            }
-        }
-        println!("\nA-ABL4 — resolver-ID recovery under response-port rewriting:");
-        println!(
-            "  TXID+0x20 casing: {ok_with_casing}/{trials}   TXID only: {ok_txid_only}/{trials}"
-        );
-    }
-
-    // ---- A-ABL2: linkage comparison (average vs single vs complete) ----
-    println!("\nA-ABL2 — linkage criterion vs cluster purity and count:");
-    for linkage in [
-        classify::Linkage::Average,
-        classify::Linkage::Single,
-        classify::Linkage::Complete,
-    ] {
-        for threshold in [0.2, 0.32, 0.45] {
-            let features: Vec<PageFeatures> = items.iter().map(|(_, f)| f.clone()).collect();
-            let flat = classify::cluster_pages_with(
-                &features,
-                &FeatureWeights::default(),
-                threshold,
-                linkage,
-            );
-            let mut correct = 0usize;
-            for members in &flat.clusters {
-                let mut counts = std::collections::HashMap::new();
-                for &m in members {
-                    *counts.entry(items[m].0).or_insert(0usize) += 1;
-                }
-                correct += counts.values().max().copied().unwrap_or(0);
-            }
-            println!(
-                "  {linkage:?} cut {threshold:>4}: {:>2} clusters, purity {:.3}",
-                flat.len(),
-                correct as f64 / items.len() as f64
-            );
-        }
-    }
 }

@@ -19,15 +19,23 @@
 //! statistically identical* loss pattern for the remaining rounds than
 //! an uninterrupted run would have. Committed rounds are never altered.
 
-use crate::experiments::{Fig1Report, Fig2Report, Table3Report, WeekRow};
-use classify::{classify_version, SoftwareClass};
+use crate::experiments::{Fig1Report, Fig2Report, Table3Report, Table4Report, UtilReport, WeekRow};
+use classify::snoopclass::{classify_snoop, estimate_full_ttls};
+use classify::{classify_version, fingerprint_device, SoftwareClass};
+use dnswire::Rcode;
 use geodb::{GeoDb, RdnsDb};
+use netsim::SimTime;
+use scanner::campaign::churn as churn_campaign;
+use scanner::campaign::enumerate::VerificationReport;
 use scanner::{churn_from_source, enumerate_with_sink, track_cohort_with_sink};
 use scanstore::{
-    flags, CampaignStore, Observation, ObservationSink, SnapshotSink, SnapshotSource, StoreStats,
+    flags, CampaignStore, MemoryStore, Observation, ObservationSink, SnapshotSink, SnapshotSource,
+    StoreStats,
 };
-use std::collections::BTreeMap;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
+use std::net::Ipv4Addr;
 use std::path::Path;
 use worldgen::{build_world, World, WorldConfig};
 
@@ -98,7 +106,6 @@ pub fn collect_weekly(
     sink: &mut dyn SnapshotSink,
 ) -> io::Result<()> {
     let mut world = build_world(cfg);
-    let vantage = world.scanner_ip;
     let blacklist = scanner::Blacklist::new(
         world.blacklist_ranges.clone(),
         world.blacklist_singles.clone(),
@@ -113,53 +120,67 @@ pub fn collect_weekly(
     }
     for week in start_week..weeks {
         world.advance_to_week(week);
-        let mut sp = telemetry::span("campaign.week", world.now().millis());
-        sp.attr("week", week);
-        // Ground truth for the cross-check: alive NOERROR resolvers
-        // reachable by the scan (not opted out, not behind full border
-        // filters — those are invisible to every outside observer).
-        let truth = world
-            .resolvers
-            .iter()
-            .filter(|m| {
-                m.response_class == worldgen::world::ResponseClass::NoError
-                    && m.alive.load(std::sync::atomic::Ordering::Relaxed)
-                    && world
-                        .resolver_ip(m)
-                        .map(|ip| !blacklist.contains(ip))
-                        .unwrap_or(false)
-                    && !world
-                        .border_filtered_asns
-                        .iter()
-                        .any(|&(asn, w)| m.asn == asn && week >= w)
-            })
-            .count() as u64;
-        let mut enriched = EnrichSink::new(&world, sink);
-        let result = enumerate_with_sink(&mut world, vantage, 0xF161 + week as u64, &mut enriched);
-        let meta = vec![
-            (META_TRUTH.to_string(), truth.to_string()),
-            (META_PROBES.to_string(), result.probes_sent.to_string()),
-            (
-                META_SKIPPED.to_string(),
-                result.skipped_blacklisted.to_string(),
-            ),
-        ];
-        sink.commit(&format!("week-{week}"), world.now().millis(), &meta)?;
-        sp.attr("probes_sent", result.probes_sent);
-        sp.attr("responders", result.observations.len());
-        sp.attr("truth_noerror", truth);
-        sp.finish(world.now().millis());
-        telemetry::info(
-            "campaign.week",
-            "weekly enumeration committed",
-            &[
-                ("week", week.into()),
-                ("probes_sent", result.probes_sent.into()),
-                ("responders", result.observations.len().into()),
-            ],
-            Some(world.now().millis()),
-        );
+        weekly_scan_week(&mut world, week, &blacklist, sink)?;
     }
+    Ok(())
+}
+
+/// One weekly enumeration round at the world's current time: scans,
+/// enriches, and commits the `week-{week}` snapshot. Shared by
+/// [`collect_weekly`] and the bundle engine.
+fn weekly_scan_week(
+    world: &mut World,
+    week: u32,
+    blacklist: &scanner::Blacklist,
+    sink: &mut dyn SnapshotSink,
+) -> io::Result<()> {
+    let vantage = world.scanner_ip;
+    let mut sp = telemetry::span("campaign.week", world.now().millis());
+    sp.attr("week", week);
+    // Ground truth for the cross-check: alive NOERROR resolvers
+    // reachable by the scan (not opted out, not behind full border
+    // filters — those are invisible to every outside observer).
+    let truth = world
+        .resolvers
+        .iter()
+        .filter(|m| {
+            m.response_class == worldgen::world::ResponseClass::NoError
+                && m.alive.load(std::sync::atomic::Ordering::Relaxed)
+                && world
+                    .resolver_ip(m)
+                    .map(|ip| !blacklist.contains(ip))
+                    .unwrap_or(false)
+                && !world
+                    .border_filtered_asns
+                    .iter()
+                    .any(|&(asn, w)| m.asn == asn && week >= w)
+        })
+        .count() as u64;
+    let mut enriched = EnrichSink::new(world, sink);
+    let result = enumerate_with_sink(world, vantage, 0xF161 + week as u64, &mut enriched);
+    let meta = vec![
+        (META_TRUTH.to_string(), truth.to_string()),
+        (META_PROBES.to_string(), result.probes_sent.to_string()),
+        (
+            META_SKIPPED.to_string(),
+            result.skipped_blacklisted.to_string(),
+        ),
+    ];
+    sink.commit(&format!("week-{week}"), world.now().millis(), &meta)?;
+    sp.attr("probes_sent", result.probes_sent);
+    sp.attr("responders", result.observations.len());
+    sp.attr("truth_noerror", truth);
+    sp.finish(world.now().millis());
+    telemetry::info(
+        "campaign.week",
+        "weekly enumeration committed",
+        &[
+            ("week", week.into()),
+            ("probes_sent", result.probes_sent.into()),
+            ("responders", result.observations.len().into()),
+        ],
+        Some(world.now().millis()),
+    );
     Ok(())
 }
 
@@ -211,6 +232,9 @@ pub fn fig1_from_source(src: &dyn SnapshotSource) -> io::Result<Fig1Report> {
 /// Run (or resume, or merely reopen) the weekly campaign against the
 /// persistent store under `dir` and derive Figure 1 from it. When the
 /// store already holds all `weeks` snapshots nothing is re-simulated.
+#[deprecated(
+    note = "collect a bundle with `collect_bundle` and derive via the experiment registry"
+)]
 pub fn stored_fig1(
     cfg: WorldConfig,
     weeks: u32,
@@ -268,6 +292,9 @@ pub fn fig2_from_source(src: &dyn SnapshotSource) -> io::Result<Fig2Report> {
 
 /// Run (or resume, or merely reopen) the churn campaign against the
 /// persistent store under `dir` and derive Figure 2 from it.
+#[deprecated(
+    note = "collect a bundle with `collect_bundle` and derive via the experiment registry"
+)]
 pub fn stored_fig2(
     cfg: WorldConfig,
     weeks: u32,
@@ -319,6 +346,9 @@ pub fn table3_from_source(src: &dyn SnapshotSource, seq: u32) -> io::Result<Tabl
 /// Run (or reopen) the CHAOS campaign against the persistent store
 /// under `dir` and derive Table 3. The fleet is enumerated fresh only
 /// when the store has no committed CHAOS snapshot yet.
+#[deprecated(
+    note = "collect a bundle with `collect_bundle` and derive via the experiment registry"
+)]
 pub fn stored_table3(
     cfg: WorldConfig,
     seed: u64,
@@ -335,4 +365,829 @@ pub fn stored_table3(
         store.commit("chaos", t_ms, &[])?;
     }
     Ok((table3_from_source(&store, 0)?, store.stats()))
+}
+
+// =====================================================================
+// Campaign bundle: collect once, derive many
+// =====================================================================
+//
+// One pass over a single built `World` runs every required campaign at
+// most once, on a fixed schedule of *absolute* anchor times. The
+// anchors are chosen so that (a) no two campaigns share an anchor,
+// (b) every campaign's in-flight pumping finishes long before the next
+// anchor, and (c) none of the pumping crosses a 6-hour DHCP renumber
+// boundary (see `World::advance_to`). Together with the flow-keyed
+// network randomness this makes every campaign's observations
+// *identical no matter which other campaigns run in the same bundle* —
+// the property the bundle-equivalence integration test asserts
+// byte-for-byte.
+
+/// The campaign types a bundle can collect. Each runs at most once per
+/// bundle; experiments declare which ones they need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CampaignKind {
+    /// Weekly enumeration series (Fig. 1, Tables 1–2).
+    Weekly,
+    /// The shared fingerprinting fleet: one enumeration whose NOERROR
+    /// responders feed CHAOS, banners, snooping, churn and domains.
+    Fleet,
+    /// CHAOS version.bind scan (Table 3).
+    Chaos,
+    /// TCP banner grab + device fingerprinting (Table 4).
+    Banner,
+    /// Cache snooping rounds (Sec. 2.6).
+    Snoop,
+    /// Cohort churn tracking (Fig. 2).
+    Churn,
+    /// 155-domain manipulation scan + analysis (Sections 3–4).
+    Domains,
+    /// Dual-vantage verification (Sec. 2.2).
+    Verify,
+}
+
+impl CampaignKind {
+    /// Every campaign kind, in store order.
+    pub const ALL: [CampaignKind; 8] = [
+        CampaignKind::Weekly,
+        CampaignKind::Fleet,
+        CampaignKind::Chaos,
+        CampaignKind::Banner,
+        CampaignKind::Snoop,
+        CampaignKind::Churn,
+        CampaignKind::Domains,
+        CampaignKind::Verify,
+    ];
+
+    /// Stable name: the store subdirectory and telemetry label.
+    pub fn name(self) -> &'static str {
+        match self {
+            CampaignKind::Weekly => "weekly",
+            CampaignKind::Fleet => "fleet",
+            CampaignKind::Chaos => "chaos",
+            CampaignKind::Banner => "banner",
+            CampaignKind::Snoop => "snoop",
+            CampaignKind::Churn => "churn",
+            CampaignKind::Domains => "domains",
+            CampaignKind::Verify => "verify",
+        }
+    }
+}
+
+/// Everything a bundle collection needs to know.
+#[derive(Debug, Clone)]
+pub struct BundleOptions {
+    /// World to build (seed, scale, loss, weeks).
+    pub cfg: WorldConfig,
+    /// Weekly-series length (churn is additionally capped at the
+    /// paper's 55 weeks).
+    pub weeks: u32,
+    /// Base scan seed (fleet enumeration, CHAOS, verification).
+    pub seed: u64,
+    /// Resolvers snooped (prefix of the fleet).
+    pub snoop_sample: usize,
+    /// Hourly snooping rounds.
+    pub snoop_rounds: usize,
+    /// Options for the Sections 3–4 analysis pipeline.
+    pub analysis: crate::pipeline::AnalysisOptions,
+}
+
+impl BundleOptions {
+    /// Defaults matching `repro`: seed/weeks from the world config,
+    /// 1,500 snooped resolvers, 36 rounds.
+    pub fn new(cfg: WorldConfig) -> BundleOptions {
+        BundleOptions {
+            seed: cfg.seed,
+            weeks: cfg.weeks,
+            cfg,
+            snoop_sample: 1_500,
+            snoop_rounds: 36,
+            analysis: crate::pipeline::AnalysisOptions::default(),
+        }
+    }
+}
+
+/// One campaign's backing store: in-memory or durable on disk. Both
+/// expose the same sink/source traits, so collection and derivation
+/// run one code path.
+pub enum CampaignData {
+    /// Zero-persistence in-memory snapshots.
+    Mem(MemoryStore),
+    /// Durable, delta-encoded, resumable on-disk store.
+    Disk(CampaignStore),
+}
+
+impl CampaignData {
+    fn sink(&mut self) -> &mut dyn SnapshotSink {
+        match self {
+            CampaignData::Mem(m) => m,
+            CampaignData::Disk(d) => d,
+        }
+    }
+
+    /// Read access to the committed snapshots.
+    pub fn source(&self) -> &dyn SnapshotSource {
+        match self {
+            CampaignData::Mem(m) => m,
+            CampaignData::Disk(d) => d,
+        }
+    }
+
+    fn count(&self) -> u32 {
+        self.source().snapshot_count()
+    }
+}
+
+/// The immutable result of a bundle collection: one snapshot source
+/// per collected campaign. Shared (`&BundleData`) across rayon workers
+/// during parallel experiment derivation.
+pub struct BundleData {
+    data: BTreeMap<CampaignKind, CampaignData>,
+}
+
+impl BundleData {
+    /// Whether `kind` was collected into this bundle.
+    pub fn has(&self, kind: CampaignKind) -> bool {
+        self.data.contains_key(&kind)
+    }
+
+    /// The snapshot source for `kind`; `NotFound` if the bundle was
+    /// collected without it.
+    pub fn source(&self, kind: CampaignKind) -> io::Result<&dyn SnapshotSource> {
+        self.data.get(&kind).map(|d| d.source()).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "campaign `{}` was not collected in this bundle",
+                    kind.name()
+                ),
+            )
+        })
+    }
+
+    /// Store statistics for every disk-backed campaign (empty for
+    /// in-memory bundles), in store order.
+    pub fn store_stats(&self) -> Vec<(&'static str, StoreStats)> {
+        let mut out = Vec::new();
+        for kind in CampaignKind::ALL {
+            if let Some(CampaignData::Disk(store)) = self.data.get(&kind) {
+                out.push((kind.name(), store.stats()));
+            }
+        }
+        out
+    }
+}
+
+/// What the generator planted, captured at world build time and
+/// persisted in the fleet snapshot's meta — the closed-loop
+/// validation's left-hand column.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Alive NOERROR resolvers.
+    pub noerror: f64,
+    /// Alive REFUSED resolvers.
+    pub refused: f64,
+    /// Planned TCP-exposed fraction.
+    pub tcp_exposed: f64,
+    /// Share of alive NOERROR resolvers leaking genuine versions.
+    pub genuine_share: f64,
+    /// Planted ZyNOS devices among alive NOERROR resolvers.
+    pub zynos: f64,
+    /// Planned in-use cache share (frequent + slow profiles).
+    pub in_use_share: f64,
+}
+
+/// Captures the generator's ground truth from resolver metadata.
+pub fn capture_ground_truth(world: &World) -> GroundTruth {
+    use worldgen::world::ResponseClass;
+    let counts = world.alive_counts();
+    let alive_noerror: Vec<&worldgen::ResolverMeta> = world
+        .resolvers
+        .iter()
+        .filter(|m| {
+            m.alive.load(std::sync::atomic::Ordering::Relaxed)
+                && m.response_class == ResponseClass::NoError
+        })
+        .collect();
+    let plan = worldgen::plan::UTILIZATION_PLAN;
+    GroundTruth {
+        noerror: *counts.get(&ResponseClass::NoError).unwrap_or(&0) as f64,
+        refused: *counts.get(&ResponseClass::Refused).unwrap_or(&0) as f64,
+        // The device plan records only *recognizable* devices; hosts
+        // with unrecognizable banners are also TCP-exposed, so ground
+        // truth is the plan constant.
+        tcp_exposed: worldgen::plan::TCP_EXPOSED_FRACTION,
+        genuine_share: alive_noerror.iter().filter(|m| m.chaos_genuine).count() as f64
+            / alive_noerror.len().max(1) as f64,
+        zynos: alive_noerror
+            .iter()
+            .filter(|m| matches!(m.device, Some(worldgen::plan::DeviceClassPlan::RouterZyNos)))
+            .count() as f64,
+        in_use_share: plan.frequent + plan.in_use_slow,
+    }
+}
+
+/// Meta key on the fleet snapshot carrying the serialized
+/// [`GroundTruth`].
+const META_GROUND_TRUTH: &str = "ground_truth";
+/// Meta key on the domains snapshot carrying the serialized
+/// [`crate::pipeline::AnalysisReport`].
+const META_ANALYSIS_REPORT: &str = "report";
+
+/// Simulated week of the dual-vantage verification scan.
+pub const VERIFY_WEEK: u32 = 30;
+
+// Absolute campaign anchors (ms since epoch). Distinct per campaign so
+// no campaign's start time depends on another campaign's pumping; all
+// pumping at plausible scales finishes within minutes, far inside the
+// gaps, and never crosses a 6-hour renumber boundary.
+const FLEET_ANCHOR: u64 = SimTime::HOUR;
+const CHAOS_ANCHOR: u64 = 3 * SimTime::HOUR;
+const BANNER_ANCHOR: u64 = 4 * SimTime::HOUR;
+const DOMAINS_ANCHOR: u64 = 7 * SimTime::HOUR;
+const CHURN_DAY1_ANCHOR: u64 = 25 * SimTime::HOUR + SimTime::HOUR / 2;
+// Snooping spans `rounds` hourly rounds from here; with the default 36
+// rounds it ends at 66h, before the first churn/weekly round at week 1.
+const SNOOP_ANCHOR: u64 = 30 * SimTime::HOUR;
+const CHURN_WEEK_OFFSET: u64 = 2 * SimTime::HOUR;
+const VERIFY_PRIMARY_OFFSET: u64 = 4 * SimTime::HOUR;
+const VERIFY_SECONDARY_OFFSET: u64 = 5 * SimTime::HOUR;
+
+/// Churn probe seed base (kept from the pre-bundle campaign).
+const CHURN_SEED: u64 = 0xF162;
+/// Snoop seed (kept from the pre-bundle utilization experiment).
+const SNOOP_SEED: u64 = 0x5009;
+
+#[derive(Debug, Clone, Copy)]
+enum Task {
+    Week(u32),
+    Fleet,
+    Cohort,
+    Chaos,
+    Banner,
+    Domains,
+    Day1,
+    Snoop,
+    ChurnWeek(u32),
+    VerifyPrimary,
+    VerifySecondary,
+}
+
+fn mark_ran(ran: &mut BTreeSet<CampaignKind>, kind: CampaignKind) {
+    if ran.insert(kind) {
+        telemetry::global()
+            .counter_with("collect.campaign_runs", &[("campaign", kind.name())])
+            .inc();
+    }
+}
+
+/// The fleet, read back from a committed fleet snapshot: NOERROR
+/// responders in ascending address order — the same list and order
+/// `EnumerationResult::noerror_ips` produces live.
+fn fleet_from_source(src: &dyn SnapshotSource) -> io::Result<Vec<Ipv4Addr>> {
+    Ok(src
+        .snapshot(0)?
+        .records
+        .iter()
+        .filter(|o| o.rcode == Rcode::NoError.to_u8())
+        .map(|o| o.ipv4())
+        .collect())
+}
+
+/// Collect every campaign in `kinds` (plus the shared fleet when any
+/// dependent campaign asks for it) in one pass over one world. With
+/// `store_dir` each campaign persists under its own subdirectory and
+/// completed campaigns are served from disk without re-simulation;
+/// without it everything streams into memory.
+///
+/// Telemetry proves the once-ness: `collect.world_builds` counts world
+/// constructions and `collect.campaign_runs{campaign=…}` counts actual
+/// campaign executions (resumes served from a store do not count).
+pub fn collect_bundle(
+    opts: &BundleOptions,
+    kinds: &[CampaignKind],
+    store_dir: Option<&Path>,
+) -> io::Result<BundleData> {
+    use CampaignKind::*;
+    let mut want: BTreeSet<CampaignKind> = kinds.iter().copied().collect();
+    if [Chaos, Banner, Snoop, Churn, Domains]
+        .iter()
+        .any(|k| want.contains(k))
+    {
+        want.insert(Fleet);
+    }
+    let mut data: BTreeMap<CampaignKind, CampaignData> = BTreeMap::new();
+    for &kind in &want {
+        data.insert(
+            kind,
+            match store_dir {
+                Some(dir) => CampaignData::Disk(CampaignStore::open(dir.join(kind.name()))?),
+                None => CampaignData::Mem(MemoryStore::new()),
+            },
+        );
+    }
+    if want.is_empty() {
+        return Ok(BundleData { data });
+    }
+
+    let committed: BTreeMap<CampaignKind, u32> =
+        want.iter().map(|&k| (k, data[&k].count())).collect();
+    let churn_weeks = opts.weeks.min(55);
+
+    // A partially committed snoop store cannot be resumed: skipping
+    // committed rounds would skip the cache interactions that shaped
+    // them, changing every later round (single-then-silent resolvers).
+    if let Some(&c) = committed.get(&Snoop) {
+        if c > 0 {
+            let sample = data[&Snoop].source().snapshot(0)?;
+            let expected = sample
+                .meta_value(scanner::campaign::snoop::SNOOP_META_ROUNDS)
+                .zip(sample.meta_value(scanner::campaign::snoop::SNOOP_META_TLDS))
+                .and_then(|(r, t)| Some(1 + r.parse::<u32>().ok()? * t.parse::<u32>().ok()?));
+            if expected != Some(c) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "snoop store is incomplete (all-or-nothing campaign); delete it and re-run",
+                ));
+            }
+        }
+    }
+
+    let needs_run = |kind: CampaignKind| -> bool {
+        let c = committed[&kind];
+        match kind {
+            Weekly => c < opts.weeks,
+            Fleet | Chaos | Banner | Domains => c < 1,
+            Snoop => c == 0,
+            Churn => c < churn_weeks + 2,
+            Verify => c < 2,
+        }
+    };
+    if !want.iter().any(|&k| needs_run(k)) {
+        return Ok(BundleData { data }); // fully served from the store
+    }
+
+    let mut world = build_world(opts.cfg.clone());
+    telemetry::counter("collect.world_builds").inc();
+    let truth = capture_ground_truth(&world);
+    let vantage = world.scanner_ip;
+    let blacklist = scanner::Blacklist::new(
+        world.blacklist_ranges.clone(),
+        world.blacklist_singles.clone(),
+    );
+
+    // The absolute schedule; stable sort keeps same-anchor push order
+    // (fleet before churn's cohort commit, which sends no packets).
+    let mut tasks: Vec<(u64, Task)> = Vec::new();
+    if want.contains(&Weekly) {
+        for w in 0..opts.weeks {
+            tasks.push((w as u64 * SimTime::WEEK, Task::Week(w)));
+        }
+    }
+    if want.contains(&Fleet) {
+        tasks.push((FLEET_ANCHOR, Task::Fleet));
+    }
+    if want.contains(&Chaos) {
+        tasks.push((CHAOS_ANCHOR, Task::Chaos));
+    }
+    if want.contains(&Banner) {
+        tasks.push((BANNER_ANCHOR, Task::Banner));
+    }
+    if want.contains(&Churn) {
+        tasks.push((FLEET_ANCHOR, Task::Cohort));
+        tasks.push((CHURN_DAY1_ANCHOR, Task::Day1));
+        for w in 1..=churn_weeks {
+            tasks.push((
+                w as u64 * SimTime::WEEK + CHURN_WEEK_OFFSET,
+                Task::ChurnWeek(w),
+            ));
+        }
+    }
+    if want.contains(&Domains) {
+        tasks.push((DOMAINS_ANCHOR, Task::Domains));
+    }
+    if want.contains(&Snoop) {
+        tasks.push((SNOOP_ANCHOR, Task::Snoop));
+    }
+    if want.contains(&Verify) {
+        let base = VERIFY_WEEK as u64 * SimTime::WEEK;
+        tasks.push((base + VERIFY_PRIMARY_OFFSET, Task::VerifyPrimary));
+        tasks.push((base + VERIFY_SECONDARY_OFFSET, Task::VerifySecondary));
+    }
+    tasks.sort_by_key(|&(anchor, _)| anchor);
+
+    let mut fleet: Option<Vec<Ipv4Addr>> = None;
+    let mut cohort: Option<Vec<Ipv4Addr>> = None;
+    let mut ran: BTreeSet<CampaignKind> = BTreeSet::new();
+
+    for (anchor, task) in tasks {
+        world.advance_to(SimTime(anchor));
+        match task {
+            Task::Week(w) => {
+                if w < committed[&Weekly] {
+                    continue;
+                }
+                mark_ran(&mut ran, Weekly);
+                weekly_scan_week(
+                    &mut world,
+                    w,
+                    &blacklist,
+                    data.get_mut(&Weekly).unwrap().sink(),
+                )?;
+            }
+            Task::Fleet => {
+                if committed[&Fleet] >= 1 {
+                    fleet = Some(fleet_from_source(data[&Fleet].source())?);
+                    continue;
+                }
+                mark_ran(&mut ran, Fleet);
+                let sink = data.get_mut(&Fleet).unwrap().sink();
+                let mut enriched = EnrichSink::new(&world, sink);
+                let result = enumerate_with_sink(&mut world, vantage, opts.seed, &mut enriched);
+                let meta = vec![
+                    (META_PROBES.to_string(), result.probes_sent.to_string()),
+                    (
+                        META_SKIPPED.to_string(),
+                        result.skipped_blacklisted.to_string(),
+                    ),
+                    (
+                        META_GROUND_TRUTH.to_string(),
+                        serde_json::to_string(&truth)
+                            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+                    ),
+                ];
+                let ips = result.noerror_ips();
+                telemetry::info(
+                    "campaign.fleet",
+                    "enumerated fingerprinting fleet",
+                    &[("open_resolvers", ips.len().into())],
+                    Some(world.now().millis()),
+                );
+                data.get_mut(&Fleet).unwrap().sink().commit(
+                    "fleet",
+                    world.now().millis(),
+                    &meta,
+                )?;
+                fleet = Some(ips);
+            }
+            Task::Cohort => {
+                if committed[&Churn] >= 1 {
+                    cohort = Some(
+                        data[&Churn]
+                            .source()
+                            .snapshot(0)?
+                            .records
+                            .iter()
+                            .map(|o| o.ipv4())
+                            .collect(),
+                    );
+                    continue;
+                }
+                mark_ran(&mut ran, Churn);
+                let ips = fleet.clone().expect("fleet precedes churn cohort");
+                let sink = data.get_mut(&Churn).unwrap().sink();
+                let mut enriched = EnrichSink::new(&world, sink);
+                churn_campaign::commit_round(
+                    &world,
+                    &mut enriched,
+                    ips.iter().copied(),
+                    "cohort",
+                    &[],
+                )?;
+                cohort = Some(ips);
+            }
+            Task::Day1 => {
+                if committed[&Churn] >= 2 {
+                    continue;
+                }
+                mark_ran(&mut ran, Churn);
+                let ips = cohort.as_ref().expect("cohort precedes day1");
+                let alive =
+                    churn_campaign::probe_alive(&mut world, vantage, ips, CHURN_SEED ^ 0xD1);
+                let meta = churn_campaign::day1_leaver_meta(&world, ips, &alive);
+                let sink = data.get_mut(&Churn).unwrap().sink();
+                let mut enriched = EnrichSink::new(&world, sink);
+                churn_campaign::commit_round(
+                    &world,
+                    &mut enriched,
+                    ips.iter().copied().filter(|ip| alive.contains(ip)),
+                    "day1",
+                    &meta,
+                )?;
+            }
+            Task::ChurnWeek(w) => {
+                if w + 1 < committed[&Churn] {
+                    continue;
+                }
+                mark_ran(&mut ran, Churn);
+                let ips = cohort.as_ref().expect("cohort precedes churn weeks");
+                let alive = churn_campaign::probe_alive(
+                    &mut world,
+                    vantage,
+                    ips,
+                    CHURN_SEED ^ (w as u64) << 8,
+                );
+                telemetry::debug(
+                    "campaign.churn.round",
+                    "weekly re-probe committed",
+                    &[("week", w.into()), ("alive", alive.len().into())],
+                    Some(world.now().millis()),
+                );
+                let sink = data.get_mut(&Churn).unwrap().sink();
+                let mut enriched = EnrichSink::new(&world, sink);
+                churn_campaign::commit_round(
+                    &world,
+                    &mut enriched,
+                    ips.iter().copied().filter(|ip| alive.contains(ip)),
+                    &format!("week-{w}"),
+                    &[],
+                )?;
+            }
+            Task::Chaos => {
+                if committed[&Chaos] >= 1 {
+                    continue;
+                }
+                mark_ran(&mut ran, Chaos);
+                let ips = fleet.as_ref().expect("fleet precedes chaos");
+                let sink = data.get_mut(&Chaos).unwrap().sink();
+                let mut enriched = EnrichSink::new(&world, sink);
+                scanner::chaos_scan_with_sink(&mut world, vantage, ips, opts.seed, &mut enriched);
+                data.get_mut(&Chaos)
+                    .unwrap()
+                    .sink()
+                    .commit("chaos", world.now().millis(), &[])?;
+            }
+            Task::Banner => {
+                if committed[&Banner] >= 1 {
+                    continue;
+                }
+                mark_ran(&mut ran, Banner);
+                let ips = fleet.clone().expect("fleet precedes banner");
+                banner_collect(&mut world, &ips, data.get_mut(&Banner).unwrap().sink())?;
+            }
+            Task::Domains => {
+                if committed[&Domains] >= 1 {
+                    continue;
+                }
+                mark_ran(&mut ran, Domains);
+                let ips = fleet.clone().expect("fleet precedes domains");
+                let report =
+                    crate::pipeline::run_analysis_with_fleet(&mut world, ips, &opts.analysis);
+                let json = serde_json::to_string(&report)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                data.get_mut(&Domains).unwrap().sink().commit(
+                    "analysis",
+                    world.now().millis(),
+                    &[(META_ANALYSIS_REPORT.to_string(), json)],
+                )?;
+            }
+            Task::Snoop => {
+                if committed[&Snoop] > 0 {
+                    continue; // completeness validated above
+                }
+                mark_ran(&mut ran, Snoop);
+                // Snooping starts a day after enumeration; DHCP churn
+                // has already moved a good share of the fleet, so probe
+                // for liveness first and sample resolvers still at
+                // their address — as the paper snooped resolvers from
+                // the current scan, not a stale list.
+                let ips = fleet.as_ref().expect("fleet precedes snoop");
+                let alive =
+                    churn_campaign::probe_alive(&mut world, vantage, ips, SNOOP_SEED ^ 0xA11E);
+                let sample: Vec<Ipv4Addr> = ips
+                    .iter()
+                    .copied()
+                    .filter(|ip| alive.contains(ip))
+                    .take(opts.snoop_sample)
+                    .collect();
+                scanner::snoop_scan_with_sink(
+                    &mut world,
+                    vantage,
+                    &sample,
+                    opts.snoop_rounds,
+                    SNOOP_SEED,
+                    data.get_mut(&Snoop).unwrap().sink(),
+                )?;
+            }
+            Task::VerifyPrimary => {
+                if committed[&Verify] >= 1 {
+                    continue;
+                }
+                mark_ran(&mut ran, Verify);
+                let sink = data.get_mut(&Verify).unwrap().sink();
+                let mut enriched = EnrichSink::new(&world, sink);
+                enumerate_with_sink(&mut world, vantage, opts.seed, &mut enriched);
+                data.get_mut(&Verify).unwrap().sink().commit(
+                    "primary",
+                    world.now().millis(),
+                    &[],
+                )?;
+            }
+            Task::VerifySecondary => {
+                if committed[&Verify] >= 2 {
+                    continue;
+                }
+                mark_ran(&mut ran, Verify);
+                let vantage2 = world.scanner2_ip;
+                let sink = data.get_mut(&Verify).unwrap().sink();
+                let mut enriched = EnrichSink::new(&world, sink);
+                enumerate_with_sink(&mut world, vantage2, opts.seed ^ 0x5EC0, &mut enriched);
+                data.get_mut(&Verify).unwrap().sink().commit(
+                    "secondary",
+                    world.now().millis(),
+                    &[],
+                )?;
+            }
+        }
+    }
+    Ok(BundleData { data })
+}
+
+/// Runs the TCP banner grab and commits one enriched snapshot: the
+/// TCP-responsive flag, the banner-corpus hash, and the fingerprinted
+/// device interned as `"hardware|os"` — everything Table 4 needs
+/// without the world.
+fn banner_collect(
+    world: &mut World,
+    fleet: &[Ipv4Addr],
+    sink: &mut dyn SnapshotSink,
+) -> io::Result<()> {
+    let banners = scanner::banner_scan(world, fleet);
+    let now_ms = world.now().millis();
+    for (&ip, obs) in &banners {
+        let fp = fingerprint_device(obs);
+        let device = sink.intern(&format!("{}|{}", fp.class.label(), fp.os.label()));
+        sink.observe(Observation {
+            flags: flags::TCP_RESPONSIVE,
+            banner_hash: scanstore::fnv1a(obs.corpus().as_bytes()),
+            device,
+            ..Observation::at(u32::from(ip), 0, now_ms)
+        });
+    }
+    let meta = vec![(META_FLEET.to_string(), fleet.len().to_string())];
+    sink.commit("banner", now_ms, &meta)?;
+    Ok(())
+}
+
+/// Meta key on the banner snapshot: probed fleet size.
+const META_FLEET: &str = "fleet";
+
+// =====================================================================
+// Derivations over bundle stores
+// =====================================================================
+
+/// Derive Table 4 from a committed banner snapshot: records are the
+/// TCP-responsive hosts, device labels are interned `"hardware|os"`
+/// pairs, and the probed fleet size rides in the meta.
+pub fn table4_from_source(src: &dyn SnapshotSource) -> io::Result<Table4Report> {
+    let snap = src.snapshot(0)?;
+    let fleet = snap
+        .meta_value(META_FLEET)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut hardware: BTreeMap<String, u64> = BTreeMap::new();
+    let mut os: BTreeMap<String, u64> = BTreeMap::new();
+    for o in &snap.records {
+        let label = src.string(o.device);
+        let (hw, osl) = label.split_once('|').unwrap_or((label, ""));
+        *hardware.entry(hw.to_string()).or_insert(0) += 1;
+        *os.entry(osl.to_string()).or_insert(0) += 1;
+    }
+    let total = snap.records.len().max(1) as f64;
+    Ok(Table4Report {
+        fleet,
+        tcp_responsive: snap.records.len() as u64,
+        hardware: hardware
+            .into_iter()
+            .map(|(k, v)| (k, 100.0 * v as f64 / total))
+            .collect(),
+        os: os
+            .into_iter()
+            .map(|(k, v)| (k, 100.0 * v as f64 / total))
+            .collect(),
+    })
+}
+
+/// Derive the utilization report (Sec. 2.6) from a committed snoop
+/// store: the per-resolver series are rebuilt from the value-encoded
+/// round snapshots, the authoritative TTLs from the campaign meta.
+pub fn util_from_source(src: &dyn SnapshotSource) -> io::Result<UtilReport> {
+    let snooped = scanner::snoop_from_source(src)?;
+    let full = scanner::snoop_full_ttls_from_source(src)?;
+    // The survey-based estimator remains available for settings where
+    // authoritative TTLs are not public zone data.
+    let results: Vec<&scanner::SnoopResult> = snooped.values().collect();
+    let _ = estimate_full_ttls(&results);
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut rates: Vec<f64> = Vec::new();
+    for r in snooped.values() {
+        let class = classify_snoop(r, &full);
+        *counts.entry(format!("{class:?}")).or_insert(0) += 1;
+        if let Some(rate) = classify::snoopclass::estimate_popularity(r, &full) {
+            rates.push(rate);
+        }
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| -> Option<f64> {
+        if rates.is_empty() {
+            None
+        } else {
+            Some(rates[((rates.len() - 1) as f64 * p) as usize])
+        }
+    };
+    let total = snooped.len().max(1) as f64;
+    Ok(UtilReport {
+        probed: snooped.len() as u64,
+        shares: counts
+            .into_iter()
+            .map(|(k, v)| (k, 100.0 * v as f64 / total))
+            .collect(),
+        popularity_median: pct(0.5),
+        popularity_p90: pct(0.9),
+    })
+}
+
+/// Derive the dual-vantage verification report from the committed
+/// `primary`/`secondary` enumeration snapshots.
+pub fn verification_from_source(src: &dyn SnapshotSource) -> io::Result<VerificationReport> {
+    let missing = |label: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("verify store missing `{label}` snapshot"),
+        )
+    };
+    let primary = src.snapshot(
+        src.find_label("primary")
+            .ok_or_else(|| missing("primary"))?,
+    )?;
+    let secondary = src.snapshot(
+        src.find_label("secondary")
+            .ok_or_else(|| missing("secondary"))?,
+    )?;
+    let primary_ips: std::collections::HashSet<u32> =
+        primary.records.iter().map(|o| o.ip).collect();
+    let mut report = VerificationReport {
+        primary_noerror: primary
+            .records
+            .iter()
+            .filter(|o| o.rcode == Rcode::NoError.to_u8())
+            .count() as u64,
+        ..Default::default()
+    };
+    for o in &secondary.records {
+        if !primary_ips.contains(&o.ip) {
+            *report
+                .only_secondary
+                .entry(Rcode::from_u8(o.rcode).mnemonic().to_string())
+                .or_insert(0) += 1;
+            if o.rcode == Rcode::NoError.to_u8() {
+                report.missed_noerror += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Read the Sections 3–4 analysis report back out of the domains
+/// store's snapshot meta.
+pub fn analysis_from_source(
+    src: &dyn SnapshotSource,
+) -> io::Result<crate::pipeline::AnalysisReport> {
+    let seq = src.find_label("analysis").ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "domains store missing `analysis` snapshot",
+        )
+    })?;
+    let snap = src.snapshot(seq)?;
+    let raw = snap.meta_value(META_ANALYSIS_REPORT).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "analysis snapshot missing `report` meta",
+        )
+    })?;
+    serde_json::from_str(raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Read the planted [`GroundTruth`] back out of the fleet snapshot.
+pub fn ground_truth_from_source(src: &dyn SnapshotSource) -> io::Result<GroundTruth> {
+    let snap = src.snapshot(0)?;
+    let raw = snap.meta_value(META_GROUND_TRUTH).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "fleet snapshot missing `ground_truth` meta",
+        )
+    })?;
+    serde_json::from_str(raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// NOERROR / REFUSED counts recovered from a committed fleet snapshot.
+pub fn fleet_counts_from_source(src: &dyn SnapshotSource) -> io::Result<(u64, u64)> {
+    let snap = src.snapshot(0)?;
+    let count = |rc: Rcode| {
+        snap.records
+            .iter()
+            .filter(|o| o.rcode == rc.to_u8())
+            .count() as u64
+    };
+    Ok((count(Rcode::NoError), count(Rcode::Refused)))
 }

@@ -1,5 +1,12 @@
-//! One runner per paper artifact (see DESIGN.md's experiment index).
+//! One experiment per paper artifact (see DESIGN.md's experiment
+//! index), behind the typed [`REGISTRY`]: every entry declares the
+//! campaign kinds it needs and a pure derivation from a collected
+//! [`BundleData`] to its rendered artifact. Callers collect once with
+//! [`crate::collect_bundle`] and derive many — in parallel via
+//! [`derive_all`], since derivations only read the immutable bundle.
 
+use crate::collect::{self, BundleData, CampaignKind};
+use crate::report;
 use classify::snoopclass::{classify_snoop, estimate_full_ttls};
 use classify::{classify_version, fingerprint_device, SoftwareClass, UtilizationClass};
 use geodb::Rir;
@@ -7,46 +14,216 @@ use scanner::campaign::enumerate::VerificationReport;
 use scanner::{banner_scan, chaos_scan, enumerate, snoop_scan, ChaosObservation, ChurnResult};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::io;
 use std::net::Ipv4Addr;
 use worldgen::{World, WorldConfig};
 
-/// The experiment registry: every id `repro --exp` accepts (besides
-/// `all`), with the artifact it regenerates. `repro --list` prints it
-/// and unknown ids are rejected against it.
-pub const EXPERIMENTS: &[(&str, &str)] = &[
-    ("fig1", "Figure 1 — weekly open-resolver counts"),
-    ("tab1", "Table 1 — resolver fluctuation per country"),
-    ("tab2", "Table 2 — resolver fluctuation per RIR"),
-    ("tab3", "Table 3 — CHAOS software fingerprinting"),
-    ("tab4", "Table 4 — TCP banner device fingerprinting"),
-    ("fig2", "Figure 2 — cohort IP churn"),
-    ("util", "Sec. 2.6 — cache-snooping utilization"),
-    ("verify", "Sec. 2.2 — dual-vantage verification scan"),
-    (
-        "analysis",
-        "Sec. 3 — response-manipulation analysis (tab5/fig4/censorship/cases)",
-    ),
-    (
-        "tab5",
-        "Table 5 — answer-manipulation clusters (via analysis)",
-    ),
-    ("fig4", "Figure 4 — manipulated-response CDF (via analysis)"),
-    (
-        "censorship",
-        "Sec. 3.5 — censorship case studies (via analysis)",
-    ),
-    ("cases", "Sec. 3.6 — cluster case studies (via analysis)"),
-    ("prefilter", "Sec. 3.2 — prefilter funnel (via analysis)"),
-    (
-        "closedloop",
-        "validation — generated ground truth vs recovered values",
-    ),
-    ("ablations", "design-choice ablations (A-ABL1..A-ABL4)"),
+// =====================================================================
+// The experiment registry
+// =====================================================================
+
+/// Options shared by every experiment derivation.
+#[derive(Debug, Clone)]
+pub struct DeriveOptions {
+    /// World configuration — consulted only by experiments that build
+    /// their own miniature worlds (the ablations).
+    pub cfg: WorldConfig,
+    /// Row cap for the per-country fluctuation table (Table 1).
+    pub top_countries: usize,
+}
+
+impl Default for DeriveOptions {
+    fn default() -> DeriveOptions {
+        DeriveOptions {
+            cfg: WorldConfig::default(),
+            top_countries: 10,
+        }
+    }
+}
+
+/// What one experiment derivation produced.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// The experiment id this output belongs to.
+    pub id: &'static str,
+    /// The rendered text report, ready to print.
+    pub text: String,
+    /// Machine-readable report under a stable JSON key. Experiments
+    /// sharing a data product (fig1/tab1/tab2, the analysis family)
+    /// emit the same key; assemblers deduplicate by key.
+    pub json: Option<(&'static str, serde_json::Value)>,
+}
+
+/// One registry entry: a paper artifact, the campaign kinds it needs
+/// collected, and the derivation from bundle to output.
+pub struct Experiment {
+    /// The id `repro --exp` accepts.
+    pub id: &'static str,
+    /// The artifact it regenerates.
+    pub title: &'static str,
+    /// Campaign kinds that must be present in the bundle. Empty means
+    /// the experiment is self-contained (the ablations).
+    pub requires: &'static [CampaignKind],
+    /// Id of a broader experiment whose text output already contains
+    /// this one's, byte for byte (the analysis report embeds the
+    /// tab5/fig4/censorship/cases/prefilter sections). `--exp all`
+    /// skips subsumed experiments so no section prints twice.
+    pub subsumed_by: Option<&'static str>,
+    /// Pure derivation over the immutable bundle.
+    pub derive: fn(&BundleData, &DeriveOptions) -> io::Result<ExperimentOutput>,
+}
+
+/// Every experiment `repro --exp` accepts (besides `all`), in print
+/// order. `repro --list` renders this table and unknown ids are
+/// rejected against it.
+pub const REGISTRY: &[Experiment] = &[
+    Experiment {
+        id: "fig1",
+        title: "Figure 1 — weekly open-resolver counts",
+        requires: &[CampaignKind::Weekly],
+        subsumed_by: None,
+        derive: derive_fig1,
+    },
+    Experiment {
+        id: "tab1",
+        title: "Table 1 — resolver fluctuation per country",
+        requires: &[CampaignKind::Weekly],
+        subsumed_by: None,
+        derive: derive_tab1,
+    },
+    Experiment {
+        id: "tab2",
+        title: "Table 2 — resolver fluctuation per RIR",
+        requires: &[CampaignKind::Weekly],
+        subsumed_by: None,
+        derive: derive_tab2,
+    },
+    Experiment {
+        id: "tab3",
+        title: "Table 3 — CHAOS software fingerprinting",
+        requires: &[CampaignKind::Fleet, CampaignKind::Chaos],
+        subsumed_by: None,
+        derive: derive_tab3,
+    },
+    Experiment {
+        id: "tab4",
+        title: "Table 4 — TCP banner device fingerprinting",
+        requires: &[CampaignKind::Fleet, CampaignKind::Banner],
+        subsumed_by: None,
+        derive: derive_tab4,
+    },
+    Experiment {
+        id: "fig2",
+        title: "Figure 2 — cohort IP churn",
+        requires: &[CampaignKind::Fleet, CampaignKind::Churn],
+        subsumed_by: None,
+        derive: derive_fig2,
+    },
+    Experiment {
+        id: "util",
+        title: "Sec. 2.6 — cache-snooping utilization",
+        requires: &[CampaignKind::Fleet, CampaignKind::Snoop],
+        subsumed_by: None,
+        derive: derive_util,
+    },
+    Experiment {
+        id: "verify",
+        title: "Sec. 2.2 — dual-vantage verification scan",
+        requires: &[CampaignKind::Verify],
+        subsumed_by: None,
+        derive: derive_verify,
+    },
+    Experiment {
+        id: "analysis",
+        title: "Sec. 3 — response-manipulation analysis (tab5/fig4/censorship/cases)",
+        requires: &[CampaignKind::Fleet, CampaignKind::Domains],
+        subsumed_by: None,
+        derive: derive_analysis,
+    },
+    Experiment {
+        id: "tab5",
+        title: "Table 5 — answer-manipulation clusters (via analysis)",
+        requires: &[CampaignKind::Fleet, CampaignKind::Domains],
+        subsumed_by: Some("analysis"),
+        derive: derive_tab5,
+    },
+    Experiment {
+        id: "fig4",
+        title: "Figure 4 — manipulated-response CDF (via analysis)",
+        requires: &[CampaignKind::Fleet, CampaignKind::Domains],
+        subsumed_by: Some("analysis"),
+        derive: derive_fig4,
+    },
+    Experiment {
+        id: "censorship",
+        title: "Sec. 3.5 — censorship case studies (via analysis)",
+        requires: &[CampaignKind::Fleet, CampaignKind::Domains],
+        subsumed_by: Some("analysis"),
+        derive: derive_censorship,
+    },
+    Experiment {
+        id: "cases",
+        title: "Sec. 3.6 — cluster case studies (via analysis)",
+        requires: &[CampaignKind::Fleet, CampaignKind::Domains],
+        subsumed_by: Some("analysis"),
+        derive: derive_cases,
+    },
+    Experiment {
+        id: "prefilter",
+        title: "Sec. 3.2 — prefilter funnel (via analysis)",
+        requires: &[CampaignKind::Fleet, CampaignKind::Domains],
+        subsumed_by: Some("analysis"),
+        derive: derive_prefilter,
+    },
+    Experiment {
+        id: "closedloop",
+        title: "validation — generated ground truth vs recovered values",
+        requires: &[
+            CampaignKind::Fleet,
+            CampaignKind::Chaos,
+            CampaignKind::Banner,
+            CampaignKind::Snoop,
+        ],
+        subsumed_by: None,
+        derive: derive_closedloop,
+    },
+    Experiment {
+        id: "ablations",
+        title: "design-choice ablations (A-ABL1..A-ABL4)",
+        requires: &[],
+        subsumed_by: None,
+        derive: derive_ablations,
+    },
 ];
+
+/// Look up a registry entry by id.
+pub fn experiment(id: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.id == id)
+}
 
 /// Whether `id` is a valid `--exp` argument.
 pub fn known_experiment(id: &str) -> bool {
-    id == "all" || EXPERIMENTS.iter().any(|(k, _)| *k == id)
+    id == "all" || experiment(id).is_some()
+}
+
+/// Derive every experiment in `exps` from the bundle — in parallel,
+/// results in input order. Safe because derivations only read the
+/// immutable bundle stores.
+pub fn derive_all(
+    bundle: &BundleData,
+    exps: &[&'static Experiment],
+    opts: &DeriveOptions,
+) -> Vec<io::Result<ExperimentOutput>> {
+    use rayon::prelude::*;
+    (0..exps.len())
+        .into_par_iter()
+        .map(|i| {
+            telemetry::global()
+                .counter_with("derive.experiment_runs", &[("exp", exps[i].id)])
+                .inc();
+            (exps[i].derive)(bundle, opts)
+        })
+        .collect()
 }
 
 // =====================================================================
@@ -110,6 +287,9 @@ impl Fig1Report {
 /// in-memory snapshot store and the report is derived back out of it —
 /// the same collect/derive code `repro --store` runs against the
 /// persistent [`scanstore::CampaignStore`].
+#[deprecated(
+    note = "collect a bundle with `collect_bundle` and derive via the experiment registry"
+)]
 pub fn fig1_weekly_counts(cfg: WorldConfig, weeks: u32) -> Fig1Report {
     let mut mem = scanstore::MemoryStore::new();
     crate::collect::collect_weekly(cfg, weeks, 0, &mut mem).expect("in-memory sink cannot fail");
@@ -247,6 +427,9 @@ impl Table3Report {
 }
 
 /// Run the CHAOS scan and classify the answers (E-TAB3).
+#[deprecated(
+    note = "collect a bundle with `collect_bundle` and derive via the experiment registry"
+)]
 pub fn table3_software(world: &mut World, fleet: &[Ipv4Addr], seed: u64) -> Table3Report {
     let vantage = world.scanner_ip;
     let obs = chaos_scan(world, vantage, fleet, seed);
@@ -298,6 +481,9 @@ pub struct Table4Report {
 }
 
 /// Run the banner scan and fingerprint devices (E-TAB4).
+#[deprecated(
+    note = "collect a bundle with `collect_bundle` and derive via the experiment registry"
+)]
 pub fn table4_devices(world: &mut World, fleet: &[Ipv4Addr]) -> Table4Report {
     let banners = banner_scan(world, fleet);
     let mut hardware: BTreeMap<String, u64> = BTreeMap::new();
@@ -335,6 +521,9 @@ pub struct Fig2Report {
 
 /// Track the initial cohort for `weeks` weeks (E-FIG2), through the
 /// same collect/derive split as [`fig1_weekly_counts`].
+#[deprecated(
+    note = "collect a bundle with `collect_bundle` and derive via the experiment registry"
+)]
 pub fn fig2_churn(cfg: WorldConfig, weeks: u32) -> Fig2Report {
     let mut mem = scanstore::MemoryStore::new();
     crate::collect::collect_churn(cfg, weeks, &mut mem).expect("in-memory sink cannot fail");
@@ -376,6 +565,9 @@ impl UtilReport {
 
 /// Snoop `sample` resolvers for `rounds` hourly rounds and classify
 /// utilization (E-UTIL). Advances world time by `rounds` hours.
+#[deprecated(
+    note = "collect a bundle with `collect_bundle` and derive via the experiment registry"
+)]
 pub fn utilization(
     world: &mut World,
     fleet: &[Ipv4Addr],
@@ -453,6 +645,10 @@ impl ClosedLoopRow {
 /// Compare what the generator planted against what the measurement
 /// pipeline recovered — the validation loop DESIGN.md promises. Uses
 /// the landscape campaigns (enumeration, CHAOS, banners, snooping).
+#[deprecated(
+    note = "collect a bundle with `collect_bundle` and derive via the experiment registry"
+)]
+#[allow(deprecated)]
 pub fn closed_loop(world: &mut World, snoop_sample: usize) -> Vec<ClosedLoopRow> {
     use worldgen::world::ResponseClass;
     let vantage = world.scanner_ip;
@@ -557,8 +753,476 @@ pub fn render_closed_loop(rows: &[ClosedLoopRow]) -> String {
 // =====================================================================
 
 /// Run the verification experiment at the world's current time.
+#[deprecated(
+    note = "collect a bundle with `collect_bundle` and derive via the experiment registry"
+)]
 pub fn verification(world: &mut World, seed: u64) -> VerificationReport {
     let vantage = world.scanner_ip;
     let primary = enumerate(world, vantage, seed);
     scanner::campaign::enumerate::verify_scan(world, &primary, seed)
+}
+
+// =====================================================================
+// Registry derivations — pure functions over the collected bundle
+// =====================================================================
+
+fn jval<T: Serialize>(v: &T) -> io::Result<serde_json::Value> {
+    serde_json::to_value(v).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn derive_fig1(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let fig1 = collect::fig1_from_source(b.source(CampaignKind::Weekly)?)?;
+    Ok(ExperimentOutput {
+        id: "fig1",
+        text: report::render_fig1(&fig1),
+        json: Some(("fig1", jval(&fig1)?)),
+    })
+}
+
+fn derive_tab1(b: &BundleData, o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let fig1 = collect::fig1_from_source(b.source(CampaignKind::Weekly)?)?;
+    let mut text = report::render_flux(
+        &format!(
+            "Table 1 — resolver fluctuation per country (Top {})",
+            o.top_countries
+        ),
+        &table1_country_flux(&fig1, o.top_countries),
+    );
+    text.push_str("(paper: US −14.2%, CN −13.0%, TR −32.2%, …, IN +12.7%, TW −57.3%)\n");
+    Ok(ExperimentOutput {
+        id: "tab1",
+        text,
+        json: Some(("fig1", jval(&fig1)?)),
+    })
+}
+
+fn derive_tab2(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let fig1 = collect::fig1_from_source(b.source(CampaignKind::Weekly)?)?;
+    let mut text = report::render_flux(
+        "Table 2 — resolver fluctuation per RIR",
+        &table2_rir_flux(&fig1),
+    );
+    text.push_str(
+        "(paper: RIPE −33.2%, APNIC −24.5%, LACNIC −35.1%, ARIN −12.1%, AFRINIC −8.6%)\n",
+    );
+    Ok(ExperimentOutput {
+        id: "tab2",
+        text,
+        json: Some(("fig1", jval(&fig1)?)),
+    })
+}
+
+fn derive_tab3(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let t3 = collect::table3_from_source(b.source(CampaignKind::Chaos)?, 0)?;
+    Ok(ExperimentOutput {
+        id: "tab3",
+        text: report::render_table3(&t3),
+        json: Some(("tab3", jval(&t3)?)),
+    })
+}
+
+fn derive_tab4(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let t4 = collect::table4_from_source(b.source(CampaignKind::Banner)?)?;
+    Ok(ExperimentOutput {
+        id: "tab4",
+        text: report::render_table4(&t4),
+        json: Some(("tab4", jval(&t4)?)),
+    })
+}
+
+fn derive_fig2(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let fig2 = collect::fig2_from_source(b.source(CampaignKind::Churn)?)?;
+    Ok(ExperimentOutput {
+        id: "fig2",
+        text: report::render_fig2(&fig2),
+        json: Some(("fig2", jval(&fig2)?)),
+    })
+}
+
+fn derive_util(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let util = collect::util_from_source(b.source(CampaignKind::Snoop)?)?;
+    Ok(ExperimentOutput {
+        id: "util",
+        text: report::render_util(&util),
+        json: Some(("util", jval(&util)?)),
+    })
+}
+
+fn derive_verify(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let v = collect::verification_from_source(b.source(CampaignKind::Verify)?)?;
+    let text = format!(
+        "Sec. 2.2 verification scan: {} NOERROR hosts seen only from the second /8 ({:.2}% of {}; paper: <1%)\n",
+        v.missed_noerror,
+        100.0 * v.missed_noerror as f64 / v.primary_noerror.max(1) as f64,
+        v.primary_noerror
+    );
+    Ok(ExperimentOutput {
+        id: "verify",
+        text,
+        json: Some(("verify", jval(&v)?)),
+    })
+}
+
+fn analysis_of(b: &BundleData) -> io::Result<crate::pipeline::AnalysisReport> {
+    collect::analysis_from_source(b.source(CampaignKind::Domains)?)
+}
+
+fn derive_analysis(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let a = analysis_of(b)?;
+    Ok(ExperimentOutput {
+        id: "analysis",
+        text: report::render_analysis(&a),
+        json: Some(("analysis", jval(&a)?)),
+    })
+}
+
+fn derive_tab5(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let a = analysis_of(b)?;
+    Ok(ExperimentOutput {
+        id: "tab5",
+        text: report::render_table5(&a)
+            .trim_start_matches('\n')
+            .to_string(),
+        json: Some(("analysis", jval(&a)?)),
+    })
+}
+
+fn derive_fig4(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let a = analysis_of(b)?;
+    Ok(ExperimentOutput {
+        id: "fig4",
+        text: report::render_fig4(&a).trim_start_matches('\n').to_string(),
+        json: Some(("analysis", jval(&a)?)),
+    })
+}
+
+fn derive_censorship(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let a = analysis_of(b)?;
+    Ok(ExperimentOutput {
+        id: "censorship",
+        text: report::render_censorship(&a)
+            .trim_start_matches('\n')
+            .to_string(),
+        json: Some(("analysis", jval(&a)?)),
+    })
+}
+
+fn derive_cases(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let a = analysis_of(b)?;
+    Ok(ExperimentOutput {
+        id: "cases",
+        text: report::render_cases(&a)
+            .trim_start_matches('\n')
+            .to_string(),
+        json: Some(("analysis", jval(&a)?)),
+    })
+}
+
+fn derive_prefilter(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let a = analysis_of(b)?;
+    Ok(ExperimentOutput {
+        id: "prefilter",
+        text: report::render_prefilter(&a)
+            .trim_start_matches('\n')
+            .to_string(),
+        json: Some(("analysis", jval(&a)?)),
+    })
+}
+
+fn derive_closedloop(b: &BundleData, _o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    let truth = collect::ground_truth_from_source(b.source(CampaignKind::Fleet)?)?;
+    let (noerror, refused) = collect::fleet_counts_from_source(b.source(CampaignKind::Fleet)?)?;
+    let t3 = collect::table3_from_source(b.source(CampaignKind::Chaos)?, 0)?;
+    let t4 = collect::table4_from_source(b.source(CampaignKind::Banner)?)?;
+    let util = collect::util_from_source(b.source(CampaignKind::Snoop)?)?;
+    let rows = vec![
+        ClosedLoopRow {
+            metric: "NOERROR resolvers".into(),
+            generated: truth.noerror,
+            recovered: noerror as f64,
+        },
+        ClosedLoopRow {
+            metric: "REFUSED resolvers".into(),
+            generated: truth.refused,
+            recovered: refused as f64,
+        },
+        ClosedLoopRow {
+            metric: "genuine version share".into(),
+            generated: truth.genuine_share,
+            recovered: t3.genuine as f64 / t3.responding.max(1) as f64,
+        },
+        ClosedLoopRow {
+            metric: "TCP-exposed share".into(),
+            generated: truth.tcp_exposed,
+            recovered: t4.tcp_responsive as f64 / t4.fleet.max(1) as f64,
+        },
+        ClosedLoopRow {
+            metric: "ZyNOS devices".into(),
+            generated: truth.zynos,
+            recovered: t4.os.get("ZyNOS").copied().unwrap_or(0.0) / 100.0
+                * t4.tcp_responsive as f64,
+        },
+        ClosedLoopRow {
+            metric: "in-use share".into(),
+            generated: truth.in_use_share,
+            recovered: util.in_use_share() / 100.0,
+        },
+    ];
+    Ok(ExperimentOutput {
+        id: "closedloop",
+        text: render_closed_loop(&rows),
+        json: Some(("closedloop", jval(&rows)?)),
+    })
+}
+
+fn derive_ablations(_b: &BundleData, o: &DeriveOptions) -> io::Result<ExperimentOutput> {
+    Ok(ExperimentOutput {
+        id: "ablations",
+        text: ablations_report(&o.cfg),
+        json: None,
+    })
+}
+
+// =====================================================================
+// Ablations — self-contained design-choice studies
+// =====================================================================
+
+/// The design-choice ablations DESIGN.md calls out (A-ABL1..A-ABL4;
+/// A-ABL5 lives in `bench_lfsr`). Self-contained: builds its own tiny
+/// worlds and page corpora rather than reading a bundle.
+pub fn ablations_report(cfg: &WorldConfig) -> String {
+    use htmlsim::distance::FeatureWeights;
+    use htmlsim::gen::{self, PageCtx, SiteCategory};
+    use htmlsim::{PageFeatures, TagInterner};
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Ablations\n");
+
+    // ---- A-ABL1a: drop-one-feature separation, coarse families ----
+    // Page *families* (bank site, error page, parking lander, phishing
+    // kit, router login). The metric is the separation ratio:
+    // (minimum cross-family distance) / (maximum within-family
+    // distance); > 1 means a clean threshold exists.
+    let mut interner = TagInterner::new();
+    let mut items: Vec<(usize, PageFeatures)> = Vec::new();
+    for s in 0..10u64 {
+        for (family, html) in [
+            (
+                0usize,
+                gen::legit_site(SiteCategory::Banking, &PageCtx::new("bank.example", s)),
+            ),
+            (1, gen::http_error(404, &PageCtx::new("e.example", s))),
+            (
+                2,
+                gen::parking_page("parkco", &PageCtx::new(&format!("d{s}.example"), s)),
+            ),
+            (
+                3,
+                gen::phishing_kit_images("paypal", &PageCtx::new("paypal.example", s)),
+            ),
+            (
+                4,
+                gen::router_login(gen::RouterVendor::ZyRouter, &PageCtx::new("r.local", s)),
+            ),
+        ] {
+            items.push((family, PageFeatures::extract(&html, &mut interner)));
+        }
+    }
+    let separation = |items: &[(usize, PageFeatures)], weights: &FeatureWeights| -> f64 {
+        use htmlsim::distance::page_distance;
+        let mut max_within: f64 = 0.0;
+        let mut min_cross = f64::INFINITY;
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                let d = page_distance(&items[i].1, &items[j].1, weights);
+                if items[i].0 == items[j].0 {
+                    max_within = max_within.max(d);
+                } else {
+                    min_cross = min_cross.min(d);
+                }
+            }
+        }
+        if max_within == 0.0 {
+            f64::INFINITY
+        } else {
+            min_cross / max_within
+        }
+    };
+    let _ = writeln!(
+        out,
+        "A-ABL1a — coarse family separation (cross/within; >1 = separable):"
+    );
+    let _ = writeln!(
+        out,
+        "  all 7 features : {:.2}",
+        separation(&items, &FeatureWeights::default())
+    );
+    for f in [
+        "body_len",
+        "tag_multiset",
+        "tag_sequence",
+        "title",
+        "javascript",
+        "resources",
+        "links",
+    ] {
+        let _ = writeln!(
+            out,
+            "  without {f:<13}: {:.2}",
+            separation(&items, &FeatureWeights::without(f))
+        );
+    }
+
+    // ---- A-ABL1b: why the fine-grained stage exists ----
+    // Small *modifications* of one page (ad banner vs script injection)
+    // are NOT separable by the coarse distance — within-family noise
+    // (dynamic content across fetches) dwarfs the injected tag — but the
+    // diff-based tag-delta clustering recovers them exactly (Sec. 3.6).
+    {
+        use htmlsim::diff::tag_delta;
+        let mut mod_items: Vec<(usize, PageFeatures)> = Vec::new();
+        let mut deltas: Vec<(usize, htmlsim::diff::TagDelta)> = Vec::new();
+        for s in 0..10u64 {
+            let news = gen::legit_site(SiteCategory::Alexa, &PageCtx::new("news.example", s));
+            let banner = gen::inject_ad(&news, "ads.rogue.example");
+            let script = gen::inject_script(&news, "js.rogue.example");
+            let gt = PageFeatures::extract(&news, &mut interner);
+            for (family, html) in [(0usize, banner), (1, script)] {
+                let f = PageFeatures::extract(&html, &mut interner);
+                deltas.push((family, tag_delta(&gt.tag_sequence, &f.tag_sequence)));
+                mod_items.push((family, f));
+            }
+        }
+        let coarse = separation(&mod_items, &FeatureWeights::default());
+        let flat = classify::fine_cluster(
+            &deltas.iter().map(|(_, d)| d.clone()).collect::<Vec<_>>(),
+            0.3,
+        );
+        let mut correct = 0usize;
+        for members in &flat.clusters {
+            let mut counts = std::collections::HashMap::new();
+            for &m in members {
+                *counts.entry(deltas[m].0).or_insert(0usize) += 1;
+            }
+            correct += counts.values().max().copied().unwrap_or(0);
+        }
+        let _ = writeln!(
+            out,
+            "\nA-ABL1b — small modifications (banner vs script injection):"
+        );
+        let _ = writeln!(
+            out,
+            "  coarse separation ratio: {coarse:.2} (<1: coarse clustering cannot split them)"
+        );
+        let _ = writeln!(
+            out,
+            "  fine tag-delta clustering: {} clusters, purity {:.3}",
+            flat.len(),
+            correct as f64 / deltas.len() as f64
+        );
+    }
+
+    // ---- A-ABL3: prefilter stages ----
+    // Measure unexpected-rate on a CDN-heavy domain with AS-only vs
+    // AS+cert, using the real pipeline at tiny scale.
+    {
+        let mut world = worldgen::build_world(WorldConfig {
+            scale: (cfg.scale / 5.0).max(0.0001),
+            ..cfg.clone()
+        });
+        let opts = crate::pipeline::AnalysisOptions {
+            domains: Some(vec![
+                "wikipedia.example".into(), // CDN domain, never censored
+                "gt.gwild.example".into(),
+            ]),
+            ..Default::default()
+        };
+        let analysis = crate::pipeline::run_analysis(&mut world, &opts);
+        let alexa = &analysis.per_category["Alexa"];
+        let _ = writeln!(
+            out,
+            "\nA-ABL3 — CDN domain (wikipedia.example) prefiltering:"
+        );
+        let _ = writeln!(
+            out,
+            "  responses {}  legit(DNS stage) {}  cert-rescued {}  unexpected-after-cert {}",
+            alexa.responses, alexa.legit, alexa.cert_rescued, alexa.unexpected
+        );
+        let _ = writeln!(
+            out,
+            "  (without the certificate stage, every non-home-region CDN answer would stay suspicious)"
+        );
+    }
+
+    // ---- A-ABL4: identifier channels under port rewriting ----
+    {
+        use dnswire::{Message, MessageBuilder, Rcode, RecordType};
+        let mut ok_with_casing = 0;
+        let mut ok_txid_only = 0;
+        let trials = 4_096u32;
+        for i in 0..trials {
+            let id = (i * 8191 + 5) % (1 << 25); // spread across the 25-bit space
+            let p = scanner::encode_probe(id % (1 << 25), "bet-at-home.example");
+            let q = MessageBuilder::query(p.txid, p.qname.clone(), RecordType::A).build();
+            let resp = MessageBuilder::response_to(&q, Rcode::NoError).build();
+            let wire = resp.encode();
+            let resp = Message::decode(&wire).unwrap();
+            // Port rewritten: arrival offset is useless.
+            if scanner::decode_probe(&resp, None) == Some(id % (1 << 25)) {
+                ok_with_casing += 1;
+            }
+            // TXID-only decoder (high bits unrecoverable).
+            // A TXID-only decoder can recover at most the low 16 bits;
+            // the full identifier is unrecoverable unless it happens to
+            // fit in them.
+            if id < 0x10000 {
+                ok_txid_only += 1;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\nA-ABL4 — resolver-ID recovery under response-port rewriting:"
+        );
+        let _ = writeln!(
+            out,
+            "  TXID+0x20 casing: {ok_with_casing}/{trials}   TXID only: {ok_txid_only}/{trials}"
+        );
+    }
+
+    // ---- A-ABL2: linkage comparison (average vs single vs complete) ----
+    let _ = writeln!(
+        out,
+        "\nA-ABL2 — linkage criterion vs cluster purity and count:"
+    );
+    for linkage in [
+        classify::Linkage::Average,
+        classify::Linkage::Single,
+        classify::Linkage::Complete,
+    ] {
+        for threshold in [0.2, 0.32, 0.45] {
+            let features: Vec<PageFeatures> = items.iter().map(|(_, f)| f.clone()).collect();
+            let flat = classify::cluster_pages_with(
+                &features,
+                &FeatureWeights::default(),
+                threshold,
+                linkage,
+            );
+            let mut correct = 0usize;
+            for members in &flat.clusters {
+                let mut counts = std::collections::HashMap::new();
+                for &m in members {
+                    *counts.entry(items[m].0).or_insert(0usize) += 1;
+                }
+                correct += counts.values().max().copied().unwrap_or(0);
+            }
+            let _ = writeln!(
+                out,
+                "  {linkage:?} cut {threshold:>4}: {:>2} clusters, purity {:.3}",
+                flat.len(),
+                correct as f64 / items.len() as f64
+            );
+        }
+    }
+    out
 }

@@ -2,15 +2,22 @@
 //! # of Open DNS Resolvers* (IMC 2015)
 //!
 //! This crate is the public façade: it glues the substrates together
-//! and exposes one runner per paper artifact (every table and figure).
+//! and exposes one runner per paper artifact (every table and figure),
+//! behind a collect-once / derive-many split: [`collect_bundle`] runs
+//! every required campaign at most once over a single world, and the
+//! [`experiments::REGISTRY`] derives each artifact from the resulting
+//! immutable snapshot stores (in parallel via [`experiments::derive_all`]).
 //!
 //! ```no_run
-//! use goingwild::{experiments, WorldConfig};
+//! use goingwild::{collect_bundle, experiments, BundleOptions, WorldConfig};
 //!
-//! // Build a 1:1000-scale Internet and regenerate Figure 1.
-//! let cfg = WorldConfig::default();
-//! let fig1 = experiments::fig1_weekly_counts(cfg, 55);
-//! println!("{}", goingwild::report::render_fig1(&fig1));
+//! // Build a scaled Internet, collect the weekly campaign once, and
+//! // regenerate Figure 1 from the committed snapshots.
+//! let opts = BundleOptions::new(WorldConfig::default());
+//! let exp = experiments::experiment("fig1").unwrap();
+//! let bundle = collect_bundle(&opts, exp.requires, None).unwrap();
+//! let out = (exp.derive)(&bundle, &experiments::DeriveOptions::default()).unwrap();
+//! println!("{}", out.text);
 //! ```
 //!
 //! Architecture (bottom-up):
@@ -34,8 +41,13 @@ pub mod pipeline;
 pub mod report;
 
 pub use collect::{
-    collect_churn, collect_weekly, fig1_from_source, fig2_from_source, stored_fig1, stored_fig2,
-    stored_table3, table3_from_source, EnrichSink,
+    analysis_from_source, collect_bundle, collect_churn, collect_weekly, fig1_from_source,
+    fig2_from_source, ground_truth_from_source, table3_from_source, table4_from_source,
+    util_from_source, verification_from_source, BundleData, BundleOptions, CampaignData,
+    CampaignKind, EnrichSink, GroundTruth,
 };
-pub use pipeline::{run_analysis, AnalysisOptions, AnalysisReport};
+#[allow(deprecated)]
+pub use collect::{stored_fig1, stored_fig2, stored_table3};
+pub use experiments::{DeriveOptions, Experiment, ExperimentOutput};
+pub use pipeline::{run_analysis, run_analysis_with_fleet, AnalysisOptions, AnalysisReport};
 pub use worldgen::{build_world, World, WorldConfig};

@@ -243,14 +243,25 @@ fn build_trusted_view(world: &World, domains: &[(String, DomainCategory)]) -> Tr
     view
 }
 
-/// Run the full analysis pipeline against `world` at its current time.
+/// Run the full analysis pipeline against `world` at its current time,
+/// enumerating its own fleet first (Step 1). Campaign drivers that
+/// already hold an enumerated fleet should call
+/// [`run_analysis_with_fleet`] directly so the enumeration runs once.
 pub fn run_analysis(world: &mut World, opts: &AnalysisOptions) -> AnalysisReport {
     let vantage = world.scanner_ip;
-
-    // ---- Step 1: enumerate the fleet ----
-    let mut sp_run = telemetry::span("pipeline.analysis", world.now().millis());
     let enumeration = scanner::enumerate(world, vantage, opts.seed);
-    let fleet = enumeration.noerror_ips();
+    run_analysis_with_fleet(world, enumeration.noerror_ips(), opts)
+}
+
+/// Run the analysis pipeline (Steps 2–6) over an already-enumerated
+/// `fleet` of NOERROR resolvers.
+pub fn run_analysis_with_fleet(
+    world: &mut World,
+    fleet: Vec<std::net::Ipv4Addr>,
+    opts: &AnalysisOptions,
+) -> AnalysisReport {
+    let vantage = world.scanner_ip;
+    let mut sp_run = telemetry::span("pipeline.analysis", world.now().millis());
     sp_run.attr("fleet", fleet.len());
     telemetry::counter("pipeline.resolvers_enumerated").add(fleet.len() as u64);
 

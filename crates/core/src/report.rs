@@ -190,11 +190,24 @@ pub fn render_util(report: &UtilReport) -> String {
     out
 }
 
-/// Render Table 5 and the Sec. 4 headline stats.
+/// Render Table 5 and the Sec. 4 headline stats — the concatenation of
+/// every Sections 3–4 section renderer below.
 pub fn render_analysis(report: &AnalysisReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Sections 3–4 — bogus-resolution analysis");
     let _ = writeln!(out, "fleet: {} open resolvers", report.fleet_size);
+    out.push_str(&render_prefilter(report));
+    out.push_str(&render_table5(report));
+    out.push_str(&render_fig4(report));
+    out.push_str(&render_censorship(report));
+    out.push_str(&render_cases(report));
+    out
+}
+
+/// Render the prefilter funnel (Sec. 4.1) plus the oddity, HTTP-share
+/// and clustering headline stats. Starts with a blank separator line.
+pub fn render_prefilter(report: &AnalysisReport) -> String {
+    let mut out = String::new();
     let _ = writeln!(out, "\nPrefiltering (Sec. 4.1):");
     let _ = writeln!(
         out,
@@ -242,7 +255,12 @@ pub fn render_analysis(report: &AnalysisReport) -> String {
         "clusters: {} ({} pages clustered, {} assigned to exemplars)",
         report.clusters, report.clustered_directly, report.assigned_to_exemplar
     );
+    out
+}
 
+/// Render Table 5 — label shares per category.
+pub fn render_table5(report: &AnalysisReport) -> String {
+    let mut out = String::new();
     let _ = writeln!(out, "\nTable 5 — label shares per category (avg% / max%):");
     let labels = [
         "Blocking",
@@ -267,7 +285,13 @@ pub fn render_analysis(report: &AnalysisReport) -> String {
         }
         let _ = writeln!(out);
     }
+    out
+}
 
+/// Render Figure 4 — the country mix of unexpected answers for the
+/// censorship-sensitive domains.
+pub fn render_fig4(report: &AnalysisReport) -> String {
+    let mut out = String::new();
     let _ = writeln!(
         out,
         "\nFigure 4 — country mix for Facebook/Twitter/YouTube (unexpected):"
@@ -288,7 +312,12 @@ pub fn render_analysis(report: &AnalysisReport) -> String {
         );
     }
     let _ = writeln!(out, "(paper: CN 83.6%, IR 12.9%)");
+    out
+}
 
+/// Render the Sec. 3.5 censorship headline stats.
+pub fn render_censorship(report: &AnalysisReport) -> String {
+    let mut out = String::new();
     let cen = &report.censorship;
     let _ = writeln!(
         out,
@@ -297,7 +326,13 @@ pub fn render_analysis(report: &AnalysisReport) -> String {
         cen.landing.country_count(),
         cen.doubles.forged_then_legit.len()
     );
+    out
+}
 
+/// Render the Sec. 3.6 fine-grained modifications and the Sec. 4.3
+/// case studies.
+pub fn render_cases(report: &AnalysisReport) -> String {
+    let mut out = String::new();
     if !report.modifications.is_empty() {
         let _ = writeln!(out, "\nFine-grained page modifications (Sec. 3.6):");
         for m in report.modifications.iter().take(8) {

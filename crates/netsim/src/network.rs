@@ -194,7 +194,6 @@ pub struct Network {
     cfg: NetworkConfig,
     now: SimTime,
     seq: u64,
-    tcp_seq: u64,
     events: BinaryHeap<Reverse<Event>>,
     hosts: Vec<Box<dyn Host>>,
     bindings: HashMap<Ipv4Addr, HostId>,
@@ -217,7 +216,6 @@ impl Network {
             cfg,
             now: SimTime::ZERO,
             seq: 0,
-            tcp_seq: 0,
             events: BinaryHeap::new(),
             hosts: Vec::new(),
             bindings: HashMap::new(),
@@ -414,15 +412,33 @@ impl Network {
             return;
         }
 
-        // Loss.
-        self.seq += 1;
-        let roll = mix64(self.cfg.seed, LOSS_CHANNEL, self.seq) as f64 / u64::MAX as f64;
+        // Dark space: nothing is bound at the destination, so the
+        // packet can never be observed. Account for it immediately
+        // instead of paying heap scheduling plus a later dead
+        // delivery — enumeration sweeps hit mostly unbound space,
+        // making this the hottest branch of a full scan.
+        if !self.bindings.contains_key(&dgram.dst_ip)
+            && !self
+                .socket_bindings
+                .contains_key(&(dgram.dst_ip, dgram.dst_port))
+        {
+            self.stats.udp_unbound += 1;
+            return;
+        }
+
+        // Loss. The roll is keyed on the datagram's flow identity
+        // (send time, endpoints, payload) rather than a global send
+        // counter, so a packet's fate never depends on how much other
+        // traffic the network carried before it — campaigns sharing a
+        // network stay mutually independent.
+        let key = flow_key(at, &dgram);
+        let roll = mix64(self.cfg.seed, LOSS_CHANNEL, key) as f64 / u64::MAX as f64;
         if roll < self.cfg.udp_loss {
             self.stats.udp_lost += 1;
             return;
         }
 
-        let latency = self.path_latency(dgram.src_ip, dgram.dst_ip);
+        let latency = self.path_latency(dgram.src_ip, dgram.dst_ip, key);
         self.schedule(dgram, at + latency);
     }
 
@@ -537,12 +553,14 @@ impl Network {
     ) -> Result<TcpResponse, TcpError> {
         self.stats.tcp_queries += 1;
         self.flush_telemetry();
-        self.tcp_seq += 1;
         let probe = Datagram::new(Ipv4Addr::new(0, 0, 0, 0), 0, dst_ip, port, &b""[..]);
         if self.filtered(&probe, self.now) {
             return Err(TcpError::Unreachable);
         }
-        let roll = mix64(self.cfg.seed, 0x7c9, self.tcp_seq) as f64 / u64::MAX as f64;
+        // Keyed on (time, target, request) like the UDP loss roll, so
+        // concurrent campaigns cannot shift each other's TCP outcomes.
+        let key = tcp_key(self.now, dst_ip, port, req);
+        let roll = mix64(self.cfg.seed, TCP_CHANNEL, key) as f64 / u64::MAX as f64;
         if roll < self.cfg.tcp_loss {
             return Err(TcpError::Timeout);
         }
@@ -586,16 +604,17 @@ impl Network {
         })
     }
 
-    fn path_latency(&self, src: Ipv4Addr, dst: Ipv4Addr) -> u64 {
+    fn path_latency(&self, src: Ipv4Addr, dst: Ipv4Addr, key: u64) -> u64 {
         let (lo, hi) = self.cfg.latency_ms;
         if hi <= lo {
             return lo;
         }
-        // Stable per /16-pair base latency + small per-packet jitter.
+        // Stable per /16-pair base latency + small per-packet jitter,
+        // keyed on the same flow identity as the loss roll.
         let a = u32::from(src) >> 16;
         let b = u32::from(dst) >> 16;
         let base = mix64(self.cfg.seed, a as u64, b as u64) % (hi - lo);
-        let jitter = mix64(self.cfg.seed, 0x117e4, self.seq) % 5;
+        let jitter = mix64(self.cfg.seed, JITTER_CHANNEL, key) % 5;
         lo + base + jitter
     }
 }
@@ -614,8 +633,58 @@ fn mix64(a: u64, b: u64, c: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Channel discriminator keeping loss rolls independent of jitter rolls.
+/// Channel discriminators keeping loss, jitter, and TCP rolls mutually
+/// independent even when drawn from the same flow key.
 const LOSS_CHANNEL: u64 = 0x1055;
+const JITTER_CHANNEL: u64 = 0x117e4;
+const TCP_CHANNEL: u64 = 0x7c9;
+
+/// A datagram's deterministic flow identity: send time, endpoints, and
+/// payload. Two sends are keyed identically only if they are the same
+/// packet sent at the same instant — so per-packet randomness depends
+/// on the packet alone, never on unrelated traffic.
+fn flow_key(at: SimTime, d: &Datagram) -> u64 {
+    let ends = ((u32::from(d.src_ip) as u64) << 32) | u32::from(d.dst_ip) as u64;
+    let ports = ((d.src_port as u64) << 16) | d.dst_port as u64;
+    mix64(at.millis(), ends, mix64(ports, fnv64(&d.payload), 0))
+}
+
+/// Flow identity of a TCP exchange: time, target endpoint, and the
+/// request's content.
+fn tcp_key(now: SimTime, dst: Ipv4Addr, port: u16, req: &TcpRequest) -> u64 {
+    let which = match req {
+        TcpRequest::BannerProbe => 1,
+        TcpRequest::Http(h) => {
+            let sni = h.sni.as_deref().map_or(0, |s| fnv64(s.as_bytes()));
+            mix64(
+                fnv64(h.host.as_bytes()),
+                fnv64(h.path.as_bytes()),
+                ((h.tls as u64) << 1) | 2,
+            )
+            .wrapping_add(sni)
+        }
+        TcpRequest::MailProbe(p) => match p {
+            crate::host::MailProto::Smtp => 3,
+            crate::host::MailProto::Imap => 4,
+            crate::host::MailProto::Pop3 => 5,
+        },
+    };
+    mix64(
+        now.millis(),
+        ((u32::from(dst) as u64) << 16) | port as u64,
+        which,
+    )
+}
+
+/// FNV-1a over a byte slice, for hashing payloads into flow keys.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
 
 #[cfg(test)]
 mod tests {

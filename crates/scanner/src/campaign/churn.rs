@@ -12,7 +12,7 @@
 //! report as the live run. Already-committed rounds are skipped on
 //! resume.
 
-use crate::encode::{enumeration_query, target_from_qname};
+use crate::encode::{target_from_qname, EnumProbeTemplate};
 use crate::simio::SimScanner;
 use dnswire::{Message, Rcode};
 use netsim::SimTime;
@@ -51,7 +51,11 @@ impl ChurnResult {
 }
 
 /// Probe `cohort` addresses and return those answering NOERROR.
-fn probe_alive(
+///
+/// Public so campaign drivers (the bundle engine) can schedule churn
+/// rounds at their own anchors; [`track_cohort_with_sink`] composes the
+/// same pieces on a relative schedule.
+pub fn probe_alive(
     world: &mut World,
     vantage: Ipv4Addr,
     cohort: &[Ipv4Addr],
@@ -59,12 +63,12 @@ fn probe_alive(
 ) -> HashSet<Ipv4Addr> {
     let zone = world.catalog.scan_zone.clone();
     let scanner = SimScanner::open(world, vantage);
+    let tmpl = EnumProbeTemplate::new(&zone, seed);
     const BATCH: usize = 4_096;
     let mut alive = HashSet::new();
     let mut sent = 0usize;
     for &ip in cohort {
-        let (msg, _) = enumeration_query(ip, &zone, seed);
-        scanner.send(world, 0, ip, msg.encode());
+        scanner.send(world, 0, ip, tmpl.probe(ip));
         sent += 1;
         if sent.is_multiple_of(BATCH) {
             scanner.pump(world, 500);
@@ -101,8 +105,32 @@ fn collect_alive(world: &mut World, scanner: &SimScanner, alive: &mut HashSet<Ip
 const META_LEAVERS_RDNS: &str = "day1_leavers_with_rdns";
 const META_LEAVERS_DYN: &str = "day1_leavers_dynamic_rdns";
 
+/// The `day1` snapshot's meta pairs: of the cohort addresses that did
+/// *not* survive to day one, how many carry rDNS records and how many
+/// of those are dynamic-pool tokens (the paper's DHCP-churn evidence).
+pub fn day1_leaver_meta(
+    world: &World,
+    cohort: &[Ipv4Addr],
+    alive_day1: &HashSet<Ipv4Addr>,
+) -> Vec<(String, String)> {
+    let mut with_rdns = 0u64;
+    let mut dynamic = 0u64;
+    for &ip in cohort {
+        if !alive_day1.contains(&ip) && world.rdns.lookup(ip).is_some() {
+            with_rdns += 1;
+            if world.rdns.is_dynamic(ip) {
+                dynamic += 1;
+            }
+        }
+    }
+    vec![
+        (META_LEAVERS_RDNS.to_string(), with_rdns.to_string()),
+        (META_LEAVERS_DYN.to_string(), dynamic.to_string()),
+    ]
+}
+
 /// Commits the sorted `ips` (all answering NOERROR) as one snapshot.
-fn commit_round(
+pub fn commit_round(
     world: &World,
     sink: &mut dyn SnapshotSink,
     ips: impl Iterator<Item = Ipv4Addr>,
@@ -147,20 +175,7 @@ pub fn track_cohort_with_sink(
     world.advance_to(SimTime(t0.millis() + SimTime::DAY));
     if committed < 2 {
         let alive_day1 = probe_alive(world, vantage, cohort, seed ^ 0xD1);
-        let mut with_rdns = 0u64;
-        let mut dynamic = 0u64;
-        for &ip in cohort {
-            if !alive_day1.contains(&ip) && world.rdns.lookup(ip).is_some() {
-                with_rdns += 1;
-                if world.rdns.is_dynamic(ip) {
-                    dynamic += 1;
-                }
-            }
-        }
-        let meta = vec![
-            (META_LEAVERS_RDNS.to_string(), with_rdns.to_string()),
-            (META_LEAVERS_DYN.to_string(), dynamic.to_string()),
-        ];
+        let meta = day1_leaver_meta(world, cohort, &alive_day1);
         commit_round(
             world,
             sink,

@@ -1,7 +1,7 @@
 //! The Internet-wide enumeration scan (Sec. 2.2) and the dual-vantage
 //! verification scan.
 
-use crate::encode::{enumeration_query, target_from_qname};
+use crate::encode::{target_from_qname, EnumProbeTemplate};
 use crate::lfsr::IpPermutation;
 use crate::simio::SimScanner;
 use dnswire::{Message, Rcode};
@@ -93,6 +93,7 @@ pub fn enumerate_with_sink(
     );
     let scanner = SimScanner::open(world, vantage);
     let perm = IpPermutation::new(&ranges, seed);
+    let tmpl = EnumProbeTemplate::new(&zone, seed);
     let mut sp = telemetry::span("campaign.enumerate", world.now().millis());
 
     let mut result = EnumerationResult::default();
@@ -103,8 +104,7 @@ pub fn enumerate_with_sink(
             result.skipped_blacklisted += 1;
             continue;
         }
-        let (msg, _) = enumeration_query(target, &zone, seed);
-        scanner.send(world, 0, target, msg.encode());
+        scanner.send(world, 0, target, tmpl.probe(target));
         result.probes_sent += 1;
         batch_count += 1;
         if batch_count == BATCH {

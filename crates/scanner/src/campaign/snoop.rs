@@ -4,8 +4,10 @@
 use crate::simio::SimScanner;
 use dnswire::{Message, MessageBuilder, Name, RecordType};
 use netsim::SimTime;
+use scanstore::{Observation, SnapshotSink, SnapshotSource};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::io;
 use std::net::Ipv4Addr;
 use worldgen::World;
 
@@ -108,6 +110,148 @@ pub fn snoop_scan(
         scanner.close(world);
     }
     results
+}
+
+/// Meta keys carried by the snooping campaign's `sample` snapshot.
+pub const SNOOP_META_ROUNDS: &str = "rounds";
+/// Number of snooped TLDs (`sample` snapshot meta).
+pub const SNOOP_META_TLDS: &str = "tld_count";
+/// Comma-joined authoritative TTL per TLD (`sample` snapshot meta).
+pub const SNOOP_META_FULL_TTLS: &str = "full_ttls";
+
+/// Encodes one sample into an [`Observation::value`] payload: tag bits
+/// in the low two bits (`1` = NoEntry, `2` = Ttl with the TTL shifted
+/// above the tag). Silent samples encode to `0` and are simply not
+/// written — absence from a round's snapshot *is* the Silent encoding.
+pub fn encode_snoop_sample(sample: SnoopSample) -> u64 {
+    match sample {
+        SnoopSample::Silent => 0,
+        SnoopSample::NoEntry => 1,
+        SnoopSample::Ttl(t) => 2 | (u64::from(t) << 2),
+    }
+}
+
+/// Decodes an [`Observation::value`] written by [`encode_snoop_sample`].
+pub fn decode_snoop_sample(value: u64) -> SnoopSample {
+    match value & 0b11 {
+        1 => SnoopSample::NoEntry,
+        2 => SnoopSample::Ttl((value >> 2) as u32),
+        _ => SnoopSample::Silent,
+    }
+}
+
+/// Runs [`snoop_scan`] and commits the full series to `sink`:
+/// snapshot 0 (`sample`) lists every probed resolver and carries the
+/// campaign geometry in meta (rounds, TLD count, authoritative TTLs);
+/// snapshot `1 + round * tld_count + tld` (`snoop-r{round}-t{tld}`)
+/// holds one record per resolver whose sample for that (round, TLD)
+/// was not Silent, encoded in [`Observation::value`].
+pub fn snoop_scan_with_sink(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    resolvers: &[Ipv4Addr],
+    rounds: usize,
+    seed: u64,
+    sink: &mut dyn SnapshotSink,
+) -> io::Result<HashMap<Ipv4Addr, SnoopResult>> {
+    let mut sp = telemetry::span("campaign.snoop", world.now().millis());
+    sp.attr("sample", resolvers.len());
+    sp.attr("rounds", rounds);
+    let results = snoop_scan(world, vantage, resolvers, rounds, seed);
+    let now_ms = world.now().millis();
+    let tlds = world.universe.tlds();
+    let tld_count = tlds.len();
+    let full_ttls: Vec<String> = tlds.iter().map(|t| t.ttl.to_string()).collect();
+    let meta = vec![
+        (SNOOP_META_ROUNDS.to_string(), rounds.to_string()),
+        (SNOOP_META_TLDS.to_string(), tld_count.to_string()),
+        (SNOOP_META_FULL_TTLS.to_string(), full_ttls.join(",")),
+    ];
+    for &ip in resolvers {
+        sink.observe(Observation::at(u32::from(ip), 0, now_ms));
+    }
+    sink.commit("sample", now_ms, &meta)?;
+    for round in 0..rounds {
+        for tld in 0..tld_count {
+            for &ip in resolvers {
+                let sample = results[&ip].get(tld, round);
+                if sample != SnoopSample::Silent {
+                    let mut obs = Observation::at(u32::from(ip), 0, now_ms);
+                    obs.value = encode_snoop_sample(sample);
+                    sink.observe(obs);
+                }
+            }
+            sink.commit(&format!("snoop-r{round}-t{tld}"), now_ms, &[])?;
+        }
+    }
+    sp.finish(world.now().millis());
+    Ok(results)
+}
+
+/// Rebuilds the per-resolver snooping series out of a committed store.
+/// Inverse of [`snoop_scan_with_sink`]: resolvers absent from a round's
+/// snapshot get [`SnoopSample::Silent`] for that (round, TLD).
+pub fn snoop_from_source(src: &dyn SnapshotSource) -> io::Result<HashMap<Ipv4Addr, SnoopResult>> {
+    let sample = src.snapshot(0)?;
+    let geom = |key: &str| -> io::Result<usize> {
+        sample
+            .meta_value(key)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("snoop store missing {key} meta"),
+                )
+            })
+    };
+    let rounds = geom(SNOOP_META_ROUNDS)?;
+    let tld_count = geom(SNOOP_META_TLDS)?;
+    let mut results: HashMap<Ipv4Addr, SnoopResult> = sample
+        .records
+        .iter()
+        .map(|o| {
+            (
+                o.ipv4(),
+                SnoopResult {
+                    tld_count,
+                    rounds,
+                    samples: vec![SnoopSample::Silent; tld_count * rounds],
+                },
+            )
+        })
+        .collect();
+    src.for_each_snapshot(&mut |snap| {
+        if snap.seq == 0 {
+            return Ok(());
+        }
+        let k = (snap.seq - 1) as usize;
+        let (round, tld) = (k / tld_count, k % tld_count);
+        for o in &snap.records {
+            if let Some(res) = results.get_mut(&o.ipv4()) {
+                res.samples[tld * rounds + round] = decode_snoop_sample(o.value);
+            }
+        }
+        Ok(())
+    })?;
+    Ok(results)
+}
+
+/// The authoritative TTL per TLD recorded at collection time
+/// (`full_ttls` meta on the `sample` snapshot).
+pub fn snoop_full_ttls_from_source(src: &dyn SnapshotSource) -> io::Result<Vec<u32>> {
+    let sample = src.snapshot(0)?;
+    let raw = sample.meta_value(SNOOP_META_FULL_TTLS).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "snoop store missing full_ttls meta",
+        )
+    })?;
+    raw.split(',')
+        .map(|s| {
+            s.parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad full_ttls meta entry"))
+        })
+        .collect()
 }
 
 fn collect(

@@ -55,6 +55,54 @@ pub fn enumeration_query(target: std::net::Ipv4Addr, zone: &str, seed: u64) -> (
     (msg, name)
 }
 
+/// Pre-encoded wire template for enumeration queries.
+///
+/// A full sweep sends one query per allocated address — tens of
+/// millions per campaign — and the only bytes that vary between
+/// probes are the transaction ID, the cache-busting prefix, and the
+/// hex target label, all at fixed offsets. Building each probe by
+/// patching a template skips per-probe name parsing and message
+/// construction entirely; the output is byte-identical to
+/// [`enumeration_query`]`(target, zone, seed).0.encode()`.
+pub struct EnumProbeTemplate {
+    bytes: Vec<u8>,
+    seed: u64,
+}
+
+/// Offset of the 8-byte prefix label's content (12-byte header + the
+/// label's length byte).
+const PREFIX_AT: usize = 13;
+/// Offset of the 8-byte hex target label's content.
+const HEX_AT: usize = 22;
+
+impl EnumProbeTemplate {
+    /// Build the template for one `(zone, seed)` scan.
+    pub fn new(zone: &str, seed: u64) -> Self {
+        let (msg, _) = enumeration_query(std::net::Ipv4Addr::UNSPECIFIED, zone, seed);
+        EnumProbeTemplate {
+            bytes: msg.encode(),
+            seed,
+        }
+    }
+
+    /// Wire bytes of the enumeration query for `target`.
+    pub fn probe(&self, target: std::net::Ipv4Addr) -> Vec<u8> {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ u32::from(target) as u64);
+        let mut out = self.bytes.clone();
+        for slot in &mut out[PREFIX_AT..PREFIX_AT + 8] {
+            *slot = b'a' + rng.gen_range(0..26u8);
+        }
+        const HEXDIGITS: &[u8; 16] = b"0123456789abcdef";
+        let v = u32::from(target);
+        for (i, slot) in out[HEX_AT..HEX_AT + 8].iter_mut().enumerate() {
+            *slot = HEXDIGITS[((v >> (28 - 4 * i)) & 0xf) as usize];
+        }
+        let txid: u16 = rng.gen();
+        out[..2].copy_from_slice(&txid.to_be_bytes());
+        out
+    }
+}
+
 /// Extract the encoded target address from an echoed question name.
 pub fn target_from_qname(qname: &Name) -> Option<std::net::Ipv4Addr> {
     // Labels: prefix . hexip . <zone...>
@@ -182,5 +230,22 @@ mod tests {
     #[should_panic(expected = "exceeds 25 bits")]
     fn oversized_id_rejected() {
         let _ = encode_probe(1 << 25, "x.example");
+    }
+
+    #[test]
+    fn probe_template_matches_full_construction() {
+        let zone = "scan.gwild.example";
+        for seed in [0u64, 1, 0xF161_0000_0000_0007] {
+            let tmpl = EnumProbeTemplate::new(zone, seed);
+            for ip in [
+                Ipv4Addr::new(0, 0, 0, 0),
+                Ipv4Addr::new(11, 22, 33, 44),
+                Ipv4Addr::new(192, 168, 0, 1),
+                Ipv4Addr::new(255, 255, 255, 255),
+            ] {
+                let (msg, _) = enumeration_query(ip, zone, seed);
+                assert_eq!(tmpl.probe(ip), msg.encode(), "seed={seed} ip={ip}");
+            }
+        }
     }
 }

@@ -34,7 +34,10 @@ pub use campaign::chaos::{chaos_scan, chaos_scan_with_sink, ChaosObservation};
 pub use campaign::churn::{churn_from_source, track_cohort, track_cohort_with_sink, ChurnResult};
 pub use campaign::domains::{scan_domains, scan_domains_streaming, TupleObs};
 pub use campaign::enumerate::{enumerate, enumerate_with_sink, EnumObservation, EnumerationResult};
-pub use campaign::snoop::{snoop_scan, SnoopResult, SnoopSample};
+pub use campaign::snoop::{
+    decode_snoop_sample, encode_snoop_sample, snoop_from_source, snoop_full_ttls_from_source,
+    snoop_scan, snoop_scan_with_sink, SnoopResult, SnoopSample,
+};
 pub use encode::{decode_probe, encode_probe, enumeration_query, target_from_qname};
 pub use lfsr::{IpPermutation, Lfsr};
 pub use rate::TokenBucket;

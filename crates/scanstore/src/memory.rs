@@ -109,6 +109,13 @@ impl SnapshotSource for MemoryStore {
         }
         Ok(())
     }
+
+    fn find_label(&self, label: &str) -> Option<u32> {
+        self.snapshots
+            .iter()
+            .position(|s| s.label == label)
+            .map(|i| i as u32)
+    }
 }
 
 #[cfg(test)]

@@ -62,6 +62,10 @@ pub struct Observation {
     pub rdns: u32,
     /// FNV-1a hash of the TCP banner corpus, 0 = none.
     pub banner_hash: u64,
+    /// Campaign-defined scalar payload, 0 = none. Cache-snooping
+    /// snapshots use it to carry the per-(TLD, round) sample (see
+    /// `scanner::campaign::snoop`); other campaigns leave it 0.
+    pub value: u64,
     /// When this host was first observed (sim milliseconds).
     pub first_seen_ms: u64,
     /// When this host was last observed (sim milliseconds).
@@ -107,6 +111,7 @@ pub fn encode_record(out: &mut Vec<u8>, o: &Observation, prev_ip: u32, base_ms: 
     put_u64(out, u64::from(o.country));
     put_u64(out, u64::from(o.rdns));
     put_u64(out, o.banner_hash);
+    put_u64(out, o.value);
     put_i64(out, o.first_seen_ms as i64 - base_ms as i64);
     put_i64(out, o.last_seen_ms as i64 - o.first_seen_ms as i64);
 }
@@ -126,6 +131,7 @@ pub fn decode_record(r: &mut Reader<'_>, prev_ip: u32, base_ms: u64) -> io::Resu
     let country = r.u32()?;
     let rdns = r.u32()?;
     let banner_hash = r.u64()?;
+    let value = r.u64()?;
     let first_seen_ms = (base_ms as i64 + r.i64()?) as u64;
     let last_seen_ms = (first_seen_ms as i64 + r.i64()?) as u64;
     Ok(Observation {
@@ -137,6 +143,7 @@ pub fn decode_record(r: &mut Reader<'_>, prev_ip: u32, base_ms: u64) -> io::Resu
         country,
         rdns,
         banner_hash,
+        value,
         first_seen_ms,
         last_seen_ms,
     })
@@ -233,6 +240,7 @@ mod tests {
             country: 7,
             rdns: 1,
             banner_hash: 0xdead_beef,
+            value: (2 << 32) | 86_400,
             first_seen_ms: 500,
             last_seen_ms: 2_000,
         };

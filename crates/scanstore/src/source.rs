@@ -62,6 +62,21 @@ pub trait SnapshotSource {
         let next = self.snapshot(seq + 1)?;
         Ok(SnapshotDiff::between(&prev.records, &next.records))
     }
+
+    /// Sequence number of the first snapshot committed under `label`,
+    /// if any — the cursor campaigns with heterogeneous snapshot kinds
+    /// (verification's `primary`/`secondary`, snooping's `sample` +
+    /// per-round snapshots) use to find their parts.
+    fn find_label(&self, label: &str) -> Option<u32> {
+        let mut found = None;
+        let _ = self.for_each_snapshot(&mut |snap| {
+            if found.is_none() && snap.label == label {
+                found = Some(snap.seq);
+            }
+            Ok(())
+        });
+        found
+    }
 }
 
 /// Week-over-week survival of the cohort fixed by snapshot `base`:

@@ -427,6 +427,14 @@ impl SnapshotSource for CampaignStore {
         Ok(())
     }
 
+    /// Labels are indexed in memory after `open`; no replay needed.
+    fn find_label(&self, label: &str) -> Option<u32> {
+        self.segments
+            .iter()
+            .position(|s| s.label == label)
+            .map(|i| i as u32)
+    }
+
     /// Adjacent diffs are served straight from the stored delta ops —
     /// no snapshot materialization.
     fn diff(&self, seq: u32) -> io::Result<SnapshotDiff> {

@@ -52,6 +52,7 @@ fn arb_observation() -> impl Strategy<Value = Observation> {
                 country,
                 rdns: country % 3,
                 banner_hash,
+                value: banner_hash ^ dur,
                 first_seen_ms: first,
                 last_seen_ms: first + dur,
             },

@@ -243,15 +243,24 @@ impl World {
             .sum()
     }
 
-    /// Advance simulated time, renumbering DHCP pools in 6-hour steps
-    /// and firing spawn/retire lifecycle events at week boundaries.
+    /// Advance simulated time, renumbering DHCP pools at *absolute*
+    /// 6-hour boundaries (multiples of 6h since epoch) and firing
+    /// spawn/retire lifecycle events at week boundaries.
+    ///
+    /// The lease grid being absolute — not relative to wherever the
+    /// previous campaign left the clock — is what makes pool
+    /// renumbering canonical: any subset of scheduled campaigns sees
+    /// renumbering happen at the same simulated instants, consuming
+    /// the pool RNG in the same order, so IP assignments are identical
+    /// whether one campaign runs or all of them do.
     pub fn advance_to(&mut self, target: SimTime) {
         const STEP: u64 = 6 * SimTime::HOUR;
         // Campaigns may have pushed the network clock forward without
         // going through us; catch up first so leases stay consistent.
         self.current = self.current.max(self.net.now());
         while self.current < target {
-            let next = SimTime(self.current.millis() + STEP).min(target);
+            let boundary = SimTime((self.current.millis() / STEP + 1) * STEP);
+            let next = boundary.min(target);
             // Week-boundary lifecycle events.
             let week_before = self.current.weeks();
             let week_after = next.weeks();
@@ -261,8 +270,12 @@ impl World {
                 }
             }
             self.net.run_until(next);
-            for pool in &mut self.pools {
-                pool.renumber_expired(&mut self.net, next);
+            // Renumber only on the absolute grid: stopping at an
+            // arbitrary campaign anchor must not perturb lease timing.
+            if next == boundary {
+                for pool in &mut self.pools {
+                    pool.renumber_expired(&mut self.net, next);
+                }
             }
             self.current = next;
         }

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example device_census [seed]`
 
+#![allow(deprecated)]
+
 use goingwild::experiments::{table3_software, table4_devices};
 use goingwild::{report, WorldConfig};
 use scanner::enumerate;

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release --example landscape_survey [weeks]`
 
+#![allow(deprecated)]
+
 use goingwild::experiments::{
     fig1_weekly_counts, table1_country_flux, table2_rir_flux, table3_software, table4_devices,
 };

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release --example utilization_study [sample]`
 
+#![allow(deprecated)]
+
 use goingwild::experiments::utilization;
 use goingwild::{report, WorldConfig};
 use scanner::enumerate;

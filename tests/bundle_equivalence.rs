@@ -1,0 +1,76 @@
+//! Collect-once/derive-many equivalence, end to end.
+//!
+//! The acceptance bar for the campaign bundle: `repro --exp all` must
+//! print byte-identical reports to each single-experiment invocation,
+//! and the full bundle must build exactly one world and run every
+//! campaign at most once. Asserted here at `WorldConfig::tiny` through
+//! the same library entry points the binary uses: derive every
+//! registry experiment from one full bundle, re-collect each distinct
+//! requirement subset alone, and compare the rendered outputs.
+
+use goingwild::experiments::{self, DeriveOptions, Experiment};
+use goingwild::{collect_bundle, BundleOptions, CampaignKind, WorldConfig};
+use std::collections::BTreeMap;
+
+#[test]
+fn subset_derivations_match_full_bundle_and_campaigns_run_once() {
+    let cfg = WorldConfig {
+        weeks: 2,
+        ..WorldConfig::tiny(20151028)
+    };
+    let opts = BundleOptions {
+        snoop_sample: 60,
+        snoop_rounds: 4,
+        ..BundleOptions::new(cfg.clone())
+    };
+    let dopts = DeriveOptions {
+        cfg: cfg.clone(),
+        ..DeriveOptions::default()
+    };
+
+    // The full bundle: one world build, each campaign at most once.
+    telemetry::global().clear();
+    let full = collect_bundle(&opts, &CampaignKind::ALL, None).expect("full bundle");
+    assert_eq!(
+        telemetry::counter("collect.world_builds").get(),
+        1,
+        "the whole bundle must share one world build"
+    );
+    for kind in CampaignKind::ALL {
+        let runs = telemetry::global()
+            .counter_with("collect.campaign_runs", &[("campaign", kind.name())])
+            .get();
+        assert_eq!(runs, 1, "campaign `{}` must run exactly once", kind.name());
+    }
+
+    // The ablations are self-contained (empty requirements), so subset
+    // identity is vacuous for them — and they are the one experiment
+    // that builds worlds inside its derivation.
+    let exps: Vec<&'static Experiment> = experiments::REGISTRY
+        .iter()
+        .filter(|e| !e.requires.is_empty())
+        .collect();
+    let full_outputs = experiments::derive_all(&full, &exps, &dopts);
+
+    // Re-collect each distinct requirement set alone and compare every
+    // member experiment's rendered text byte for byte.
+    let mut groups: BTreeMap<Vec<CampaignKind>, Vec<usize>> = BTreeMap::new();
+    for (i, e) in exps.iter().enumerate() {
+        groups.entry(e.requires.to_vec()).or_default().push(i);
+    }
+    for (kinds, members) in groups {
+        let mini = collect_bundle(&opts, &kinds, None).expect("subset bundle");
+        for i in members {
+            let exp = exps[i];
+            let from_full = &full_outputs[i].as_ref().expect("derive from full").text;
+            let from_mini = (exp.derive)(&mini, &dopts)
+                .expect("derive from subset")
+                .text;
+            assert_eq!(
+                *from_full, from_mini,
+                "experiment `{}` must not depend on which other campaigns shared the bundle",
+                exp.id
+            );
+        }
+    }
+}

@@ -4,6 +4,8 @@
 //! dual-vantage verification scan — all at tiny scale, asserting the
 //! paper's *shapes*, not absolute numbers.
 
+#![allow(deprecated)]
+
 use goingwild::experiments::{
     fig1_weekly_counts, fig2_churn, table1_country_flux, table2_rir_flux, table3_software,
     table4_devices, utilization, verification,

@@ -7,6 +7,8 @@
 //! `WorldConfig::tiny` through the same library entry points the
 //! binary uses.
 
+#![allow(deprecated)]
+
 use goingwild::experiments::{fig1_weekly_counts, fig2_churn, table1_country_flux};
 use goingwild::{stored_fig1, stored_fig2, WorldConfig};
 use std::fs;
