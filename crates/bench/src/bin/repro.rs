@@ -31,9 +31,23 @@
 //!   only, byte-stable for a fixed seed);
 //! * `--quiet` / `-v` — status verbosity on stderr (reports on stdout
 //!   are unaffected).
+//!
+//! Chaos-ready scanning:
+//!
+//! * `--faults <profile>` — install a named [`netsim::FaultPlan`]
+//!   (`flaky`, `bursty`, `outage`, `flappy`, `ratelimited`, `hostile`)
+//!   into the simulated network; implies 3 probe attempts for the
+//!   retrying campaigns unless `--retries` says otherwise;
+//! * `--retries <n>` — total probe attempts per retrying campaign
+//!   (enumeration stays single-probe per the paper's Sec. 2.2);
+//! * `--strict-coverage <pct>` — print the per-campaign coverage
+//!   summary as usual, but exit with code 3 if any campaign's response
+//!   coverage falls below the gate.
 
 use goingwild::experiments::{self, known_experiment, DeriveOptions, Experiment, REGISTRY};
 use goingwild::{collect_bundle, BundleOptions, CampaignKind, WorldConfig};
+use netsim::FaultPlan;
+use scanner::ProbePolicy;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
@@ -43,6 +57,14 @@ struct Args {
     weeks: u32,
     seed: u64,
     snoop_sample: usize,
+    /// Named network fault profile injected into the simulation.
+    faults: Option<String>,
+    /// Probe attempts per retrying campaign (`None` = 1, or 3 when
+    /// `--faults` is set).
+    retries: Option<u32>,
+    /// Exit non-zero when any campaign's coverage falls below this
+    /// percentage.
+    strict_coverage: Option<f64>,
     /// Also dump machine-readable reports to this JSON file.
     json: Option<String>,
     /// Persist campaign snapshots under this directory.
@@ -75,6 +97,9 @@ fn parse_args() -> Args {
         weeks: 55,
         seed: 2015_1028,
         snoop_sample: 1_500,
+        faults: None,
+        retries: None,
+        strict_coverage: None,
         json: None,
         store: None,
         metrics: None,
@@ -93,6 +118,11 @@ fn parse_args() -> Args {
             "--weeks" => args.weeks = grab().parse().expect("weeks"),
             "--seed" => args.seed = grab().parse().expect("seed"),
             "--snoop-sample" => args.snoop_sample = grab().parse().expect("snoop sample"),
+            "--faults" => args.faults = Some(grab()),
+            "--retries" => args.retries = Some(grab().parse().expect("retries")),
+            "--strict-coverage" => {
+                args.strict_coverage = Some(grab().parse().expect("strict coverage pct"))
+            }
             "--json" => args.json = Some(grab()),
             "--store" => args.store = Some(PathBuf::from(grab())),
             "--metrics" => args.metrics = Some(grab()),
@@ -108,6 +138,22 @@ fn parse_args() -> Args {
     }
     if !known_experiment(&args.exp) {
         usage_error(&format!("unknown experiment id `{}`", args.exp));
+    }
+    if let Some(profile) = &args.faults {
+        if FaultPlan::named(profile, 0).is_none() {
+            usage_error(&format!(
+                "unknown fault profile `{profile}`; known profiles: {}",
+                FaultPlan::PROFILES.join(", ")
+            ));
+        }
+    }
+    if args.retries == Some(0) {
+        usage_error("--retries must be at least 1 (total probe attempts)");
+    }
+    if let Some(pct) = args.strict_coverage {
+        if !(0.0..=100.0).contains(&pct) {
+            usage_error("--strict-coverage expects a percentage in 0..=100");
+        }
     }
     // Fail fast on unwritable outputs, before hours of simulation.
     if let Some(path) = &args.json {
@@ -206,10 +252,22 @@ fn main() {
         .collect::<BTreeSet<_>>()
         .into_iter()
         .collect();
+    let fault_plan = args
+        .faults
+        .as_deref()
+        .map(|p| FaultPlan::named(p, args.seed).expect("validated by parse_args"));
+    // A fault profile without an explicit --retries implies the
+    // chaos-ready default of 3 attempts; otherwise campaigns stay
+    // single-probe (byte-identical to the pre-fault pipeline).
+    let attempts = args
+        .retries
+        .unwrap_or(if fault_plan.is_some() { 3 } else { 1 });
     let bundle_opts = BundleOptions {
         seed: args.seed,
         weeks: args.weeks,
         snoop_sample: args.snoop_sample,
+        faults: fault_plan,
+        probe: ProbePolicy::retrying(attempts),
         ..BundleOptions::new(cfg.clone())
     };
     let bundle =
@@ -250,6 +308,30 @@ fn main() {
     }
     if failed {
         std::process::exit(1);
+    }
+
+    let coverage = bundle.coverage();
+    if !coverage.is_empty() {
+        println!("# Campaign coverage (this collection)");
+        for (kind, cov) in coverage {
+            println!(
+                "  {:<8} {:>6.2}%  attempted {}, answered {}, gave up {}, unreachable {}, retries {}{}",
+                kind.name(),
+                100.0 * cov.fraction(),
+                cov.attempted,
+                cov.answered,
+                cov.gave_up,
+                cov.unreachable,
+                cov.retries,
+                if cov.space { " (address space)" } else { "" },
+            );
+        }
+        println!();
+        if args.json.is_some() {
+            let cov_json: std::collections::BTreeMap<&'static str, &scanner::Coverage> =
+                coverage.iter().map(|(k, c)| (k.name(), c)).collect();
+            json_out.insert("coverage".into(), serde_json::to_value(&cov_json).unwrap());
+        }
     }
 
     let store_stats = bundle.store_stats();
@@ -307,6 +389,28 @@ fn main() {
             "wrote telemetry snapshot",
             &[("path", path.as_str().into())],
             None,
+        );
+    }
+
+    // The strict gate runs last so every artifact (reports, JSON,
+    // metrics, traces) is written even for a degraded run.
+    if let Some(pct) = args.strict_coverage {
+        let threshold = pct / 100.0;
+        let degraded = bundle.degraded(threshold);
+        if !degraded.is_empty() {
+            for kind in &degraded {
+                let cov = &bundle.coverage()[kind];
+                eprintln!(
+                    "repro: campaign `{}` coverage {:.2}% is below the --strict-coverage gate of {pct}%",
+                    kind.name(),
+                    100.0 * cov.fraction(),
+                );
+            }
+            std::process::exit(3);
+        }
+        eprintln!(
+            "repro: strict coverage gate passed ({} campaigns >= {pct}%)",
+            bundle.coverage().len()
         );
     }
 }

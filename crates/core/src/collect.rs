@@ -24,10 +24,13 @@ use classify::snoopclass::{classify_snoop, estimate_full_ttls};
 use classify::{classify_version, fingerprint_device, SoftwareClass};
 use dnswire::Rcode;
 use geodb::{GeoDb, RdnsDb};
-use netsim::SimTime;
+use netsim::{FaultPlan, SimTime};
 use scanner::campaign::churn as churn_campaign;
 use scanner::campaign::enumerate::VerificationReport;
-use scanner::{churn_from_source, enumerate_with_sink, track_cohort_with_sink};
+use scanner::{
+    churn_from_source, enumerate_with_sink, response_coverage, track_cohort_with_sink, Coverage,
+    ProbePolicy,
+};
 use scanstore::{
     flags, CampaignStore, MemoryStore, Observation, ObservationSink, SnapshotSink, SnapshotSource,
     StoreStats,
@@ -127,13 +130,14 @@ pub fn collect_weekly(
 
 /// One weekly enumeration round at the world's current time: scans,
 /// enriches, and commits the `week-{week}` snapshot. Shared by
-/// [`collect_weekly`] and the bundle engine.
+/// [`collect_weekly`] and the bundle engine. Returns the sweep's
+/// space coverage (probes dispatched over probes planned).
 fn weekly_scan_week(
     world: &mut World,
     week: u32,
     blacklist: &scanner::Blacklist,
     sink: &mut dyn SnapshotSink,
-) -> io::Result<()> {
+) -> io::Result<Coverage> {
     let vantage = world.scanner_ip;
     let mut sp = telemetry::span("campaign.week", world.now().millis());
     sp.attr("week", week);
@@ -181,7 +185,10 @@ fn weekly_scan_week(
         ],
         Some(world.now().millis()),
     );
-    Ok(())
+    Ok(Coverage::space(
+        result.probes_sent + result.skipped_blacklisted,
+        result.probes_sent,
+    ))
 }
 
 /// Derive the Figure 1 series (and the per-country snapshots Tables
@@ -360,7 +367,14 @@ pub fn stored_table3(
         let vantage = world.scanner_ip;
         let fleet = scanner::enumerate(&mut world, vantage, seed).noerror_ips();
         let mut enriched = EnrichSink::new(&world, &mut store);
-        scanner::chaos_scan_with_sink(&mut world, vantage, &fleet, seed, &mut enriched);
+        scanner::chaos_scan_with_sink(
+            &mut world,
+            vantage,
+            &fleet,
+            seed,
+            &ProbePolicy::single(),
+            &mut enriched,
+        );
         let t_ms = world.now().millis();
         store.commit("chaos", t_ms, &[])?;
     }
@@ -449,11 +463,24 @@ pub struct BundleOptions {
     pub snoop_rounds: usize,
     /// Options for the Sections 3–4 analysis pipeline.
     pub analysis: crate::pipeline::AnalysisOptions,
+    /// Fault plan injected into the simulated network before any
+    /// campaign runs (`None` = pristine network; `FaultPlan::none()`
+    /// installs nothing and is byte-identical to `None`).
+    pub faults: Option<FaultPlan>,
+    /// Retransmission policy shared by every retrying campaign
+    /// (enumeration sweeps stay single-probe regardless — Sec. 2.2).
+    pub probe: ProbePolicy,
+    /// Track per-campaign [`Coverage`] during collection. Purely
+    /// observational: coverage never alters campaign traffic.
+    pub coverage: bool,
+    /// Coverage fraction below which a campaign is flagged degraded.
+    pub degraded_threshold: f64,
 }
 
 impl BundleOptions {
     /// Defaults matching `repro`: seed/weeks from the world config,
-    /// 1,500 snooped resolvers, 36 rounds.
+    /// 1,500 snooped resolvers, 36 rounds, no faults, single-probe
+    /// policy, coverage tracked with a 95% degradation threshold.
     pub fn new(cfg: WorldConfig) -> BundleOptions {
         BundleOptions {
             seed: cfg.seed,
@@ -462,6 +489,10 @@ impl BundleOptions {
             snoop_sample: 1_500,
             snoop_rounds: 36,
             analysis: crate::pipeline::AnalysisOptions::default(),
+            faults: None,
+            probe: ProbePolicy::single(),
+            coverage: true,
+            degraded_threshold: 0.95,
         }
     }
 }
@@ -502,12 +533,30 @@ impl CampaignData {
 /// during parallel experiment derivation.
 pub struct BundleData {
     data: BTreeMap<CampaignKind, CampaignData>,
+    coverage: BTreeMap<CampaignKind, Coverage>,
 }
 
 impl BundleData {
     /// Whether `kind` was collected into this bundle.
     pub fn has(&self, kind: CampaignKind) -> bool {
         self.data.contains_key(&kind)
+    }
+
+    /// Per-campaign coverage measured during *this* collection.
+    /// Campaigns served entirely from a pre-existing store have no
+    /// entry: coverage is a collection-time diagnostic of the scan
+    /// just performed, deliberately not persisted to the stores.
+    pub fn coverage(&self) -> &BTreeMap<CampaignKind, Coverage> {
+        &self.coverage
+    }
+
+    /// Campaigns whose coverage fraction fell below `threshold`.
+    pub fn degraded(&self, threshold: f64) -> Vec<CampaignKind> {
+        self.coverage
+            .iter()
+            .filter(|(_, c)| c.fraction() < threshold)
+            .map(|(&k, _)| k)
+            .collect()
     }
 
     /// The snapshot source for `kind`; `NotFound` if the bundle was
@@ -640,6 +689,49 @@ fn mark_ran(ran: &mut BTreeSet<CampaignKind>, kind: CampaignKind) {
     }
 }
 
+/// The per-campaign sink map threaded through every bundle task.
+type BundleSinks = BTreeMap<CampaignKind, CampaignData>;
+
+/// Run one campaign task with graceful degradation: when the task
+/// fails against a disk-backed store, the (possibly mid-write) store
+/// handle is discarded, the store is reopened from its last durable
+/// checkpoint — `CampaignStore::open` drops any uncommitted tail —
+/// and the task is retried once before the error propagates. Memory
+/// bundles have no checkpoint to fall back to and fail immediately.
+fn with_checkpoint_retry<T>(
+    kind: CampaignKind,
+    store_dir: Option<&Path>,
+    data: &mut BundleSinks,
+    world: &mut World,
+    f: &mut dyn FnMut(&mut World, &mut BundleSinks) -> io::Result<T>,
+) -> io::Result<T> {
+    match f(world, data) {
+        Ok(v) => Ok(v),
+        Err(err) => {
+            let Some(dir) = store_dir else {
+                return Err(err);
+            };
+            telemetry::global()
+                .counter_with("collect.campaign_retried", &[("campaign", kind.name())])
+                .inc();
+            telemetry::warn(
+                "collect.retry",
+                "campaign failed; reopening store from last checkpoint and retrying once",
+                &[
+                    ("campaign", kind.name().into()),
+                    ("error", err.to_string().into()),
+                ],
+                Some(world.now().millis()),
+            );
+            data.insert(
+                kind,
+                CampaignData::Disk(CampaignStore::open(dir.join(kind.name()))?),
+            );
+            f(world, data)
+        }
+    }
+}
+
 /// The fleet, read back from a committed fleet snapshot: NOERROR
 /// responders in ascending address order — the same list and order
 /// `EnumerationResult::noerror_ips` produces live.
@@ -686,7 +778,10 @@ pub fn collect_bundle(
         );
     }
     if want.is_empty() {
-        return Ok(BundleData { data });
+        return Ok(BundleData {
+            data,
+            coverage: BTreeMap::new(),
+        });
     }
 
     let committed: BTreeMap<CampaignKind, u32> =
@@ -723,11 +818,25 @@ pub fn collect_bundle(
         }
     };
     if !want.iter().any(|&k| needs_run(k)) {
-        return Ok(BundleData { data }); // fully served from the store
+        return Ok(BundleData {
+            data,
+            coverage: BTreeMap::new(),
+        }); // fully served from the store
     }
 
     let mut world = build_world(opts.cfg.clone());
     telemetry::counter("collect.world_builds").inc();
+    if let Some(plan) = &opts.faults {
+        if !plan.is_noop() {
+            telemetry::info(
+                "collect.faults",
+                "injecting network fault plan",
+                &[],
+                Some(world.now().millis()),
+            );
+        }
+        world.net.set_fault_plan(plan.clone());
+    }
     let truth = capture_ground_truth(&world);
     let vantage = world.scanner_ip;
     let blacklist = scanner::Blacklist::new(
@@ -778,6 +887,13 @@ pub fn collect_bundle(
     let mut fleet: Option<Vec<Ipv4Addr>> = None;
     let mut cohort: Option<Vec<Ipv4Addr>> = None;
     let mut ran: BTreeSet<CampaignKind> = BTreeSet::new();
+    let mut coverage: BTreeMap<CampaignKind, Coverage> = BTreeMap::new();
+    let absorb =
+        |coverage: &mut BTreeMap<CampaignKind, Coverage>, kind: CampaignKind, cov: Coverage| {
+            if opts.coverage {
+                coverage.entry(kind).or_default().absorb(&cov);
+            }
+        };
 
     for (anchor, task) in tasks {
         world.advance_to(SimTime(anchor));
@@ -787,12 +903,21 @@ pub fn collect_bundle(
                     continue;
                 }
                 mark_ran(&mut ran, Weekly);
-                weekly_scan_week(
+                let cov = with_checkpoint_retry(
+                    Weekly,
+                    store_dir,
+                    &mut data,
                     &mut world,
-                    w,
-                    &blacklist,
-                    data.get_mut(&Weekly).unwrap().sink(),
+                    &mut |world, data| {
+                        weekly_scan_week(
+                            world,
+                            w,
+                            &blacklist,
+                            data.get_mut(&Weekly).unwrap().sink(),
+                        )
+                    },
                 )?;
+                absorb(&mut coverage, Weekly, cov);
             }
             Task::Fleet => {
                 if committed[&Fleet] >= 1 {
@@ -800,34 +925,50 @@ pub fn collect_bundle(
                     continue;
                 }
                 mark_ran(&mut ran, Fleet);
-                let sink = data.get_mut(&Fleet).unwrap().sink();
-                let mut enriched = EnrichSink::new(&world, sink);
-                let result = enumerate_with_sink(&mut world, vantage, opts.seed, &mut enriched);
-                let meta = vec![
-                    (META_PROBES.to_string(), result.probes_sent.to_string()),
-                    (
-                        META_SKIPPED.to_string(),
-                        result.skipped_blacklisted.to_string(),
-                    ),
-                    (
-                        META_GROUND_TRUTH.to_string(),
-                        serde_json::to_string(&truth)
-                            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
-                    ),
-                ];
-                let ips = result.noerror_ips();
-                telemetry::info(
-                    "campaign.fleet",
-                    "enumerated fingerprinting fleet",
-                    &[("open_resolvers", ips.len().into())],
-                    Some(world.now().millis()),
-                );
-                data.get_mut(&Fleet).unwrap().sink().commit(
-                    "fleet",
-                    world.now().millis(),
-                    &meta,
+                let result = with_checkpoint_retry(
+                    Fleet,
+                    store_dir,
+                    &mut data,
+                    &mut world,
+                    &mut |world, data| {
+                        let sink = data.get_mut(&Fleet).unwrap().sink();
+                        let mut enriched = EnrichSink::new(world, sink);
+                        let result = enumerate_with_sink(world, vantage, opts.seed, &mut enriched);
+                        let meta = vec![
+                            (META_PROBES.to_string(), result.probes_sent.to_string()),
+                            (
+                                META_SKIPPED.to_string(),
+                                result.skipped_blacklisted.to_string(),
+                            ),
+                            (
+                                META_GROUND_TRUTH.to_string(),
+                                serde_json::to_string(&truth)
+                                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+                            ),
+                        ];
+                        telemetry::info(
+                            "campaign.fleet",
+                            "enumerated fingerprinting fleet",
+                            &[("open_resolvers", result.noerror_ips().len().into())],
+                            Some(world.now().millis()),
+                        );
+                        data.get_mut(&Fleet).unwrap().sink().commit(
+                            "fleet",
+                            world.now().millis(),
+                            &meta,
+                        )?;
+                        Ok(result)
+                    },
                 )?;
-                fleet = Some(ips);
+                absorb(
+                    &mut coverage,
+                    Fleet,
+                    Coverage::space(
+                        result.probes_sent + result.skipped_blacklisted,
+                        result.probes_sent,
+                    ),
+                );
+                fleet = Some(result.noerror_ips());
             }
             Task::Cohort => {
                 if committed[&Churn] >= 1 {
@@ -844,14 +985,22 @@ pub fn collect_bundle(
                 }
                 mark_ran(&mut ran, Churn);
                 let ips = fleet.clone().expect("fleet precedes churn cohort");
-                let sink = data.get_mut(&Churn).unwrap().sink();
-                let mut enriched = EnrichSink::new(&world, sink);
-                churn_campaign::commit_round(
-                    &world,
-                    &mut enriched,
-                    ips.iter().copied(),
-                    "cohort",
-                    &[],
+                with_checkpoint_retry(
+                    Churn,
+                    store_dir,
+                    &mut data,
+                    &mut world,
+                    &mut |world, data| {
+                        let sink = data.get_mut(&Churn).unwrap().sink();
+                        let mut enriched = EnrichSink::new(world, sink);
+                        churn_campaign::commit_round(
+                            world,
+                            &mut enriched,
+                            ips.iter().copied(),
+                            "cohort",
+                            &[],
+                        )
+                    },
                 )?;
                 cohort = Some(ips);
             }
@@ -861,18 +1010,37 @@ pub fn collect_bundle(
                 }
                 mark_ran(&mut ran, Churn);
                 let ips = cohort.as_ref().expect("cohort precedes day1");
-                let alive =
-                    churn_campaign::probe_alive(&mut world, vantage, ips, CHURN_SEED ^ 0xD1);
-                let meta = churn_campaign::day1_leaver_meta(&world, ips, &alive);
-                let sink = data.get_mut(&Churn).unwrap().sink();
-                let mut enriched = EnrichSink::new(&world, sink);
-                churn_campaign::commit_round(
-                    &world,
-                    &mut enriched,
-                    ips.iter().copied().filter(|ip| alive.contains(ip)),
-                    "day1",
-                    &meta,
+                let (alive, retries) = with_checkpoint_retry(
+                    Churn,
+                    store_dir,
+                    &mut data,
+                    &mut world,
+                    &mut |world, data| {
+                        let (alive, retries) = churn_campaign::probe_alive_with_policy(
+                            world,
+                            vantage,
+                            ips,
+                            CHURN_SEED ^ 0xD1,
+                            &opts.probe,
+                        );
+                        let meta = churn_campaign::day1_leaver_meta(world, ips, &alive);
+                        let sink = data.get_mut(&Churn).unwrap().sink();
+                        let mut enriched = EnrichSink::new(world, sink);
+                        churn_campaign::commit_round(
+                            world,
+                            &mut enriched,
+                            ips.iter().copied().filter(|ip| alive.contains(ip)),
+                            "day1",
+                            &meta,
+                        )?;
+                        Ok((alive, retries))
+                    },
                 )?;
+                absorb(
+                    &mut coverage,
+                    Churn,
+                    response_coverage(&world, ips, true, &alive, retries),
+                );
             }
             Task::ChurnWeek(w) => {
                 if w + 1 < committed[&Churn] {
@@ -880,27 +1048,42 @@ pub fn collect_bundle(
                 }
                 mark_ran(&mut ran, Churn);
                 let ips = cohort.as_ref().expect("cohort precedes churn weeks");
-                let alive = churn_campaign::probe_alive(
+                let (alive, retries) = with_checkpoint_retry(
+                    Churn,
+                    store_dir,
+                    &mut data,
                     &mut world,
-                    vantage,
-                    ips,
-                    CHURN_SEED ^ (w as u64) << 8,
-                );
-                telemetry::debug(
-                    "campaign.churn.round",
-                    "weekly re-probe committed",
-                    &[("week", w.into()), ("alive", alive.len().into())],
-                    Some(world.now().millis()),
-                );
-                let sink = data.get_mut(&Churn).unwrap().sink();
-                let mut enriched = EnrichSink::new(&world, sink);
-                churn_campaign::commit_round(
-                    &world,
-                    &mut enriched,
-                    ips.iter().copied().filter(|ip| alive.contains(ip)),
-                    &format!("week-{w}"),
-                    &[],
+                    &mut |world, data| {
+                        let (alive, retries) = churn_campaign::probe_alive_with_policy(
+                            world,
+                            vantage,
+                            ips,
+                            CHURN_SEED ^ (w as u64) << 8,
+                            &opts.probe,
+                        );
+                        telemetry::debug(
+                            "campaign.churn.round",
+                            "weekly re-probe committed",
+                            &[("week", w.into()), ("alive", alive.len().into())],
+                            Some(world.now().millis()),
+                        );
+                        let sink = data.get_mut(&Churn).unwrap().sink();
+                        let mut enriched = EnrichSink::new(world, sink);
+                        churn_campaign::commit_round(
+                            world,
+                            &mut enriched,
+                            ips.iter().copied().filter(|ip| alive.contains(ip)),
+                            &format!("week-{w}"),
+                            &[],
+                        )?;
+                        Ok((alive, retries))
+                    },
                 )?;
+                absorb(
+                    &mut coverage,
+                    Churn,
+                    response_coverage(&world, ips, true, &alive, retries),
+                );
             }
             Task::Chaos => {
                 if committed[&Chaos] >= 1 {
@@ -908,13 +1091,41 @@ pub fn collect_bundle(
                 }
                 mark_ran(&mut ran, Chaos);
                 let ips = fleet.as_ref().expect("fleet precedes chaos");
-                let sink = data.get_mut(&Chaos).unwrap().sink();
-                let mut enriched = EnrichSink::new(&world, sink);
-                scanner::chaos_scan_with_sink(&mut world, vantage, ips, opts.seed, &mut enriched);
-                data.get_mut(&Chaos)
-                    .unwrap()
-                    .sink()
-                    .commit("chaos", world.now().millis(), &[])?;
+                let observations = with_checkpoint_retry(
+                    Chaos,
+                    store_dir,
+                    &mut data,
+                    &mut world,
+                    &mut |world, data| {
+                        let sink = data.get_mut(&Chaos).unwrap().sink();
+                        let mut enriched = EnrichSink::new(world, sink);
+                        let observations = scanner::chaos_scan_with_sink(
+                            world,
+                            vantage,
+                            ips,
+                            opts.seed,
+                            &opts.probe,
+                            &mut enriched,
+                        );
+                        data.get_mut(&Chaos).unwrap().sink().commit(
+                            "chaos",
+                            world.now().millis(),
+                            &[],
+                        )?;
+                        Ok(observations)
+                    },
+                )?;
+                let (observations, retries) = observations;
+                let answered: std::collections::HashSet<Ipv4Addr> = observations
+                    .iter()
+                    .filter(|(_, o)| **o != scanner::ChaosObservation::Silent)
+                    .map(|(&ip, _)| ip)
+                    .collect();
+                absorb(
+                    &mut coverage,
+                    Chaos,
+                    response_coverage(&world, ips, false, &answered, retries),
+                );
             }
             Task::Banner => {
                 if committed[&Banner] >= 1 {
@@ -922,7 +1133,21 @@ pub fn collect_bundle(
                 }
                 mark_ran(&mut ran, Banner);
                 let ips = fleet.clone().expect("fleet precedes banner");
-                banner_collect(&mut world, &ips, data.get_mut(&Banner).unwrap().sink())?;
+                let cov = with_checkpoint_retry(
+                    Banner,
+                    store_dir,
+                    &mut data,
+                    &mut world,
+                    &mut |world, data| {
+                        banner_collect(
+                            world,
+                            &ips,
+                            &opts.probe,
+                            data.get_mut(&Banner).unwrap().sink(),
+                        )
+                    },
+                )?;
+                absorb(&mut coverage, Banner, cov);
             }
             Task::Domains => {
                 if committed[&Domains] >= 1 {
@@ -930,15 +1155,29 @@ pub fn collect_bundle(
                 }
                 mark_ran(&mut ran, Domains);
                 let ips = fleet.clone().expect("fleet precedes domains");
-                let report =
-                    crate::pipeline::run_analysis_with_fleet(&mut world, ips, &opts.analysis);
-                let json = serde_json::to_string(&report)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-                data.get_mut(&Domains).unwrap().sink().commit(
-                    "analysis",
-                    world.now().millis(),
-                    &[(META_ANALYSIS_REPORT.to_string(), json)],
+                // One shared probe policy for every campaign in the
+                // bundle, the domain scan included.
+                let mut aopts = opts.analysis.clone();
+                aopts.probe = opts.probe;
+                let report = with_checkpoint_retry(
+                    Domains,
+                    store_dir,
+                    &mut data,
+                    &mut world,
+                    &mut |world, data| {
+                        let report =
+                            crate::pipeline::run_analysis_with_fleet(world, ips.clone(), &aopts);
+                        let json = serde_json::to_string(&report)
+                            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                        data.get_mut(&Domains).unwrap().sink().commit(
+                            "analysis",
+                            world.now().millis(),
+                            &[(META_ANALYSIS_REPORT.to_string(), json)],
+                        )?;
+                        Ok(report)
+                    },
                 )?;
+                absorb(&mut coverage, Domains, report.domains_coverage);
             }
             Task::Snoop => {
                 if committed[&Snoop] > 0 {
@@ -951,55 +1190,109 @@ pub fn collect_bundle(
                 // their address — as the paper snooped resolvers from
                 // the current scan, not a stale list.
                 let ips = fleet.as_ref().expect("fleet precedes snoop");
-                let alive =
-                    churn_campaign::probe_alive(&mut world, vantage, ips, SNOOP_SEED ^ 0xA11E);
-                let sample: Vec<Ipv4Addr> = ips
-                    .iter()
-                    .copied()
-                    .filter(|ip| alive.contains(ip))
-                    .take(opts.snoop_sample)
-                    .collect();
-                scanner::snoop_scan_with_sink(
+                let (sample, results, retries) = with_checkpoint_retry(
+                    Snoop,
+                    store_dir,
+                    &mut data,
                     &mut world,
-                    vantage,
-                    &sample,
-                    opts.snoop_rounds,
-                    SNOOP_SEED,
-                    data.get_mut(&Snoop).unwrap().sink(),
+                    &mut |world, data| {
+                        let alive =
+                            churn_campaign::probe_alive(world, vantage, ips, SNOOP_SEED ^ 0xA11E);
+                        let sample: Vec<Ipv4Addr> = ips
+                            .iter()
+                            .copied()
+                            .filter(|ip| alive.contains(ip))
+                            .take(opts.snoop_sample)
+                            .collect();
+                        let (results, retries) = scanner::snoop_scan_with_sink(
+                            world,
+                            vantage,
+                            &sample,
+                            opts.snoop_rounds,
+                            SNOOP_SEED,
+                            &opts.probe,
+                            data.get_mut(&Snoop).unwrap().sink(),
+                        )?;
+                        Ok((sample, results, retries))
+                    },
                 )?;
+                // Resolver-granularity coverage: a snooped resolver is
+                // answered when any (round, TLD) sample got a response.
+                let answered: std::collections::HashSet<Ipv4Addr> = results
+                    .iter()
+                    .filter(|(_, r)| r.samples.iter().any(|s| *s != scanner::SnoopSample::Silent))
+                    .map(|(&ip, _)| ip)
+                    .collect();
+                absorb(
+                    &mut coverage,
+                    Snoop,
+                    response_coverage(&world, &sample, false, &answered, retries),
+                );
             }
-            Task::VerifyPrimary => {
-                if committed[&Verify] >= 1 {
+            Task::VerifyPrimary | Task::VerifySecondary => {
+                let (pass, label) = match task {
+                    Task::VerifyPrimary => (1, "primary"),
+                    _ => (2, "secondary"),
+                };
+                if committed[&Verify] >= pass {
                     continue;
                 }
                 mark_ran(&mut ran, Verify);
-                let sink = data.get_mut(&Verify).unwrap().sink();
-                let mut enriched = EnrichSink::new(&world, sink);
-                enumerate_with_sink(&mut world, vantage, opts.seed, &mut enriched);
-                data.get_mut(&Verify).unwrap().sink().commit(
-                    "primary",
-                    world.now().millis(),
-                    &[],
+                let (van, seed) = match task {
+                    Task::VerifyPrimary => (vantage, opts.seed),
+                    _ => (world.scanner2_ip, opts.seed ^ 0x5EC0),
+                };
+                let result = with_checkpoint_retry(
+                    Verify,
+                    store_dir,
+                    &mut data,
+                    &mut world,
+                    &mut |world, data| {
+                        let sink = data.get_mut(&Verify).unwrap().sink();
+                        let mut enriched = EnrichSink::new(world, sink);
+                        let result = enumerate_with_sink(world, van, seed, &mut enriched);
+                        data.get_mut(&Verify).unwrap().sink().commit(
+                            label,
+                            world.now().millis(),
+                            &[],
+                        )?;
+                        Ok(result)
+                    },
                 )?;
-            }
-            Task::VerifySecondary => {
-                if committed[&Verify] >= 2 {
-                    continue;
-                }
-                mark_ran(&mut ran, Verify);
-                let vantage2 = world.scanner2_ip;
-                let sink = data.get_mut(&Verify).unwrap().sink();
-                let mut enriched = EnrichSink::new(&world, sink);
-                enumerate_with_sink(&mut world, vantage2, opts.seed ^ 0x5EC0, &mut enriched);
-                data.get_mut(&Verify).unwrap().sink().commit(
-                    "secondary",
-                    world.now().millis(),
-                    &[],
-                )?;
+                absorb(
+                    &mut coverage,
+                    Verify,
+                    Coverage::space(
+                        result.probes_sent + result.skipped_blacklisted,
+                        result.probes_sent,
+                    ),
+                );
             }
         }
     }
-    Ok(BundleData { data })
+
+    if opts.coverage {
+        for (kind, cov) in &coverage {
+            if cov.fraction() < opts.degraded_threshold {
+                telemetry::global()
+                    .counter_with("collect.campaign_degraded", &[("campaign", kind.name())])
+                    .inc();
+                telemetry::warn(
+                    "collect.degraded",
+                    "campaign coverage below threshold",
+                    &[
+                        ("campaign", kind.name().into()),
+                        ("fraction", cov.fraction().into()),
+                        ("threshold", opts.degraded_threshold.into()),
+                        ("gave_up", cov.gave_up.into()),
+                        ("unreachable", cov.unreachable.into()),
+                    ],
+                    Some(world.now().millis()),
+                );
+            }
+        }
+    }
+    Ok(BundleData { data, coverage })
 }
 
 /// Runs the TCP banner grab and commits one enriched snapshot: the
@@ -1009,9 +1302,10 @@ pub fn collect_bundle(
 fn banner_collect(
     world: &mut World,
     fleet: &[Ipv4Addr],
+    policy: &ProbePolicy,
     sink: &mut dyn SnapshotSink,
-) -> io::Result<()> {
-    let banners = scanner::banner_scan(world, fleet);
+) -> io::Result<Coverage> {
+    let (banners, coverage) = scanner::banner_scan_ex(world, fleet, policy);
     let now_ms = world.now().millis();
     for (&ip, obs) in &banners {
         let fp = fingerprint_device(obs);
@@ -1025,7 +1319,7 @@ fn banner_collect(
     }
     let meta = vec![(META_FLEET.to_string(), fleet.len().to_string())];
     sink.commit("banner", now_ms, &meta)?;
-    Ok(())
+    Ok(coverage)
 }
 
 /// Meta key on the banner snapshot: probed fleet size.

@@ -14,11 +14,16 @@ use geodb::Country;
 use htmlsim::diff::tag_delta;
 use htmlsim::distance::{page_distance, FeatureWeights};
 use htmlsim::{PageFeatures, TagInterner};
+use netsim::SimTime;
 use resolversim::{DomainCategory, Resolution};
-use scanner::{acquire, scan_domains_streaming, Acquired, TupleObs};
+use scanner::{
+    acquire_with_policy, scan_domains_streaming_with_policy, Acquired, Coverage, ProbePolicy,
+    TupleObs,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::net::Ipv4Addr;
+use worldgen::world::ResponseClass;
 use worldgen::World;
 
 /// Pipeline tunables.
@@ -36,6 +41,10 @@ pub struct AnalysisOptions {
     pub proxy_min_domains: usize,
     /// Scan seed.
     pub seed: u64,
+    /// Retransmission policy for the domain scan and acquisition
+    /// fetches (single-attempt by default — byte-identical to the
+    /// pre-policy pipeline).
+    pub probe: ProbePolicy,
 }
 
 impl Default for AnalysisOptions {
@@ -46,6 +55,7 @@ impl Default for AnalysisOptions {
             cluster_threshold: 0.32,
             proxy_min_domains: 4,
             seed: 0x0006_011D_57AB,
+            probe: ProbePolicy::single(),
         }
     }
 }
@@ -213,6 +223,11 @@ pub struct AnalysisReport {
     /// Fine-grained modification clusters: near-ground-truth pages
     /// grouped by *which tags* were added/removed (Sec. 3.6).
     pub modifications: Vec<ModificationCluster>,
+    /// Tuple-granularity coverage of the domain scan: answered
+    /// (resolver, domain) pairs against the reachable tuple space.
+    /// A collection-time diagnostic — not persisted with the report.
+    #[serde(skip)]
+    pub domains_coverage: Coverage,
 }
 
 /// Social-media domains used by Figure 4 and the GFW analysis.
@@ -349,10 +364,14 @@ pub fn run_analysis_with_fleet(
         .collect();
     let resolver_country: Vec<Option<Country>> = fleet.iter().map(|ip| geo.country(*ip)).collect();
 
+    let mut answered_pairs: HashSet<(u32, u16)> = HashSet::new();
+    let scan_retries;
     {
         let per_category = &mut report.per_category;
         let compliance = &mut report.censorship.compliance;
+        let answered_pairs = &mut answered_pairs;
         let mut sink = |t: TupleObs| {
+            answered_pairs.insert((t.resolver_idx, t.domain_idx));
             let di = t.domain_idx as usize;
             let category = category_of[di].label().to_string();
             let stats = per_category.entry(category).or_default();
@@ -420,7 +439,54 @@ pub fn run_analysis_with_fleet(
                 unexpected.push(t);
             }
         };
-        scan_domains_streaming(world, vantage, &fleet, &domain_names, opts.seed, &mut sink);
+        scan_retries = scan_domains_streaming_with_policy(
+            world,
+            vantage,
+            &fleet,
+            &domain_names,
+            opts.seed,
+            &opts.probe,
+            &mut sink,
+        );
+    }
+    // Tuple-granularity coverage: every (resolver, domain) slot either
+    // answered, or is charged to the scanner (`gave_up`) when a live
+    // NOERROR resolver still sits at the address, or to churn/filtering
+    // (`unreachable`) otherwise.
+    {
+        let idx = world.responder_index();
+        let week = (world.now().millis() / SimTime::WEEK) as u32;
+        let n_dom = domain_names.len() as u64;
+        let mut cov = Coverage {
+            retries: scan_retries,
+            ..Coverage::default()
+        };
+        for (ri, &ip) in fleet.iter().enumerate() {
+            let answered = (0..domain_names.len())
+                .filter(|&di| answered_pairs.contains(&(ri as u32, di as u16)))
+                .count() as u64;
+            cov.attempted += n_dom;
+            cov.answered += answered;
+            let expected = world
+                .net
+                .host_at(ip)
+                .and_then(|h| idx.get(&h).copied())
+                .map(|s| {
+                    s.alive
+                        && s.class == ResponseClass::NoError
+                        && !world
+                            .border_filtered_asns
+                            .iter()
+                            .any(|&(asn, w)| s.asn == asn && week >= w)
+                })
+                .unwrap_or(false);
+            if expected {
+                cov.gave_up += n_dom - answered;
+            } else {
+                cov.unreachable += n_dom - answered;
+            }
+        }
+        report.domains_coverage = cov;
     }
     telemetry::counter("pipeline.tuples_unexpected").add(unexpected.len() as u64);
     sp_prefilter.attr("domains", domain_names.len());
@@ -474,13 +540,14 @@ pub fn run_analysis_with_fleet(
         }
         let di = t.domain_idx as usize;
         let is_mail = category_of[di] == DomainCategory::Mx;
-        let got = acquire(
+        let got = acquire_with_policy(
             world,
             vantage,
             t.resolver_ip,
             &domain_names[di],
             ip,
             is_mail,
+            &opts.probe,
         );
         pair_content.insert(key, got);
     }

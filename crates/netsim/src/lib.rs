@@ -26,12 +26,16 @@
 //! bit-for-bit. Event ordering is total (time, then insertion sequence).
 
 pub mod churn;
+pub mod faults;
 pub mod host;
 pub mod network;
 pub mod packet;
 pub mod time;
 
 pub use churn::{ChurnConfig, LeasePool};
+pub use faults::{
+    BurstLoss, FaultEvent, FaultPlan, FaultStats, FaultWindows, LatencySpikes, RateLimit,
+};
 pub use host::{
     Host, HostCtx, HttpRequest, HttpResponse, MailProto, TcpError, TcpRequest, TcpResponse,
     TlsCertificate,

@@ -1,5 +1,6 @@
 //! The event-driven network core.
 
+use crate::faults::{FaultPlan, FaultState, FaultStats, UdpFault};
 use crate::host::{Host, HostCtx, TcpError, TcpRequest, TcpResponse};
 use crate::packet::Datagram;
 use crate::time::SimTime;
@@ -113,16 +114,27 @@ struct NetTelemetry {
     events_dispatched: telemetry::Counter,
     run_to_idle_calls: telemetry::Counter,
     queue_depth_max: telemetry::Gauge,
+    fault_burst_drops: telemetry::Counter,
+    fault_outage_drops: telemetry::Counter,
+    fault_flap_drops: telemetry::Counter,
+    fault_rate_limit_drops: telemetry::Counter,
+    fault_latency_spiked: telemetry::Counter,
     /// Totals already flushed to the shared counters; each flush adds
     /// only what accumulated since. Seeded with the network's stats at
     /// attach time so re-enabling instrumentation does not double-count.
     synced: NetStats,
     synced_dispatched: u64,
     synced_queue_max: u64,
+    synced_faults: FaultStats,
 }
 
 impl NetTelemetry {
-    fn new(baseline: NetStats, dispatched: u64, queue_max: u64) -> NetTelemetry {
+    fn new(
+        baseline: NetStats,
+        dispatched: u64,
+        queue_max: u64,
+        faults: FaultStats,
+    ) -> NetTelemetry {
         let reg = telemetry::global();
         NetTelemetry {
             udp_sent: reg.counter("netsim.udp_sent"),
@@ -135,13 +147,19 @@ impl NetTelemetry {
             events_dispatched: reg.counter("netsim.events_dispatched"),
             run_to_idle_calls: reg.counter("netsim.run_to_idle_calls"),
             queue_depth_max: reg.gauge("netsim.queue_depth_max"),
+            fault_burst_drops: reg.counter("netsim.faults.burst_drops"),
+            fault_outage_drops: reg.counter("netsim.faults.outage_drops"),
+            fault_flap_drops: reg.counter("netsim.faults.flap_drops"),
+            fault_rate_limit_drops: reg.counter("netsim.faults.rate_limit_drops"),
+            fault_latency_spiked: reg.counter("netsim.faults.latency_spiked"),
             synced: baseline,
             synced_dispatched: dispatched,
             synced_queue_max: queue_max,
+            synced_faults: faults,
         }
     }
 
-    fn flush(&mut self, stats: NetStats, dispatched: u64, queue_max: u64) {
+    fn flush(&mut self, stats: NetStats, dispatched: u64, queue_max: u64, faults: FaultStats) {
         self.udp_sent.add(stats.udp_sent - self.synced.udp_sent);
         self.udp_delivered
             .add(stats.udp_delivered - self.synced.udp_delivered);
@@ -159,8 +177,34 @@ impl NetTelemetry {
             self.queue_depth_max.set_max(queue_max as f64);
             self.synced_queue_max = queue_max;
         }
+        self.fault_burst_drops.add(
+            faults
+                .burst_drops
+                .saturating_sub(self.synced_faults.burst_drops),
+        );
+        self.fault_outage_drops.add(
+            faults
+                .outage_drops
+                .saturating_sub(self.synced_faults.outage_drops),
+        );
+        self.fault_flap_drops.add(
+            faults
+                .flap_drops
+                .saturating_sub(self.synced_faults.flap_drops),
+        );
+        self.fault_rate_limit_drops.add(
+            faults
+                .rate_limit_drops
+                .saturating_sub(self.synced_faults.rate_limit_drops),
+        );
+        self.fault_latency_spiked.add(
+            faults
+                .latency_spiked
+                .saturating_sub(self.synced_faults.latency_spiked),
+        );
         self.synced = stats;
         self.synced_dispatched = dispatched;
+        self.synced_faults = faults;
     }
 }
 
@@ -202,6 +246,7 @@ pub struct Network {
     socket_bindings: HashMap<(Ipv4Addr, u16), u32>,
     injectors: Vec<Box<dyn PathObserver>>,
     filters: Vec<Filter>,
+    faults: Option<FaultState>,
     stats: NetStats,
     telemetry: Option<NetTelemetry>,
     events_dispatched: u64,
@@ -224,8 +269,14 @@ impl Network {
             socket_bindings: HashMap::new(),
             injectors: Vec::new(),
             filters: Vec::new(),
+            faults: None,
             stats: NetStats::default(),
-            telemetry: Some(NetTelemetry::new(NetStats::default(), 0, 0)),
+            telemetry: Some(NetTelemetry::new(
+                NetStats::default(),
+                0,
+                0,
+                FaultStats::default(),
+            )),
             events_dispatched: 0,
             queue_depth_max: 0,
             scratch: Vec::new(),
@@ -242,10 +293,29 @@ impl Network {
                 self.stats,
                 self.events_dispatched,
                 self.queue_depth_max,
+                self.fault_stats(),
             ))
         } else {
             None
         };
+    }
+
+    /// Install (or replace) a fault-injection plan. A no-op plan is
+    /// equivalent to removing fault injection entirely — the hot path
+    /// pays nothing. Fault counters survive plan changes so telemetry
+    /// deltas stay monotone.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let stats = self.fault_stats();
+        self.faults = if plan.is_noop() {
+            None
+        } else {
+            Some(FaultState::new(plan, stats))
+        };
+    }
+
+    /// Counters of injected faults so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Current simulated time.
@@ -432,13 +502,29 @@ impl Network {
         // traffic the network carried before it — campaigns sharing a
         // network stay mutually independent.
         let key = flow_key(at, &dgram);
+
+        // Injected faults sit between the dark-space fast path and the
+        // i.i.d. loss roll: they only ever touch traffic that could
+        // otherwise be observed, and the base loss roll below consumes
+        // the same hash stream whether or not a plan is installed.
+        let mut fault_latency = 0u64;
+        if let Some(fs) = &mut self.faults {
+            match fs.udp_fault(at, dgram.src_ip, dgram.dst_ip, dgram.dst_port, key) {
+                UdpFault::Drop => {
+                    self.stats.udp_lost += 1;
+                    return;
+                }
+                UdpFault::Deliver { extra_ms } => fault_latency = extra_ms,
+            }
+        }
+
         let roll = mix64(self.cfg.seed, LOSS_CHANNEL, key) as f64 / u64::MAX as f64;
         if roll < self.cfg.udp_loss {
             self.stats.udp_lost += 1;
             return;
         }
 
-        let latency = self.path_latency(dgram.src_ip, dgram.dst_ip, key);
+        let latency = self.path_latency(dgram.src_ip, dgram.dst_ip, key) + fault_latency;
         self.schedule(dgram, at + latency);
     }
 
@@ -486,8 +572,9 @@ impl Network {
     fn flush_telemetry(&mut self) {
         let (stats, dispatched, queue_max) =
             (self.stats, self.events_dispatched, self.queue_depth_max);
+        let faults = self.faults.as_ref().map(|f| f.stats).unwrap_or_default();
         if let Some(t) = &mut self.telemetry {
-            t.flush(stats, dispatched, queue_max);
+            t.flush(stats, dispatched, queue_max, faults);
         }
     }
 
@@ -560,6 +647,12 @@ impl Network {
         // Keyed on (time, target, request) like the UDP loss roll, so
         // concurrent campaigns cannot shift each other's TCP outcomes.
         let key = tcp_key(self.now, dst_ip, port, req);
+        let now = self.now;
+        if let Some(fs) = &mut self.faults {
+            if let Some(err) = fs.tcp_fault(now, dst_ip, key) {
+                return Err(err);
+            }
+        }
         let roll = mix64(self.cfg.seed, TCP_CHANNEL, key) as f64 / u64::MAX as f64;
         if roll < self.cfg.tcp_loss {
             return Err(TcpError::Timeout);
@@ -620,8 +713,8 @@ impl Network {
 }
 
 /// SplitMix64-style mixing of three words — the deterministic source of
-/// all per-packet randomness.
-fn mix64(a: u64, b: u64, c: u64) -> u64 {
+/// all per-packet randomness (shared with the fault layer).
+pub(crate) fn mix64(a: u64, b: u64, c: u64) -> u64 {
     let mut z = a
         .wrapping_mul(0x9e3779b97f4a7c15)
         .wrapping_add(b.rotate_left(17))
@@ -993,5 +1086,109 @@ mod tests {
             .map(|(_, d)| d.payload[0])
             .collect();
         assert_eq!(order, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn fault_plan_host_down_window_drops_and_is_otherwise_transparent() {
+        use crate::faults::{FaultEvent, FaultPlan};
+        let run = |plan: Option<FaultPlan>| {
+            let mut net = Network::new(lossless());
+            let h = net.add_host(Box::new(EchoHost));
+            net.bind_ip(ip("9.9.9.9"), h);
+            if let Some(p) = plan {
+                net.set_fault_plan(p);
+            }
+            let sock = net.open_socket(ip("100.0.0.1"), 40000);
+            for i in 0..5u64 {
+                net.send_udp_at(
+                    Datagram::new(
+                        ip("100.0.0.1"),
+                        40000,
+                        ip("9.9.9.9"),
+                        53,
+                        i.to_be_bytes().to_vec(),
+                    ),
+                    SimTime::from_secs(i * 10),
+                );
+            }
+            net.run_until(SimTime::from_secs(120));
+            let got: Vec<_> = net
+                .recv_all(sock)
+                .into_iter()
+                .map(|(t, d)| (t, d.payload.to_vec()))
+                .collect();
+            (got, net.fault_stats())
+        };
+        let (baseline, base_stats) = run(None);
+        assert_eq!(baseline.len(), 5);
+        assert_eq!(base_stats, crate::faults::FaultStats::default());
+
+        // Host down over [15s, 35s): probes at 20s and 30s die, both
+        // ways; everything else is byte- and time-identical.
+        let down = FaultPlan {
+            events: vec![FaultEvent::HostDown {
+                ip: ip("9.9.9.9"),
+                from: SimTime::from_secs(15),
+                until: SimTime::from_secs(35),
+            }],
+            seed: 9,
+            ..FaultPlan::none()
+        };
+        let (with_fault, stats) = run(Some(down));
+        assert_eq!(stats.flap_drops, 2);
+        let expected: Vec<_> = baseline
+            .iter()
+            .filter(|(t, _)| t.millis() < 15_000 || t.millis() >= 35_000)
+            .cloned()
+            .collect();
+        assert_eq!(with_fault, expected);
+
+        // A plan whose only event never overlaps the traffic changes
+        // nothing at all — delivery times included.
+        let dormant = FaultPlan {
+            events: vec![FaultEvent::HostDown {
+                ip: ip("9.9.9.9"),
+                from: SimTime::from_days(300),
+                until: SimTime::from_days(301),
+            }],
+            seed: 9,
+            ..FaultPlan::none()
+        };
+        let (with_dormant, stats) = run(Some(dormant));
+        assert_eq!(stats, crate::faults::FaultStats::default());
+        assert_eq!(with_dormant, baseline);
+    }
+
+    #[test]
+    fn fault_plan_latency_spike_event_delays_but_delivers() {
+        use crate::faults::{FaultEvent, FaultPlan};
+        let mut net = Network::new(lossless());
+        let h = net.add_host(Box::new(EchoHost));
+        net.bind_ip(ip("9.9.9.9"), h);
+        net.set_fault_plan(FaultPlan {
+            events: vec![FaultEvent::LatencySpike {
+                lo: ip("9.9.0.0"),
+                hi: ip("9.9.255.255"),
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(60),
+                extra_ms: 400,
+            }],
+            seed: 9,
+            ..FaultPlan::none()
+        });
+        let sock = net.open_socket(ip("100.0.0.1"), 40000);
+        net.send_udp(Datagram::new(
+            ip("100.0.0.1"),
+            40000,
+            ip("9.9.9.9"),
+            53,
+            &b"ping"[..],
+        ));
+        net.run_until(SimTime::from_secs(5));
+        let (at, reply) = net.recv(sock).expect("delayed but delivered");
+        assert_eq!(&reply.payload[..], b"ping");
+        // Both directions crossed the spiked prefix: ≥800ms extra.
+        assert!(at.millis() >= 800, "arrived at {}", at.millis());
+        assert_eq!(net.fault_stats().latency_spiked, 2);
     }
 }

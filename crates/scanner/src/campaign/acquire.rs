@@ -6,6 +6,7 @@
 //! redirect targets *at the same resolver* — and, for MX hostnames,
 //! IMAP/POP3/SMTP greeting banners.
 
+use crate::probe::{tcp_query_with_retry, ProbePolicy};
 use dnswire::{Message, MessageBuilder, Name, Rcode, RecordType};
 use netsim::{Datagram, HttpRequest, MailProto, SimTime, TcpRequest, TlsCertificate};
 use serde::{Deserialize, Serialize};
@@ -101,6 +102,7 @@ fn parse_url(url: &str) -> Option<(bool, String, String)> {
 }
 
 /// One HTTP(S) fetch chain with redirect following.
+#[allow(clippy::too_many_arguments)]
 fn fetch_chain(
     world: &mut World,
     vantage: Ipv4Addr,
@@ -109,6 +111,7 @@ fn fetch_chain(
     mut ip: Ipv4Addr,
     tls: bool,
     sni: bool,
+    policy: &ProbePolicy,
 ) -> Option<FetchedPage> {
     let mut path = "/".to_string();
     let mut redirects = 0u8;
@@ -120,18 +123,19 @@ fn fetch_chain(
             sni: if tls && sni { Some(host.clone()) } else { None },
         };
         let port = if tls { 443 } else { 80 };
-        // Browsers retry transient timeouts; so do we (twice).
-        let mut attempt = 0;
-        let resp = loop {
-            match world
-                .net
-                .tcp_query(ip, port, &TcpRequest::Http(req.clone()))
-            {
-                Ok(r) => break r,
-                Err(netsim::TcpError::Timeout) if attempt < 2 => attempt += 1,
-                Err(_) => return None,
-            }
-        };
+        // Browsers retry transient timeouts; so do we, through the
+        // shared probe engine (backed-off, time-advancing attempts —
+        // a same-instant TCP retry would deterministically repeat the
+        // first outcome).
+        let (res, _retries) = tcp_query_with_retry(
+            &mut world.net,
+            policy,
+            "acquire",
+            ip,
+            port,
+            &TcpRequest::Http(req.clone()),
+        );
+        let resp = res.ok()?;
         let http = resp.as_http()?.clone();
         if let (true, Some(location)) = (http.status / 100 == 3, http.location.as_ref()) {
             if redirects >= MAX_REDIRECTS {
@@ -194,6 +198,29 @@ pub fn acquire(
     ip: Ipv4Addr,
     is_mail_host: bool,
 ) -> Acquired {
+    acquire_with_policy(
+        world,
+        vantage,
+        resolver_ip,
+        domain,
+        ip,
+        is_mail_host,
+        &ProbePolicy::single(),
+    )
+}
+
+/// [`acquire`] under an explicit [`ProbePolicy`] for its TCP fetches.
+/// A single-attempt policy is byte-identical to [`acquire`].
+#[allow(clippy::too_many_arguments)]
+pub fn acquire_with_policy(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    resolver_ip: Ipv4Addr,
+    domain: &str,
+    ip: Ipv4Addr,
+    is_mail_host: bool,
+    policy: &ProbePolicy,
+) -> Acquired {
     let mut out = Acquired {
         http: fetch_chain(
             world,
@@ -203,6 +230,7 @@ pub fn acquire(
             ip,
             false,
             false,
+            policy,
         ),
         https_sni: fetch_chain(
             world,
@@ -212,6 +240,7 @@ pub fn acquire(
             ip,
             true,
             true,
+            policy,
         ),
         https_nosni: fetch_chain(
             world,
@@ -221,6 +250,7 @@ pub fn acquire(
             ip,
             true,
             false,
+            policy,
         ),
         mail_banners: Vec::new(),
     };

@@ -4,6 +4,7 @@
 //! resolver and aggregates whatever banner/text the services return;
 //! 26.3% of resolvers answered on at least one port.
 
+use crate::probe::{tcp_query_with_retry, Coverage, ProbePolicy};
 use netsim::{HttpRequest, TcpError, TcpRequest};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -46,34 +47,98 @@ pub fn banner_scan(
     world: &mut World,
     resolvers: &[Ipv4Addr],
 ) -> HashMap<Ipv4Addr, BannerObservation> {
+    banner_scan_ex(world, resolvers, &ProbePolicy::single()).0
+}
+
+/// [`banner_scan`] under an explicit [`ProbePolicy`], with coverage
+/// accounting: timed-out connections are retried per the policy, every
+/// TCP error is counted by kind (the old code silently swallowed
+/// `Refused`/`Unreachable`/`Timeout`), and the returned [`Coverage`]
+/// classifies each host — answered (any connection accepted or
+/// actively refused), gave up (some port timed out, none answered) or
+/// unreachable (every probe was administratively unreachable). A
+/// single-attempt policy is byte-identical to [`banner_scan`].
+pub fn banner_scan_ex(
+    world: &mut World,
+    resolvers: &[Ipv4Addr],
+    policy: &ProbePolicy,
+) -> (HashMap<Ipv4Addr, BannerObservation>, Coverage) {
     let mut out = HashMap::with_capacity(resolvers.len());
+    let mut cov = Coverage::default();
+    let (mut refused, mut unreachable, mut timeout) = (0u64, 0u64, 0u64);
     for &ip in resolvers {
         let mut obs = BannerObservation::default();
+        let (mut any_ok, mut any_refused, mut any_timeout) = (false, false, false);
+        let mut tally = |res: &Result<netsim::TcpResponse, TcpError>| match res {
+            Ok(_) => any_ok = true,
+            Err(TcpError::Refused) => {
+                any_refused = true;
+                refused += 1;
+            }
+            Err(TcpError::Unreachable) => unreachable += 1,
+            Err(TcpError::Timeout) => {
+                any_timeout = true;
+                timeout += 1;
+            }
+        };
         for port in PROBE_PORTS {
-            match world.net.tcp_query(ip, port, &TcpRequest::BannerProbe) {
-                Ok(resp) => {
-                    if let Some(b) = resp.as_banner() {
-                        obs.banners.push((port, b.to_string()));
-                    }
+            let (res, r) = tcp_query_with_retry(
+                &mut world.net,
+                policy,
+                "banner",
+                ip,
+                port,
+                &TcpRequest::BannerProbe,
+            );
+            cov.retries += r;
+            tally(&res);
+            if let Ok(resp) = res {
+                if let Some(b) = resp.as_banner() {
+                    obs.banners.push((port, b.to_string()));
                 }
-                Err(TcpError::Refused) | Err(TcpError::Unreachable) | Err(TcpError::Timeout) => {}
             }
         }
         // HTTP body often carries the device identity (login pages).
-        if let Ok(resp) = world.net.tcp_query(
+        let (res, r) = tcp_query_with_retry(
+            &mut world.net,
+            policy,
+            "banner",
             ip,
             80,
             &TcpRequest::Http(HttpRequest::http(&ip.to_string())),
-        ) {
+        );
+        cov.retries += r;
+        tally(&res);
+        if let Ok(resp) = res {
             if let Some(http) = resp.as_http() {
                 obs.http_body = Some(http.body.clone());
             }
+        }
+        cov.attempted += 1;
+        if any_ok || any_refused {
+            cov.answered += 1;
+        } else if any_timeout {
+            cov.gave_up += 1;
+        } else {
+            cov.unreachable += 1;
         }
         if obs.responsive() {
             out.insert(ip, obs);
         }
     }
-    out
+    let reg = telemetry::global();
+    let campaign = ("campaign", "banner");
+    for (kind, n) in [
+        ("refused", refused),
+        ("unreachable", unreachable),
+        ("timeout", timeout),
+    ] {
+        if n > 0 {
+            reg.counter_with("scanner.tcp_errors", &[campaign, ("kind", kind)])
+                .add(n);
+        }
+    }
+    (out, cov)
 }
 
 /// Like [`banner_scan`], but also writes each TCP-responsive host into
@@ -82,10 +147,11 @@ pub fn banner_scan(
 pub fn banner_scan_with_sink(
     world: &mut World,
     resolvers: &[Ipv4Addr],
+    policy: &ProbePolicy,
     sink: &mut dyn scanstore::ObservationSink,
-) -> HashMap<Ipv4Addr, BannerObservation> {
+) -> (HashMap<Ipv4Addr, BannerObservation>, Coverage) {
     use scanstore::{flags, fnv1a, Observation};
-    let observations = banner_scan(world, resolvers);
+    let (observations, coverage) = banner_scan_ex(world, resolvers, policy);
     let now_ms = world.now().millis();
     for (&ip, obs) in &observations {
         sink.observe(Observation {
@@ -94,5 +160,5 @@ pub fn banner_scan_with_sink(
             ..Observation::at(u32::from(ip), 0, now_ms)
         });
     }
-    observations
+    (observations, coverage)
 }

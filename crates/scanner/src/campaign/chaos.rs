@@ -1,5 +1,6 @@
 //! CHAOS `version.bind` / `version.server` fingerprinting (Sec. 2.4).
 
+use crate::probe::{ProbePolicy, RttEstimator};
 use crate::simio::SimScanner;
 use dnswire::{Message, MessageBuilder, Name, Rcode};
 use serde::{Deserialize, Serialize};
@@ -28,6 +29,20 @@ pub fn chaos_scan(
     resolvers: &[Ipv4Addr],
     seed: u64,
 ) -> HashMap<Ipv4Addr, ChaosObservation> {
+    chaos_scan_with_policy(world, vantage, resolvers, seed, &ProbePolicy::single()).0
+}
+
+/// [`chaos_scan`] under an explicit [`ProbePolicy`]: after the native
+/// sweep, unanswered query slots are retransmitted in backed-off
+/// rounds. A single-attempt policy is byte-identical to [`chaos_scan`].
+/// Also returns the number of retransmitted query slots.
+pub fn chaos_scan_with_policy(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    resolvers: &[Ipv4Addr],
+    seed: u64,
+    policy: &ProbePolicy,
+) -> (HashMap<Ipv4Addr, ChaosObservation>, u64) {
     let scanner = SimScanner::open(world, vantage);
     let mut sp = telemetry::span("campaign.chaos", world.now().millis());
     // txid → (resolver, which query).
@@ -55,18 +70,83 @@ pub fn chaos_scan(
             if pending == BATCH {
                 pending = 0;
                 scanner.pump(world, 400);
-                collect(world, &scanner, &mut txid_map, &mut results);
+                collect(world, &scanner, &mut txid_map, &mut results, None);
             }
             if seq.is_multiple_of(60_000) {
                 // Long grace, then recycle the TXID space.
                 scanner.pump(world, 5_000);
-                collect(world, &scanner, &mut txid_map, &mut results);
+                collect(world, &scanner, &mut txid_map, &mut results, None);
                 txid_map.clear();
             }
         }
     }
     scanner.pump(world, 5_000);
-    collect(world, &scanner, &mut txid_map, &mut results);
+    collect(world, &scanner, &mut txid_map, &mut results, None);
+
+    // Retransmission rounds: resend whatever query slots are still
+    // empty, wait out the (adaptive) timeout, re-collect. The native
+    // sweep above is untouched — with `attempts == 1` this loop never
+    // runs and the campaign's traffic is byte-identical to before.
+    let mut retries = 0u64;
+    if policy.attempts > 1 {
+        let mut est = RttEstimator::new();
+        let schedule = policy.schedule(seed ^ 0xC4A05);
+        txid_map.clear();
+        for round in 0..(policy.attempts - 1) as usize {
+            let mut missing: Vec<(Ipv4Addr, usize)> = Vec::new();
+            for &ip in resolvers {
+                for (which, slot) in results[&ip].iter().enumerate() {
+                    if slot.is_none() {
+                        missing.push((ip, which));
+                    }
+                }
+            }
+            if missing.is_empty() {
+                break;
+            }
+            let sent_at = world.now().millis();
+            for &(ip, which) in &missing {
+                let txid = (seed as u16).wrapping_add(seq as u16);
+                let msg = MessageBuilder::chaos_query(txid, qnames[which].clone()).build();
+                txid_map.insert(txid, (ip, which));
+                scanner.send(world, (seq % 509) as u16, ip, msg.encode());
+                seq += 1;
+                pending += 1;
+                if pending == BATCH {
+                    pending = 0;
+                    scanner.pump(world, 400);
+                    collect(
+                        world,
+                        &scanner,
+                        &mut txid_map,
+                        &mut results,
+                        Some((sent_at, &mut est)),
+                    );
+                }
+                if seq.is_multiple_of(60_000) {
+                    scanner.pump(world, 5_000);
+                    collect(
+                        world,
+                        &scanner,
+                        &mut txid_map,
+                        &mut results,
+                        Some((sent_at, &mut est)),
+                    );
+                    txid_map.clear();
+                }
+            }
+            retries += missing.len() as u64;
+            scanner.pump(world, policy.wait_ms(round, &schedule, &est));
+            collect(
+                world,
+                &scanner,
+                &mut txid_map,
+                &mut results,
+                Some((sent_at, &mut est)),
+            );
+            txid_map.clear();
+        }
+    }
 
     let out: HashMap<Ipv4Addr, ChaosObservation> = results
         .into_iter()
@@ -85,11 +165,15 @@ pub fn chaos_scan(
     reg.counter_with("scanner.responses", &chaos)
         .add(responders);
     reg.counter("scanner.chaos_silent").add(silent);
+    if retries > 0 {
+        reg.counter_with("scanner.retries", &chaos).add(retries);
+    }
     sp.attr("probes_sent", seq as u64);
     sp.attr("responders", responders);
     sp.attr("silent", silent);
+    sp.attr("retries", retries);
     sp.finish(world.now().millis());
-    out
+    (out, retries)
 }
 
 /// Like [`chaos_scan`], but also writes each responding resolver into
@@ -101,10 +185,11 @@ pub fn chaos_scan_with_sink(
     vantage: Ipv4Addr,
     resolvers: &[Ipv4Addr],
     seed: u64,
+    policy: &ProbePolicy,
     sink: &mut dyn scanstore::ObservationSink,
-) -> HashMap<Ipv4Addr, ChaosObservation> {
+) -> (HashMap<Ipv4Addr, ChaosObservation>, u64) {
     use scanstore::{flags, Observation};
-    let observations = chaos_scan(world, vantage, resolvers, seed);
+    let (observations, retries) = chaos_scan_with_policy(world, vantage, resolvers, seed, policy);
     let now_ms = world.now().millis();
     for (&ip, obs) in &observations {
         let (outcome, software) = match obs {
@@ -119,7 +204,7 @@ pub fn chaos_scan_with_sink(
             ..Observation::at(u32::from(ip), Rcode::NoError.to_u8(), now_ms)
         });
     }
-    observations
+    (observations, retries)
 }
 
 fn collect(
@@ -127,8 +212,9 @@ fn collect(
     scanner: &SimScanner,
     txid_map: &mut HashMap<u16, (Ipv4Addr, usize)>,
     results: &mut HashMap<Ipv4Addr, Vec<Option<Message>>>,
+    mut rtt: Option<(u64, &mut RttEstimator)>,
 ) {
-    for (_off, _t, dgram) in scanner.drain(world) {
+    for (_off, t, dgram) in scanner.drain(world) {
         let Ok(msg) = Message::decode(&dgram.payload) else {
             continue;
         };
@@ -139,6 +225,11 @@ fn collect(
             if let Some(slots) = results.get_mut(&ip) {
                 if slots[which].is_none() {
                     slots[which] = Some(msg);
+                    // Retransmission rounds feed the adaptive-timeout
+                    // estimator with observed round trips.
+                    if let Some((sent_at, est)) = &mut rtt {
+                        est.observe(t.millis().saturating_sub(*sent_at) as f64);
+                    }
                 }
             }
         }

@@ -13,6 +13,7 @@
 //! resume.
 
 use crate::encode::{target_from_qname, EnumProbeTemplate};
+use crate::probe::{ProbePolicy, RttEstimator};
 use crate::simio::SimScanner;
 use dnswire::{Message, Rcode};
 use netsim::SimTime;
@@ -61,6 +62,20 @@ pub fn probe_alive(
     cohort: &[Ipv4Addr],
     seed: u64,
 ) -> HashSet<Ipv4Addr> {
+    probe_alive_with_policy(world, vantage, cohort, seed, &ProbePolicy::single()).0
+}
+
+/// [`probe_alive`] under an explicit [`ProbePolicy`]: addresses that
+/// stayed silent are re-probed in backed-off retransmission rounds.
+/// Returns the alive set and the number of retransmissions sent. A
+/// single-attempt policy is byte-identical to [`probe_alive`].
+pub fn probe_alive_with_policy(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    cohort: &[Ipv4Addr],
+    seed: u64,
+    policy: &ProbePolicy,
+) -> (HashSet<Ipv4Addr>, u64) {
     let zone = world.catalog.scan_zone.clone();
     let scanner = SimScanner::open(world, vantage);
     let tmpl = EnumProbeTemplate::new(&zone, seed);
@@ -77,6 +92,38 @@ pub fn probe_alive(
     }
     scanner.pump(world, 5_000);
     collect_alive(world, &scanner, &mut alive);
+
+    // Retransmission rounds: the probe template is deterministic per
+    // target, but resending at a later sim time re-rolls its fate.
+    let mut retries = 0u64;
+    if policy.attempts > 1 {
+        let est = RttEstimator::new();
+        let schedule = policy.schedule(seed ^ 0xC4_0412);
+        for round in 0..(policy.attempts - 1) as usize {
+            let missing: Vec<Ipv4Addr> = cohort
+                .iter()
+                .copied()
+                .filter(|ip| !alive.contains(ip))
+                .collect();
+            if missing.is_empty() {
+                break;
+            }
+            let mut batch = 0usize;
+            for &ip in &missing {
+                scanner.send(world, 0, ip, tmpl.probe(ip));
+                batch += 1;
+                if batch.is_multiple_of(BATCH) {
+                    scanner.pump(world, 500);
+                    collect_alive(world, &scanner, &mut alive);
+                }
+            }
+            sent += missing.len();
+            retries += missing.len() as u64;
+            scanner.pump(world, policy.wait_ms(round, &schedule, &est));
+            collect_alive(world, &scanner, &mut alive);
+        }
+    }
+
     let reg = telemetry::global();
     let churn = [("campaign", "churn")];
     reg.counter_with("scanner.probes_sent", &churn)
@@ -85,7 +132,10 @@ pub fn probe_alive(
         .add(alive.len() as u64);
     reg.counter_with("scanner.timeouts", &churn)
         .add((sent as u64).saturating_sub(alive.len() as u64));
-    alive
+    if retries > 0 {
+        reg.counter_with("scanner.retries", &churn).add(retries);
+    }
+    (alive, retries)
 }
 
 fn collect_alive(world: &mut World, scanner: &SimScanner, alive: &mut HashSet<Ipv4Addr>) {

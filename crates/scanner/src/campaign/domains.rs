@@ -2,6 +2,7 @@
 //! at every open resolver, with the 25-bit resolver-identifier encoding.
 
 use crate::encode::{decode_probe, encode_probe};
+use crate::probe::{ProbePolicy, RttEstimator};
 use crate::simio::{SimScanner, BASE_PORT};
 use dnswire::{Message, MessageBuilder, Rcode, RecordType};
 use serde::{Deserialize, Serialize};
@@ -45,6 +46,31 @@ pub fn scan_domains_streaming(
     seed: u64,
     sink: &mut dyn FnMut(TupleObs),
 ) {
+    scan_domains_streaming_with_policy(
+        world,
+        vantage,
+        resolvers,
+        domains,
+        seed,
+        &ProbePolicy::single(),
+        sink,
+    );
+}
+
+/// [`scan_domains_streaming`] under an explicit [`ProbePolicy`]:
+/// (resolver, domain) probes with no response after the per-domain
+/// grace are retransmitted in backed-off rounds before the scan moves
+/// to the next domain. Returns the number of retransmissions sent. A
+/// single-attempt policy is byte-identical to [`scan_domains_streaming`].
+pub fn scan_domains_streaming_with_policy(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    resolvers: &[Ipv4Addr],
+    domains: &[String],
+    seed: u64,
+    policy: &ProbePolicy,
+    sink: &mut dyn FnMut(TupleObs),
+) -> u64 {
     assert!(
         resolvers.len() < (1 << crate::encode::ID_BITS),
         "resolver list exceeds the 25-bit identifier space"
@@ -52,6 +78,7 @@ pub fn scan_domains_streaming(
     let scanner = SimScanner::open(world, vantage);
     // Response ordinals per (resolver, domain).
     let mut ordinals: HashMap<(u32, u16), u8> = HashMap::new();
+    let mut retries = 0u64;
 
     for (di, domain) in domains.iter().enumerate() {
         let mut sent = 0usize;
@@ -68,8 +95,45 @@ pub fn scan_domains_streaming(
         // Per-domain grace so cross-domain TXID collisions cannot happen.
         scanner.pump(world, 4_000);
         collect(world, &scanner, resolvers, domains, di, &mut ordinals, sink);
+
+        // Retransmission rounds: probes are identity-encoded (TXID +
+        // port + casing carry the resolver index), so a resend is the
+        // same datagram — only the later send time re-rolls its fate.
+        // With `attempts == 1` this loop never runs.
+        if policy.attempts > 1 {
+            let est = RttEstimator::new();
+            let schedule = policy.schedule(seed ^ 0xD0_0A15 ^ (di as u64) << 16);
+            for round in 0..(policy.attempts - 1) as usize {
+                let missing: Vec<usize> = (0..resolvers.len())
+                    .filter(|&ri| !ordinals.contains_key(&(ri as u32, di as u16)))
+                    .collect();
+                if missing.is_empty() {
+                    break;
+                }
+                let mut batch = 0usize;
+                for &ri in &missing {
+                    let p = encode_probe(ri as u32, domain);
+                    let msg = MessageBuilder::query(p.txid, p.qname.clone(), RecordType::A).build();
+                    scanner.send(world, p.port_offset, resolvers[ri], msg.encode());
+                    batch += 1;
+                    if batch.is_multiple_of(4_096) {
+                        scanner.pump(world, 400);
+                        collect(world, &scanner, resolvers, domains, di, &mut ordinals, sink);
+                    }
+                }
+                retries += missing.len() as u64;
+                scanner.pump(world, policy.wait_ms(round, &schedule, &est));
+                collect(world, &scanner, resolvers, domains, di, &mut ordinals, sink);
+            }
+        }
         let _ = seed;
     }
+    if retries > 0 {
+        telemetry::global()
+            .counter_with("scanner.retries", &[("campaign", "domains")])
+            .add(retries);
+    }
+    retries
 }
 
 /// Convenience: collect all tuples into a vector (tests, small scans).

@@ -1,6 +1,7 @@
 //! DNS cache snooping (Sec. 2.6): non-recursive NS queries for 15 TLDs,
 //! every 60 minutes for 36 hours.
 
+use crate::probe::{ProbePolicy, RttEstimator};
 use crate::simio::SimScanner;
 use dnswire::{Message, MessageBuilder, Name, RecordType};
 use netsim::SimTime;
@@ -54,6 +55,30 @@ pub fn snoop_scan(
     rounds: usize,
     seed: u64,
 ) -> HashMap<Ipv4Addr, SnoopResult> {
+    snoop_scan_with_policy(
+        world,
+        vantage,
+        resolvers,
+        rounds,
+        seed,
+        &ProbePolicy::single(),
+    )
+    .0
+}
+
+/// [`snoop_scan`] under an explicit [`ProbePolicy`]: within each hourly
+/// round, (resolver, TLD) slots still Silent after the native sweep are
+/// retransmitted in backed-off rounds before the hour closes. Returns
+/// the series and the number of retransmissions. A single-attempt
+/// policy is byte-identical to [`snoop_scan`].
+pub fn snoop_scan_with_policy(
+    world: &mut World,
+    vantage: Ipv4Addr,
+    resolvers: &[Ipv4Addr],
+    rounds: usize,
+    seed: u64,
+    policy: &ProbePolicy,
+) -> (HashMap<Ipv4Addr, SnoopResult>, u64) {
     let tld_names: Vec<Name> = world
         .universe
         .tlds()
@@ -77,6 +102,7 @@ pub fn snoop_scan(
         .collect();
 
     let start = world.now();
+    let mut retries = 0u64;
     for round in 0..rounds {
         world.advance_to(SimTime(start.millis() + round as u64 * SimTime::HOUR));
         let scanner = SimScanner::open(world, vantage);
@@ -107,9 +133,56 @@ pub fn snoop_scan(
         }
         scanner.pump(world, 5_000);
         collect(world, &scanner, &txid_map, &mut results, round);
+
+        // Retransmission rounds: resend the (resolver, TLD) slots that
+        // stayed Silent, still inside this round's hour so the cache
+        // state being snooped is the same. With `attempts == 1` this
+        // loop never runs and the campaign is byte-identical.
+        if policy.attempts > 1 {
+            let est = RttEstimator::new();
+            let schedule = policy.schedule(seed ^ 0x5_0090 ^ (round as u64) << 20);
+            txid_map.clear();
+            for retry in 0..(policy.attempts - 1) as usize {
+                let mut missing: Vec<(Ipv4Addr, usize)> = Vec::new();
+                for &ip in resolvers {
+                    for ti in 0..tld_count {
+                        if results[&ip].get(ti, round) == SnoopSample::Silent {
+                            missing.push((ip, ti));
+                        }
+                    }
+                }
+                if missing.is_empty() {
+                    break;
+                }
+                for &(ip, ti) in &missing {
+                    let txid = (seed as u16)
+                        .wrapping_add(seq as u16)
+                        .wrapping_add((round as u16) << 3);
+                    let msg = MessageBuilder::query(txid, tld_names[ti].clone(), RecordType::Ns)
+                        .recursion_desired(false)
+                        .build();
+                    txid_map.insert(txid, (ip, ti));
+                    scanner.send(world, (seq % 509) as u16, ip, msg.encode());
+                    seq += 1;
+                    if seq.is_multiple_of(2_000) {
+                        scanner.pump(world, 300);
+                        collect(world, &scanner, &txid_map, &mut results, round);
+                    }
+                }
+                retries += missing.len() as u64;
+                scanner.pump(world, policy.wait_ms(retry, &schedule, &est));
+                collect(world, &scanner, &txid_map, &mut results, round);
+                txid_map.clear();
+            }
+        }
         scanner.close(world);
     }
-    results
+    if retries > 0 {
+        telemetry::global()
+            .counter_with("scanner.retries", &[("campaign", "snoop")])
+            .add(retries);
+    }
+    (results, retries)
 }
 
 /// Meta keys carried by the snooping campaign's `sample` snapshot.
@@ -145,19 +218,23 @@ pub fn decode_snoop_sample(value: u64) -> SnoopSample {
 /// campaign geometry in meta (rounds, TLD count, authoritative TTLs);
 /// snapshot `1 + round * tld_count + tld` (`snoop-r{round}-t{tld}`)
 /// holds one record per resolver whose sample for that (round, TLD)
-/// was not Silent, encoded in [`Observation::value`].
+/// was not Silent, encoded in [`Observation::value`]. Returns the
+/// series and the number of retransmissions sent under `policy`.
 pub fn snoop_scan_with_sink(
     world: &mut World,
     vantage: Ipv4Addr,
     resolvers: &[Ipv4Addr],
     rounds: usize,
     seed: u64,
+    policy: &ProbePolicy,
     sink: &mut dyn SnapshotSink,
-) -> io::Result<HashMap<Ipv4Addr, SnoopResult>> {
+) -> io::Result<(HashMap<Ipv4Addr, SnoopResult>, u64)> {
     let mut sp = telemetry::span("campaign.snoop", world.now().millis());
     sp.attr("sample", resolvers.len());
     sp.attr("rounds", rounds);
-    let results = snoop_scan(world, vantage, resolvers, rounds, seed);
+    let (results, retries) =
+        snoop_scan_with_policy(world, vantage, resolvers, rounds, seed, policy);
+    sp.attr("retries", retries);
     let now_ms = world.now().millis();
     let tlds = world.universe.tlds();
     let tld_count = tlds.len();
@@ -185,7 +262,7 @@ pub fn snoop_scan_with_sink(
         }
     }
     sp.finish(world.now().millis());
-    Ok(results)
+    Ok((results, retries))
 }
 
 /// Rebuilds the per-resolver snooping series out of a committed store.

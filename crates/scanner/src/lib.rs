@@ -23,21 +23,31 @@ pub mod blacklist;
 pub mod campaign;
 pub mod encode;
 pub mod lfsr;
+pub mod probe;
 pub mod rate;
 pub mod simio;
 pub mod tokio_scan;
 
 pub use blacklist::Blacklist;
-pub use campaign::acquire::{acquire, acquire_trusted, resolve_at, Acquired, FetchedPage};
-pub use campaign::banner::{banner_scan, banner_scan_with_sink, BannerObservation};
-pub use campaign::chaos::{chaos_scan, chaos_scan_with_sink, ChaosObservation};
-pub use campaign::churn::{churn_from_source, track_cohort, track_cohort_with_sink, ChurnResult};
-pub use campaign::domains::{scan_domains, scan_domains_streaming, TupleObs};
+pub use campaign::acquire::{
+    acquire, acquire_trusted, acquire_with_policy, resolve_at, Acquired, FetchedPage,
+};
+pub use campaign::banner::{banner_scan, banner_scan_ex, banner_scan_with_sink, BannerObservation};
+pub use campaign::chaos::{
+    chaos_scan, chaos_scan_with_policy, chaos_scan_with_sink, ChaosObservation,
+};
+pub use campaign::churn::{
+    churn_from_source, probe_alive_with_policy, track_cohort, track_cohort_with_sink, ChurnResult,
+};
+pub use campaign::domains::{
+    scan_domains, scan_domains_streaming, scan_domains_streaming_with_policy, TupleObs,
+};
 pub use campaign::enumerate::{enumerate, enumerate_with_sink, EnumObservation, EnumerationResult};
 pub use campaign::snoop::{
     decode_snoop_sample, encode_snoop_sample, snoop_from_source, snoop_full_ttls_from_source,
-    snoop_scan, snoop_scan_with_sink, SnoopResult, SnoopSample,
+    snoop_scan, snoop_scan_with_policy, snoop_scan_with_sink, SnoopResult, SnoopSample,
 };
 pub use encode::{decode_probe, encode_probe, enumeration_query, target_from_qname};
 pub use lfsr::{IpPermutation, Lfsr};
+pub use probe::{response_coverage, tcp_query_with_retry, Coverage, ProbePolicy, RttEstimator};
 pub use rate::TokenBucket;

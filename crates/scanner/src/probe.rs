@@ -1,0 +1,395 @@
+//! The unified probe engine: retry/backoff policy, adaptive timeouts,
+//! and per-campaign coverage accounting.
+//!
+//! The paper's client-side scans retransmit queries and tolerate
+//! partial coverage (Sec. 2.2, Sec. 3.1); only the ZMap-style
+//! enumeration sweep is deliberately single-probe. One [`ProbePolicy`]
+//! describes the retransmission regime every retrying campaign uses:
+//! bounded attempts, exponential backoff with deterministic jitter, and
+//! EWMA-RTT adaptive response timeouts. [`Coverage`] is the common
+//! accounting of how a campaign fared — so the bundle collector can
+//! declare a campaign *degraded* instead of returning silently thin
+//! results.
+//!
+//! The default policy is a single attempt, under which every campaign's
+//! traffic is byte-identical to the engine-less code path — proven by
+//! `tests/bundle_equivalence.rs`.
+
+use netsim::{SimTime, TcpError, TcpRequest, TcpResponse};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+use worldgen::world::ResponseClass;
+use worldgen::World;
+
+/// Retransmission policy for one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbePolicy {
+    /// Total attempts per target (1 = no retransmission).
+    pub attempts: u32,
+    /// Response wait after the first retransmission round, in ms.
+    pub base_timeout_ms: u64,
+    /// Multiplicative backoff applied to successive waits (≥ 1).
+    pub backoff: f64,
+    /// Apply deterministic ±50% jitter to each wait.
+    pub jitter: bool,
+    /// Shrink waits to an EWMA-RTT-derived RTO when samples exist.
+    pub adaptive_rtt: bool,
+    /// Upper clamp on any single wait, in ms.
+    pub max_timeout_ms: u64,
+}
+
+impl ProbePolicy {
+    /// One attempt, no retransmission — the byte-identity default.
+    pub fn single() -> ProbePolicy {
+        ProbePolicy {
+            attempts: 1,
+            base_timeout_ms: 1_500,
+            backoff: 2.0,
+            jitter: true,
+            adaptive_rtt: true,
+            max_timeout_ms: 6_000,
+        }
+    }
+
+    /// `n` bounded attempts with exponential backoff.
+    pub fn retrying(n: u32) -> ProbePolicy {
+        ProbePolicy {
+            attempts: n.max(1),
+            ..ProbePolicy::single()
+        }
+    }
+
+    /// The full wait schedule, one entry per attempt: exponentially
+    /// backed-off steps, jittered by up to ±50% of the step (keyed on
+    /// `key` and the attempt index, so reruns jitter identically), then
+    /// clamped to be monotone non-decreasing. The monotone clamp keeps
+    /// every delay within `[0.5, 1.5]×` its raw step while never
+    /// letting jitter shrink a later wait below an earlier one.
+    pub fn schedule(&self, key: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.attempts as usize);
+        let mut prev = 0u64;
+        for k in 0..self.attempts {
+            let raw = self.raw_step(k);
+            let jittered = if self.jitter {
+                // j ∈ [-500, 500] per-mille of the step.
+                let j = (mix64(key, 0x9177e4, k as u64) % 1_001) as i64 - 500;
+                let delta = (raw as i64).saturating_mul(j) / 1_000;
+                (raw as i64 + delta).max(1) as u64
+            } else {
+                raw
+            };
+            prev = prev.max(jittered);
+            out.push(prev);
+        }
+        out
+    }
+
+    /// Raw (unjittered) backoff step for attempt `k`, clamped.
+    pub fn raw_step(&self, k: u32) -> u64 {
+        let factor = self.backoff.max(1.0).powi(k as i32);
+        ((self.base_timeout_ms as f64 * factor) as u64).min(self.max_timeout_ms)
+    }
+
+    /// The response wait for retransmission round `round` (0-based):
+    /// the schedule entry, or an RTO derived from observed RTTs when
+    /// adaptive timeouts are on and samples exist — still backed off
+    /// per round and clamped to `max_timeout_ms`.
+    pub fn wait_ms(&self, round: usize, schedule: &[u64], est: &RttEstimator) -> u64 {
+        let fallback = schedule
+            .get(round.min(schedule.len().saturating_sub(1)))
+            .copied()
+            .unwrap_or(self.base_timeout_ms);
+        if self.adaptive_rtt {
+            if let Some(rto) = est.rto_ms() {
+                let grown = rto.saturating_mul(1 << round.min(3));
+                return grown.clamp(250, self.max_timeout_ms);
+            }
+        }
+        fallback
+    }
+}
+
+impl Default for ProbePolicy {
+    fn default() -> Self {
+        ProbePolicy::single()
+    }
+}
+
+/// Classic EWMA round-trip estimator (RFC 6298 coefficients):
+/// `srtt ← 7/8·srtt + 1/8·sample`, `rttvar ← 3/4·rttvar + 1/4·|err|`,
+/// `rto = srtt + 4·rttvar`.
+#[derive(Debug, Clone, Default)]
+pub struct RttEstimator {
+    srtt: f64,
+    rttvar: f64,
+    samples: u64,
+}
+
+impl RttEstimator {
+    pub fn new() -> RttEstimator {
+        RttEstimator::default()
+    }
+
+    /// Feed one round-trip sample in milliseconds.
+    pub fn observe(&mut self, rtt_ms: f64) {
+        if self.samples == 0 {
+            self.srtt = rtt_ms;
+            self.rttvar = rtt_ms / 2.0;
+        } else {
+            let err = (self.srtt - rtt_ms).abs();
+            self.rttvar = 0.75 * self.rttvar + 0.25 * err;
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt_ms;
+        }
+        self.samples += 1;
+    }
+
+    /// Retransmission timeout, when at least one sample exists.
+    pub fn rto_ms(&self) -> Option<u64> {
+        (self.samples > 0).then(|| (self.srtt + 4.0 * self.rttvar).ceil() as u64)
+    }
+
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// How a campaign fared against its target set.
+///
+/// `space` coverage (the enumeration campaigns) counts probes against
+/// the planned address space — single-probe sweeps answer "did we scan
+/// everything we meant to". Response coverage (the retrying campaigns)
+/// counts answers against targets that *could* have answered: targets
+/// with no live responder behind them (`unreachable`) are excluded from
+/// the denominator, so coverage measures the scanner, not the churn.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coverage {
+    /// Targets (or probes, for space coverage) the campaign attempted.
+    pub attempted: u64,
+    /// Targets that answered (probes sent, for space coverage).
+    pub answered: u64,
+    /// Reachable targets that never answered despite every attempt.
+    pub gave_up: u64,
+    /// Targets with no live responder (dead, renumbered, filtered).
+    pub unreachable: u64,
+    /// Retransmissions sent.
+    pub retries: u64,
+    /// True when this row measures scanned space, not responses.
+    pub space: bool,
+}
+
+impl Coverage {
+    /// Space coverage for a single-probe sweep: `sent` of `planned`
+    /// probes dispatched (the remainder was skipped, e.g. blacklisted).
+    pub fn space(planned: u64, sent: u64) -> Coverage {
+        Coverage {
+            attempted: planned,
+            answered: sent,
+            unreachable: planned - sent,
+            space: true,
+            ..Coverage::default()
+        }
+    }
+
+    /// Fraction of reachable targets covered, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        let reachable = self.attempted.saturating_sub(self.unreachable);
+        if reachable == 0 {
+            1.0
+        } else {
+            self.answered as f64 / reachable as f64
+        }
+    }
+
+    /// Merge another coverage row into this one (multi-round
+    /// campaigns accumulate per-round rows).
+    pub fn absorb(&mut self, other: &Coverage) {
+        self.attempted += other.attempted;
+        self.answered += other.answered;
+        self.gave_up += other.gave_up;
+        self.unreachable += other.unreachable;
+        self.retries += other.retries;
+        self.space |= other.space;
+    }
+}
+
+/// Response coverage of `targets` given the set that `answered`:
+/// unanswered targets count as `unreachable` when no live resolver sits
+/// behind the address right now (or its AS is border-filtered), and as
+/// `gave_up` when a responder was there and we still got nothing.
+pub fn response_coverage(
+    world: &World,
+    targets: &[Ipv4Addr],
+    require_noerror: bool,
+    answered: &HashSet<Ipv4Addr>,
+    retries: u64,
+) -> Coverage {
+    let idx = world.responder_index();
+    let week = (world.now().millis() / SimTime::WEEK) as u32;
+    let mut cov = Coverage {
+        attempted: targets.len() as u64,
+        retries,
+        ..Coverage::default()
+    };
+    for &ip in targets {
+        if answered.contains(&ip) {
+            cov.answered += 1;
+            continue;
+        }
+        let expected = world
+            .net
+            .host_at(ip)
+            .and_then(|h| idx.get(&h))
+            .map(|s| {
+                s.alive
+                    && (!require_noerror || s.class == ResponseClass::NoError)
+                    && !world
+                        .border_filtered_asns
+                        .iter()
+                        .any(|&(asn, w)| s.asn == asn && week >= w)
+            })
+            .unwrap_or(false);
+        if expected {
+            cov.gave_up += 1;
+        } else {
+            cov.unreachable += 1;
+        }
+    }
+    cov
+}
+
+/// Issue a TCP request with the policy's bounded retransmission:
+/// timeouts are retried after the backoff delay (advancing simulated
+/// time — retrying at the same instant would deterministically re-roll
+/// the same outcome), other errors return immediately. Returns the
+/// final outcome and the number of retries spent.
+pub fn tcp_query_with_retry(
+    net: &mut netsim::Network,
+    policy: &ProbePolicy,
+    campaign: &'static str,
+    dst: Ipv4Addr,
+    port: u16,
+    req: &TcpRequest,
+) -> (Result<TcpResponse, TcpError>, u64) {
+    let mut last = net.tcp_query(dst, port, req);
+    if policy.attempts <= 1 {
+        return (last, 0);
+    }
+    let schedule = policy.schedule(mix64(u32::from(dst) as u64, port as u64, 0x7c9e77));
+    let mut retries = 0u64;
+    for k in 1..policy.attempts {
+        if !matches!(last, Err(TcpError::Timeout)) {
+            break;
+        }
+        let delay = schedule[(k - 1) as usize];
+        let target = net.now() + delay;
+        net.run_until(target);
+        retries += 1;
+        last = net.tcp_query(dst, port, req);
+    }
+    if retries > 0 {
+        telemetry::global()
+            .counter_with("scanner.retries", &[("campaign", campaign)])
+            .add(retries);
+    }
+    (last, retries)
+}
+
+/// SplitMix64-style mixing — same construction as netsim's internal
+/// hash, reimplemented here because probe jitter is scanner-side
+/// randomness, deliberately decoupled from the network's channels.
+pub(crate) fn mix64(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(b.rotate_left(17))
+        .wrapping_add(c.wrapping_mul(0xbf58476d1ce4e5b9));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_policy_is_default_and_has_one_attempt() {
+        assert_eq!(ProbePolicy::default(), ProbePolicy::single());
+        assert_eq!(ProbePolicy::single().attempts, 1);
+        assert_eq!(ProbePolicy::retrying(0).attempts, 1);
+    }
+
+    #[test]
+    fn rtt_estimator_converges_and_rto_exceeds_srtt() {
+        let mut est = RttEstimator::new();
+        assert_eq!(est.rto_ms(), None);
+        for _ in 0..64 {
+            est.observe(100.0);
+        }
+        let rto = est.rto_ms().unwrap();
+        // Constant samples: srtt → 100, rttvar → 0; rto ≥ srtt.
+        assert!((100..=200).contains(&rto), "rto={rto}");
+        est.observe(900.0);
+        assert!(est.rto_ms().unwrap() > rto, "spike must raise the rto");
+    }
+
+    #[test]
+    fn coverage_fraction_excludes_unreachable() {
+        let cov = Coverage {
+            attempted: 100,
+            answered: 90,
+            gave_up: 0,
+            unreachable: 10,
+            retries: 0,
+            space: false,
+        };
+        assert!((cov.fraction() - 1.0).abs() < 1e-9);
+        let empty = Coverage::default();
+        assert!((empty.fraction() - 1.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Backoff schedule properties: delays are monotone
+        /// non-decreasing, each within ±50% of its raw exponential
+        /// step, and the total wait is bounded by 1.5× the raw total.
+        #[test]
+        fn backoff_schedule_properties(
+            key in any::<u64>(),
+            attempts in 1u32..8,
+            base in 100u64..3_000,
+            backoff in 1.0f64..3.0,
+            jitter in any::<bool>(),
+        ) {
+            let policy = ProbePolicy {
+                attempts,
+                base_timeout_ms: base,
+                backoff,
+                jitter,
+                adaptive_rtt: false,
+                max_timeout_ms: 60_000,
+            };
+            let sched = policy.schedule(key);
+            prop_assert_eq!(sched.len(), attempts as usize);
+            let mut raw_total = 0u64;
+            for (k, &d) in sched.iter().enumerate() {
+                let raw = policy.raw_step(k as u32);
+                raw_total += raw;
+                if k > 0 {
+                    prop_assert!(d >= sched[k - 1], "monotone: {:?}", sched);
+                }
+                // With backoff ≥ 1 the monotone clamp never pushes a
+                // delay above 1.5× its own step, and jitter never cuts
+                // below half the step.
+                prop_assert!(d <= raw + raw / 2, "delay {} step {}", d, raw);
+                prop_assert!(d >= raw / 2, "delay {} step {}", d, raw);
+            }
+            let total: u64 = sched.iter().sum();
+            prop_assert!(total <= raw_total + raw_total / 2, "total wait bounded");
+            // Determinism: the same key yields the same schedule.
+            prop_assert_eq!(sched, policy.schedule(key));
+        }
+    }
+}

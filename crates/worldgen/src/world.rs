@@ -315,6 +315,37 @@ impl World {
         }
         out
     }
+
+    /// One-shot index of every resolver's current responder state,
+    /// keyed by host — built once per coverage computation so
+    /// per-target lookups stay O(1) (`net.host_at` + one hash probe)
+    /// instead of scanning the resolver table per address.
+    pub fn responder_index(&self) -> std::collections::HashMap<netsim::HostId, ResponderState> {
+        self.resolvers
+            .iter()
+            .map(|m| {
+                (
+                    m.host,
+                    ResponderState {
+                        class: m.response_class,
+                        alive: m.alive.load(Ordering::Relaxed),
+                        asn: m.asn,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Snapshot of one resolver's liveness for coverage accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponderState {
+    /// Enumeration response class.
+    pub class: ResponseClass,
+    /// Whether the resolver is currently alive.
+    pub alive: bool,
+    /// Originating AS (for border-filter checks).
+    pub asn: u32,
 }
 
 impl std::fmt::Debug for World {

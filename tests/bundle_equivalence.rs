@@ -10,6 +10,8 @@
 
 use goingwild::experiments::{self, DeriveOptions, Experiment};
 use goingwild::{collect_bundle, BundleOptions, CampaignKind, WorldConfig};
+use netsim::FaultPlan;
+use scanner::ProbePolicy;
 use std::collections::BTreeMap;
 
 #[test]
@@ -72,5 +74,67 @@ fn subset_derivations_match_full_bundle_and_campaigns_run_once() {
                 exp.id
             );
         }
+    }
+}
+
+/// The chaos-ready machinery must be invisible when disarmed: a bundle
+/// collected with an explicitly installed no-op fault plan, the default
+/// single-attempt probe policy, and coverage accounting on derives
+/// byte-identical reports to the plain default-options bundle.
+#[test]
+fn noop_fault_plan_and_single_probe_policy_are_byte_identical() {
+    let cfg = WorldConfig {
+        weeks: 2,
+        ..WorldConfig::tiny(20151028)
+    };
+    let base = BundleOptions {
+        snoop_sample: 60,
+        snoop_rounds: 4,
+        ..BundleOptions::new(cfg.clone())
+    };
+    let disarmed = BundleOptions {
+        faults: Some(FaultPlan::none()),
+        probe: ProbePolicy::single(),
+        coverage: true,
+        ..base.clone()
+    };
+    let dopts = DeriveOptions {
+        cfg: cfg.clone(),
+        ..DeriveOptions::default()
+    };
+    let plain = collect_bundle(&base, &CampaignKind::ALL, None).expect("plain bundle");
+    let chaos_ready = collect_bundle(&disarmed, &CampaignKind::ALL, None).expect("disarmed bundle");
+    let exps: Vec<&'static Experiment> = experiments::REGISTRY
+        .iter()
+        .filter(|e| !e.requires.is_empty())
+        .collect();
+    let a = experiments::derive_all(&plain, &exps, &dopts);
+    let b = experiments::derive_all(&chaos_ready, &exps, &dopts);
+    for ((exp, ra), rb) in exps.iter().zip(a).zip(b) {
+        assert_eq!(
+            ra.expect("derive plain").text,
+            rb.expect("derive disarmed").text,
+            "experiment `{}` must be unaffected by a disarmed fault/retry engine",
+            exp.id
+        );
+    }
+    // And every campaign earned a coverage row during collection.
+    for kind in CampaignKind::ALL {
+        let cov = chaos_ready
+            .coverage()
+            .get(&kind)
+            .unwrap_or_else(|| panic!("campaign `{}` must report coverage", kind.name()));
+        assert!(
+            cov.attempted > 0,
+            "campaign `{}` coverage must count attempts",
+            kind.name()
+        );
+        // On the pristine tiny network nothing times out wholesale.
+        assert!(
+            cov.fraction() > 0.5,
+            "campaign `{}` fraction {} suspiciously low on a pristine network",
+            kind.name(),
+            cov.fraction()
+        );
     }
 }

@@ -6,7 +6,9 @@
 //! probability `(1-p)²` and the observed fleet shrinks accordingly.
 
 use goingwild::{run_analysis, AnalysisOptions, WorldConfig};
-use scanner::enumerate;
+use netsim::{FaultEvent, FaultPlan, SimTime};
+use scanner::{enumerate, probe_alive_with_policy, Coverage, ProbePolicy};
+use std::net::Ipv4Addr;
 use worldgen::build_world;
 
 const SEED: u64 = 20151028;
@@ -92,4 +94,108 @@ fn analysis_pipeline_survives_packet_loss() {
     // China still dominates social-media manipulation.
     let cn = report.fig4.unexpected_share("CN");
     assert!(cn > 0.4, "CN unexpected share {cn}");
+}
+
+/// Runs one churn liveness probe over a cohort with `target` flapping
+/// (host down) for the first 4 seconds of the round. Returns the alive
+/// set. Everything is deterministic, so the two policies see the exact
+/// same world and the exact same flap.
+fn churn_round_with_flap(policy: &ProbePolicy) -> (std::collections::HashSet<Ipv4Addr>, Ipv4Addr) {
+    let mut world = build_world(lossy_cfg(0.0));
+    let vantage = world.scanner_ip;
+    let cohort = enumerate(&mut world, vantage, SEED).noerror_ips();
+    let target = cohort[cohort.len() / 2];
+    // The network clock, not `world.now()`: campaigns pump the network
+    // directly and the world's lease clock only catches up lazily.
+    let t0 = world.net.now();
+    world.net.set_fault_plan(FaultPlan {
+        events: vec![FaultEvent::HostDown {
+            ip: target,
+            from: t0,
+            until: SimTime(t0.millis() + 4_000),
+        }],
+        seed: 1,
+        ..FaultPlan::none()
+    });
+    let (alive, _) = probe_alive_with_policy(&mut world, vantage, &cohort, 0x11, policy);
+    (alive, target)
+}
+
+#[test]
+fn flapping_resolver_during_churn_is_not_misreported_as_gone() {
+    // A resolver that flaps exactly while the churn round's single
+    // probe is in flight looks like a leaver — the misclassification
+    // the retry engine exists to prevent. The native pass sends at the
+    // round's start and waits 5 s before giving up, so the first
+    // retransmission lands after the 4 s flap has healed.
+    let (alive_single, target) = churn_round_with_flap(&ProbePolicy::single());
+    assert!(
+        !alive_single.contains(&target),
+        "without retries the flapping resolver must be missed \
+         (otherwise this test exercises nothing)"
+    );
+    let (alive_retry, target) = churn_round_with_flap(&ProbePolicy::retrying(3));
+    assert!(
+        alive_retry.contains(&target),
+        "a resolver that flaps for 4 s mid-round must be recovered by \
+         the retransmission rounds, not reported as churned away"
+    );
+}
+
+#[test]
+fn retrying_campaign_under_iid_loss_recovers_the_lossless_fleet() {
+    // The lossless fleet and its one-probe-per-address liveness
+    // baseline.
+    let (fleet, baseline) = {
+        let mut world = build_world(lossy_cfg(0.0));
+        let vantage = world.scanner_ip;
+        let fleet = enumerate(&mut world, vantage, SEED).noerror_ips();
+        let (alive, _) =
+            probe_alive_with_policy(&mut world, vantage, &fleet, 0x11, &ProbePolicy::single());
+        (fleet, alive.len())
+    };
+    // The same campaign instant under 5% i.i.d. loss: enumeration
+    // advances the network clock on a fixed schedule, so re-running it
+    // synchronizes the probe round with the baseline world.
+    let alive_at = |policy: &ProbePolicy| {
+        let mut world = build_world(lossy_cfg(0.05));
+        let vantage = world.scanner_ip;
+        let _ = enumerate(&mut world, vantage, SEED);
+        probe_alive_with_policy(&mut world, vantage, &fleet, 0x11, policy)
+            .0
+            .len()
+    };
+    let single = alive_at(&ProbePolicy::single());
+    let retried = alive_at(&ProbePolicy::retrying(3));
+    // One probe survives the round trip with ≈0.95² ≈ 90% probability…
+    assert!(
+        (single as f64) < 0.97 * baseline as f64,
+        "single-probe under 5% loss should fall well short of the \
+         lossless baseline: {single} vs {baseline}"
+    );
+    // …while three backed-off attempts recover ≥99% of the fleet.
+    assert!(
+        (retried as f64) >= 0.99 * baseline as f64,
+        "three attempts under 5% loss must recover ≥99% of the \
+         lossless fleet: {retried} vs {baseline}"
+    );
+}
+
+#[test]
+fn coverage_fraction_reflects_gave_up_but_not_unreachable() {
+    let mut cov = Coverage {
+        attempted: 100,
+        answered: 90,
+        gave_up: 5,
+        unreachable: 5,
+        retries: 7,
+        space: false,
+    };
+    // 90 answered of 95 reachable: unreachable hosts (nobody there to
+    // answer) don't count against the scanner.
+    assert!((cov.fraction() - 90.0 / 95.0).abs() < 1e-9);
+    cov.absorb(&Coverage::space(10, 10));
+    assert_eq!(cov.attempted, 110);
+    assert_eq!(cov.answered, 100);
+    assert!(cov.space, "absorbing a space row marks the aggregate");
 }
