@@ -3,11 +3,12 @@
 //!
 //! Beyond the criterion timings printed to stdout, `main` re-measures
 //! each figure single-shot and dumps a machine-readable summary to
-//! `BENCH_scanstore.json` at the workspace root. The summary is a
-//! telemetry metrics snapshot (`goingwild.metrics.v1`): the store's own
-//! `scanstore.*` instrumentation supplies the byte/segment counters and
-//! the bench adds its throughput figures as `bench.scanstore.*` gauges.
+//! `BENCH_scanstore.json` at the workspace root in the normalized
+//! `goingwild.bench.v1` schema ([`bench::perf::BenchReport`]): the
+//! store's own `scanstore.*` instrumentation supplies the byte/segment
+//! counters and the throughput figures land in `derived`.
 
+use bench::perf::{peak_rss_kb, BenchConfig, BenchReport};
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use scanstore::{CampaignStore, Observation, SnapshotSink, SnapshotSource};
 use std::path::{Path, PathBuf};
@@ -41,7 +42,7 @@ fn synth_week(store: &mut dyn SnapshotSink, week: u32, per_week: u32) {
     let country = store.intern("CN");
     for i in 0..per_week {
         let ip = 0x0a00_0000 + i * 11;
-        if (ip as u64 + week as u64) % 7 == 0 {
+        if (ip as u64 + week as u64).is_multiple_of(7) {
             continue; // rotated out this week
         }
         let mut obs = Observation::at(ip, 0, 1_000_000 + week as u64 * 604_800_000);
@@ -122,17 +123,20 @@ fn bench_read(c: &mut Criterion) {
 
 criterion_group!(benches, bench_write, bench_read);
 
-fn rate_gauges(what: &str, records: u64, seconds: f64) {
-    telemetry::gauge_with("bench.scanstore.records", &[("op", what)]).set(records as f64);
-    telemetry::gauge_with("bench.scanstore.seconds", &[("op", what)]).set(seconds);
-    telemetry::gauge_with("bench.scanstore.records_per_sec", &[("op", what)])
-        .set(records as f64 / seconds);
+fn rates(report: &mut BenchReport, what: &str, records: u64, seconds: f64) {
+    report
+        .derived
+        .insert(format!("{what}_records"), records as f64);
+    report.derived.insert(format!("{what}_seconds"), seconds);
+    report
+        .derived
+        .insert(format!("{what}_records_per_sec"), records as f64 / seconds);
 }
 
 /// Single-shot re-measurement feeding `BENCH_scanstore.json`: runs with
-/// a cleared global registry so the emitted snapshot holds exactly this
-/// workload's `scanstore.*` counters plus the bench throughput gauges.
-fn summary() -> telemetry::Snapshot {
+/// a cleared global registry so the emitted report holds exactly this
+/// workload's `scanstore.*` counters plus the throughput figures.
+fn summary() -> BenchReport {
     telemetry::global().clear();
     let tmp = TempDir::new("summary");
     let start = Instant::now();
@@ -157,19 +161,38 @@ fn summary() -> telemetry::Snapshot {
         .expect("scan");
     let scan_secs = start.elapsed().as_secs_f64();
 
-    telemetry::gauge("bench.scanstore.weeks").set(WEEKS as f64);
-    telemetry::gauge("bench.scanstore.records_per_week").set(PER_WEEK as f64);
-    rate_gauges("write", stats.upserts_total, write_secs);
-    rate_gauges("diff_cursor", upserts, diff_secs);
-    rate_gauges("snapshot_scan", records, scan_secs);
-    telemetry::snapshot()
+    let mut report = BenchReport::new(
+        "scanstore",
+        BenchConfig {
+            weeks: WEEKS,
+            ..BenchConfig::default()
+        },
+    );
+    report.wall_clock_ms = ((write_secs + diff_secs + scan_secs) * 1000.0) as u64;
+    report.peak_rss_kb = peak_rss_kb();
+    for (k, v) in &telemetry::snapshot().counters {
+        if k.starts_with("scanstore.") {
+            report.counters.insert(k.clone(), *v);
+        }
+    }
+    report
+        .derived
+        .insert("records_per_week".into(), PER_WEEK as f64);
+    rates(&mut report, "write", stats.upserts_total, write_secs);
+    rates(&mut report, "diff_cursor", upserts, diff_secs);
+    rates(&mut report, "snapshot_scan", records, scan_secs);
+    report.notes = format!(
+        "single-shot re-measurement after the criterion groups; {} weeks x {} records",
+        WEEKS, PER_WEEK
+    );
+    report
 }
 
 fn main() {
     benches();
-    let snap = summary();
+    let report = summary();
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scanstore.json");
-    std::fs::write(&out, snap.to_json()).expect("write BENCH_scanstore.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report") + "\n";
+    std::fs::write(&out, json).expect("write BENCH_scanstore.json");
     println!("wrote {}", out.display());
-    print!("{}", snap.to_table());
 }

@@ -5,9 +5,10 @@
 //! The workload is pure event-loop churn — every datagram crosses the
 //! instrumented send/schedule/dispatch/deliver path twice — so it is a
 //! worst case for the per-packet counter cost. `main` writes the
-//! comparison to `BENCH_telemetry.json` at the workspace root as a
-//! telemetry metrics snapshot; the budget is < 3% overhead.
+//! comparison to `BENCH_telemetry.json` at the workspace root in the
+//! normalized `goingwild.bench.v1` schema; the budget is < 3% overhead.
 
+use bench::perf::{peak_rss_kb, BenchConfig, BenchReport};
 use netsim::host::EchoHost;
 use netsim::{Datagram, Network, NetworkConfig, SimTime};
 use std::net::Ipv4Addr;
@@ -75,18 +76,28 @@ fn main() {
     );
     let overhead_pct = 100.0 * (secs_on / secs_off - 1.0);
 
-    telemetry::global().clear();
-    telemetry::gauge("bench.telemetry.packets").set(PACKETS as f64);
-    telemetry::gauge("bench.telemetry.delivered").set(delivered_on as f64);
-    telemetry::gauge_with("bench.telemetry.seconds", &[("instrumentation", "on")]).set(secs_on);
-    telemetry::gauge_with("bench.telemetry.seconds", &[("instrumentation", "off")]).set(secs_off);
-    telemetry::gauge("bench.telemetry.overhead_pct").set(overhead_pct);
-    telemetry::gauge("bench.telemetry.overhead_budget_pct").set(3.0);
-    let snap = telemetry::snapshot();
+    let mut report = BenchReport::new(
+        "telemetry_overhead",
+        BenchConfig {
+            seed: 42,
+            ..BenchConfig::default()
+        },
+    );
+    report.wall_clock_ms = (secs_on * 1000.0) as u64;
+    report.peak_rss_kb = peak_rss_kb();
+    report.derived.insert("packets".into(), PACKETS as f64);
+    report
+        .derived
+        .insert("delivered".into(), delivered_on as f64);
+    report.derived.insert("on_seconds".into(), secs_on);
+    report.derived.insert("off_seconds".into(), secs_off);
+    report.derived.insert("overhead_pct".into(), overhead_pct);
+    report.derived.insert("overhead_budget_pct".into(), 3.0);
+    report.notes = "netsim echo workload, instrumentation on vs off, best of 5".into();
 
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_telemetry.json");
-    std::fs::write(&out, snap.to_json()).expect("write BENCH_telemetry.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report") + "\n";
+    std::fs::write(&out, json).expect("write BENCH_telemetry.json");
     println!("wrote {}", out.display());
-    print!("{}", snap.to_table());
     println!("overhead: {overhead_pct:.2}% (on {secs_on:.3}s vs off {secs_off:.3}s, budget 3%)");
 }

@@ -5,6 +5,8 @@
 //! repro --exp fig1 --weeks 12
 //! repro --exp fig1 --store runs/main   # collect once, re-serve from disk
 //! repro --list
+//! repro trace run.gwrs --probe 4.9.0.2 # replay one probe's timeline
+//! repro bench --against BENCH_repro_all.json --threshold 25
 //! ```
 //!
 //! Collect once, derive many: the selected experiments' campaign
@@ -29,6 +31,14 @@
 //!   `collect.campaign_runs{campaign=…}`;
 //! * `--trace <path>` — stream JSON-lines span/event records (sim-time
 //!   only, byte-stable for a fixed seed);
+//! * `--record <path>` — arm the flight recorder and persist its
+//!   probe-level records (attempt → backoff → fault drop → response /
+//!   give-up) as a [`scanstore`] `GWRS` stream, replayable with
+//!   `repro trace <path>`; `--record-rate <f>` samples targets
+//!   deterministically (all-or-none per IP, default 1.0);
+//! * `--profile <path>` — enable the sim-time profiler and write a
+//!   flamegraph "folded" stack file (`path self_sim_ms` per line);
+//!   `-v` also prints the per-span quantile table on stderr;
 //! * `--quiet` / `-v` — status verbosity on stderr (reports on stdout
 //!   are unaffected).
 //!
@@ -43,13 +53,29 @@
 //! * `--strict-coverage <pct>` — print the per-campaign coverage
 //!   summary as usual, but exit with code 3 if any campaign's response
 //!   coverage falls below the gate.
+//!
+//! Subcommands:
+//!
+//! * `repro trace <stream.gwrs> [--campaign c] [--probe a.b.c.d]
+//!   [--asn n] [--fault reason] [--gave-up] [--limit n]` — query a
+//!   recorded stream: reconstruct a probe's full timeline, list the
+//!   probes a fault kind killed, or summarize the whole stream;
+//! * `repro bench [--bench repro_all|recorder_overhead] [--out p.json]
+//!   [--against baseline.json] [--threshold pct] <workload flags>` —
+//!   run a perf benchmark and emit a `goingwild.bench.v1` report;
+//!   with `--against`, exit 2 on workload mismatch and 4 on a
+//!   wall-clock regression beyond the threshold.
 
+use bench::perf::{self, BenchConfig, BenchReport, CompareError};
 use goingwild::experiments::{self, known_experiment, DeriveOptions, Experiment, REGISTRY};
 use goingwild::{collect_bundle, BundleOptions, CampaignKind, WorldConfig};
 use netsim::FaultPlan;
 use scanner::ProbePolicy;
+use scanstore::StoredRecord;
 use std::collections::BTreeSet;
-use std::path::PathBuf;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+use telemetry::recorder::RecordKind;
 
 struct Args {
     exp: String,
@@ -73,6 +99,12 @@ struct Args {
     metrics: Option<String>,
     /// Stream JSON-lines trace records (spans + events) to this file.
     trace: Option<String>,
+    /// Persist flight-recorder probe records to this GWRS stream.
+    record: Option<String>,
+    /// Deterministic per-IP sampling rate for the flight recorder.
+    record_rate: f64,
+    /// Write the sim-time profiler's folded stacks to this file.
+    profile: Option<String>,
     /// Status verbosity on stderr: 0 = --quiet, 1 = default, 2 = -v.
     verbosity: u8,
 }
@@ -84,13 +116,16 @@ fn usage_error(msg: &str) -> ! {
 }
 
 fn print_experiment_list() {
-    println!("experiment ids accepted by --exp (plus `all`):");
+    use std::fmt::Write as _;
+    let mut out = String::from("experiment ids accepted by --exp (plus `all`):\n");
     for e in REGISTRY {
-        println!("  {:<10} {}", e.id, e.title);
+        let _ = writeln!(out, "  {:<10} {}", e.id, e.title);
     }
+    // One write, errors ignored: `repro --list | head` must not panic.
+    let _ = std::io::Write::write_all(&mut std::io::stdout(), out.as_bytes());
 }
 
-fn parse_args() -> Args {
+fn parse_args(argv: Vec<String>) -> Args {
     let mut args = Args {
         exp: "all".to_string(),
         scale: 0.0005,
@@ -104,9 +139,12 @@ fn parse_args() -> Args {
         store: None,
         metrics: None,
         trace: None,
+        record: None,
+        record_rate: 1.0,
+        profile: None,
         verbosity: 1,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.into_iter();
     while let Some(a) = it.next() {
         let mut grab = || {
             it.next()
@@ -127,6 +165,9 @@ fn parse_args() -> Args {
             "--store" => args.store = Some(PathBuf::from(grab())),
             "--metrics" => args.metrics = Some(grab()),
             "--trace" => args.trace = Some(grab()),
+            "--record" => args.record = Some(grab()),
+            "--record-rate" => args.record_rate = grab().parse().expect("record rate"),
+            "--profile" => args.profile = Some(grab()),
             "--quiet" | "-q" => args.verbosity = 0,
             "-v" | "--verbose" => args.verbosity = 2,
             "--list" => {
@@ -155,10 +196,21 @@ fn parse_args() -> Args {
             usage_error("--strict-coverage expects a percentage in 0..=100");
         }
     }
+    if !(0.0..=1.0).contains(&args.record_rate) {
+        usage_error("--record-rate expects a fraction in 0..=1");
+    }
     // Fail fast on unwritable outputs, before hours of simulation.
-    if let Some(path) = &args.json {
-        if let Err(e) = probe_writable_file(path) {
-            usage_error(&format!("--json path {path} is not writable: {e}"));
+    for (flag, path) in [
+        ("--json", &args.json),
+        ("--metrics", &args.metrics),
+        ("--trace", &args.trace),
+        ("--record", &args.record),
+        ("--profile", &args.profile),
+    ] {
+        if let Some(path) = path {
+            if let Err(e) = probe_writable_file(path) {
+                usage_error(&format!("{flag} path {path} is not writable: {e}"));
+            }
         }
     }
     if let Some(dir) = &args.store {
@@ -167,16 +219,6 @@ fn parse_args() -> Args {
                 "--store dir {} is not writable: {e}",
                 dir.display()
             ));
-        }
-    }
-    if let Some(path) = &args.metrics {
-        if let Err(e) = probe_writable_file(path) {
-            usage_error(&format!("--metrics path {path} is not writable: {e}"));
-        }
-    }
-    if let Some(path) = &args.trace {
-        if let Err(e) = probe_writable_file(path) {
-            usage_error(&format!("--trace path {path} is not writable: {e}"));
         }
     }
     args
@@ -212,8 +254,41 @@ fn cfg_of(args: &Args) -> WorldConfig {
     }
 }
 
+/// The experiments `--exp` selects. For `all`, subsumed experiments'
+/// sections already appear byte-for-byte inside their subsumer's
+/// report, so they are skipped and each section prints exactly once.
+fn select_experiments(exp: &str) -> Vec<&'static Experiment> {
+    if exp == "all" {
+        REGISTRY
+            .iter()
+            .filter(|e| e.subsumed_by.is_none())
+            .collect()
+    } else {
+        vec![experiments::experiment(exp).expect("validated by known_experiment")]
+    }
+}
+
+/// Union of the selected experiments' campaign requirements.
+fn union_kinds(selected: &[&'static Experiment]) -> Vec<CampaignKind> {
+    selected
+        .iter()
+        .flat_map(|e| e.requires.iter().copied())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect()
+}
+
 fn main() {
-    let args = parse_args();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("trace") => trace_main(argv[1..].to_vec()),
+        Some("bench") => bench_main(argv[1..].to_vec()),
+        _ => run_main(argv),
+    }
+}
+
+fn run_main(argv: Vec<String>) {
+    let args = parse_args(argv);
     telemetry::set_verbosity(match args.verbosity {
         0 => telemetry::Level::Error,
         1 => telemetry::Level::Info,
@@ -223,6 +298,16 @@ fn main() {
         let file = std::fs::File::create(path)
             .unwrap_or_else(|e| usage_error(&format!("--trace path {path}: {e}")));
         telemetry::attach_trace(Box::new(std::io::BufWriter::new(file)));
+    }
+    if args.record.is_some() {
+        telemetry::recorder::enable(
+            args.record_rate,
+            args.seed,
+            telemetry::recorder::DEFAULT_CAPACITY,
+        );
+    }
+    if args.profile.is_some() {
+        telemetry::enable_profile();
     }
     let cfg = cfg_of(&args);
     let mut json_out = serde_json::Map::new();
@@ -235,23 +320,8 @@ fn main() {
 
     // Select experiments, union their campaign requirements, collect
     // the bundle once, then derive every artifact from it in parallel.
-    let selected: Vec<&'static Experiment> = if args.exp == "all" {
-        // Subsumed experiments' sections already appear byte-for-byte
-        // inside their subsumer's report; skip them so `all` prints
-        // each section exactly once.
-        REGISTRY
-            .iter()
-            .filter(|e| e.subsumed_by.is_none())
-            .collect()
-    } else {
-        vec![experiments::experiment(&args.exp).expect("validated by known_experiment")]
-    };
-    let kinds: Vec<CampaignKind> = selected
-        .iter()
-        .flat_map(|e| e.requires.iter().copied())
-        .collect::<BTreeSet<_>>()
-        .into_iter()
-        .collect();
+    let selected = select_experiments(&args.exp);
+    let kinds = union_kinds(&selected);
     let fault_plan = args
         .faults
         .as_deref()
@@ -378,6 +448,48 @@ fn main() {
     // Flush the trace stream before the metrics snapshot so the two
     // artifacts are consistent with each other.
     let _ = telemetry::detach_trace();
+
+    // Persist the flight-recorder stream before the metrics snapshot,
+    // so its scanstore.recorder.* counters are part of the snapshot.
+    if let Some(path) = &args.record {
+        let stats = telemetry::recorder::stats();
+        let records = telemetry::recorder::drain();
+        telemetry::recorder::disable();
+        let mut stream = scanstore::RecorderStream::create(Path::new(path))
+            .unwrap_or_else(|e| usage_error(&format!("--record path {path}: {e}")));
+        stream.append(&records).expect("write recorder stream");
+        let (segments, n) = stream.finish().expect("sync recorder stream");
+        telemetry::info(
+            "repro.record",
+            "wrote flight-recorder stream",
+            &[
+                ("path", path.as_str().into()),
+                ("segments", segments.into()),
+                ("records", n.into()),
+                ("overwritten", stats.overwritten.into()),
+            ],
+            None,
+        );
+    }
+
+    if let Some(path) = &args.profile {
+        if let Some(profile) = telemetry::take_profile() {
+            std::fs::write(path, profile.folded_text()).expect("write folded profile");
+            if args.verbosity >= 2 {
+                eprint!("{}", profile.summary_table());
+            }
+            telemetry::info(
+                "repro.profile",
+                "wrote folded sim-time stacks",
+                &[
+                    ("path", path.as_str().into()),
+                    ("spans", (profile.spans().len() as u64).into()),
+                ],
+                None,
+            );
+        }
+    }
+
     if let Some(path) = &args.metrics {
         let snap = telemetry::snapshot();
         std::fs::write(path, snap.to_json()).expect("write metrics snapshot");
@@ -420,4 +532,489 @@ fn main() {
 fn die_store(dir: &std::path::Path, err: &std::io::Error) -> ! {
     eprintln!("repro: snapshot store at {} failed: {err}", dir.display());
     std::process::exit(1);
+}
+
+// ---------------------------------------------------------------------
+// `repro bench` — perf benchmarks in the goingwild.bench.v1 schema.
+// ---------------------------------------------------------------------
+
+struct BenchArgs {
+    bench: String,
+    out: Option<String>,
+    against: Option<String>,
+    threshold_pct: f64,
+    workload: Args,
+}
+
+fn parse_bench_args(argv: Vec<String>) -> BenchArgs {
+    let mut bench = "repro_all".to_string();
+    let mut out = None;
+    let mut against = None;
+    let mut threshold_pct = 10.0;
+    let mut rest = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        let mut grab = || {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("{a} requires a value")))
+        };
+        match a.as_str() {
+            "--bench" => bench = grab(),
+            "--out" => out = Some(grab()),
+            "--against" => against = Some(grab()),
+            "--threshold" => threshold_pct = grab().parse().expect("threshold pct"),
+            _ => rest.push(a),
+        }
+    }
+    if !matches!(bench.as_str(), "repro_all" | "recorder_overhead") {
+        usage_error(&format!(
+            "unknown bench `{bench}`; known benches: repro_all, recorder_overhead"
+        ));
+    }
+    if threshold_pct < 0.0 {
+        usage_error("--threshold expects a non-negative percentage");
+    }
+    let workload = parse_args(rest);
+    BenchArgs {
+        bench,
+        out,
+        against,
+        threshold_pct,
+        workload,
+    }
+}
+
+/// One quiet collect+derive pass over the workload; returns the
+/// measured wall-clock in milliseconds.
+fn run_workload(args: &Args) -> u64 {
+    let cfg = cfg_of(args);
+    let selected = select_experiments(&args.exp);
+    let kinds = union_kinds(&selected);
+    let fault_plan = args
+        .faults
+        .as_deref()
+        .map(|p| FaultPlan::named(p, args.seed).expect("validated by parse_args"));
+    let attempts = args
+        .retries
+        .unwrap_or(if fault_plan.is_some() { 3 } else { 1 });
+    let bundle_opts = BundleOptions {
+        seed: args.seed,
+        weeks: args.weeks,
+        snoop_sample: args.snoop_sample,
+        faults: fault_plan,
+        probe: ProbePolicy::retrying(attempts),
+        ..BundleOptions::new(cfg.clone())
+    };
+    let derive_opts = DeriveOptions {
+        cfg,
+        ..DeriveOptions::default()
+    };
+    let t0 = std::time::Instant::now();
+    let bundle = collect_bundle(&bundle_opts, &kinds, None).unwrap_or_else(|e| {
+        eprintln!("repro bench: bundle collection failed: {e}");
+        std::process::exit(1);
+    });
+    for (exp, out) in selected
+        .iter()
+        .zip(experiments::derive_all(&bundle, &selected, &derive_opts))
+    {
+        if let Err(e) = out {
+            eprintln!("repro bench: experiment {} failed: {e}", exp.id);
+            std::process::exit(1);
+        }
+    }
+    t0.elapsed().as_millis() as u64
+}
+
+/// Counter prefixes worth carrying in a bench report: enough to see
+/// *what* the benchmark did, without dumping the whole registry.
+const BENCH_COUNTER_PREFIXES: &[&str] = &[
+    "collect.",
+    "derive.experiment_runs",
+    "scanner.probes_sent",
+    "scanner.responses",
+    "scanner.retries",
+    "netsim.udp",
+];
+
+fn bench_report(ba: &BenchArgs, wall_clock_ms: u64) -> BenchReport {
+    let args = &ba.workload;
+    let attempts = args
+        .retries
+        .unwrap_or(if args.faults.is_some() { 3 } else { 1 });
+    let mut report = BenchReport::new(
+        &ba.bench,
+        BenchConfig {
+            exp: args.exp.clone(),
+            scale: args.scale,
+            weeks: args.weeks,
+            seed: args.seed,
+            snoop_sample: args.snoop_sample,
+            faults: args.faults.clone(),
+            retries: attempts,
+        },
+    );
+    report.wall_clock_ms = wall_clock_ms;
+    report.peak_rss_kb = perf::peak_rss_kb();
+    let snap = telemetry::snapshot();
+    report.sim_time_ms = snap.gauge("collect.sim_end_ms").unwrap_or(0.0) as u64;
+    for (k, v) in &snap.counters {
+        if BENCH_COUNTER_PREFIXES.iter().any(|p| k.starts_with(p)) {
+            report.counters.insert(k.clone(), *v);
+        }
+    }
+    report
+}
+
+fn bench_main(argv: Vec<String>) {
+    let ba = parse_bench_args(argv);
+    // Benchmarks run quietly: status chatter on stderr would only blur
+    // the timings, and reports go to --out / stdout.
+    telemetry::set_verbosity(telemetry::Level::Error);
+    let mut report = match ba.bench.as_str() {
+        "repro_all" => {
+            let wall = run_workload(&ba.workload);
+            bench_report(&ba, wall)
+        }
+        "recorder_overhead" => {
+            // Warm caches and allocators, then time the identical
+            // workload with the flight recorder off and on. Reps are
+            // interleaved (off, on, off, on, …) and each mode takes
+            // its minimum, so monotonic machine drift cancels instead
+            // of landing on one mode; the derived overhead percentage
+            // is the acceptance number.
+            run_workload(&ba.workload);
+            let mut off_ms = u64::MAX;
+            let mut on_ms = u64::MAX;
+            let mut recorded = 0;
+            for _ in 0..3 {
+                off_ms = off_ms.min(run_workload(&ba.workload));
+                telemetry::recorder::enable(
+                    1.0,
+                    ba.workload.seed,
+                    telemetry::recorder::DEFAULT_CAPACITY,
+                );
+                on_ms = on_ms.min(run_workload(&ba.workload));
+                recorded = telemetry::recorder::stats().recorded;
+                telemetry::recorder::disable();
+            }
+            let mut r = bench_report(&ba, on_ms);
+            r.derived.insert("off_ms".into(), off_ms as f64);
+            r.derived.insert("on_ms".into(), on_ms as f64);
+            r.derived.insert("records".into(), recorded as f64);
+            r.derived.insert(
+                "overhead_pct".into(),
+                if off_ms > 0 {
+                    100.0 * (on_ms as f64 - off_ms as f64) / off_ms as f64
+                } else {
+                    0.0
+                },
+            );
+            r.notes = "wall_clock_ms is the recorder-on run; overhead_pct = (on-off)/off".into();
+            r
+        }
+        _ => unreachable!("validated by parse_bench_args"),
+    };
+    report.notes = if report.notes.is_empty() {
+        "recorded by `repro bench`".into()
+    } else {
+        report.notes
+    };
+
+    let json = serde_json::to_string_pretty(&report).unwrap() + "\n";
+    match &ba.out {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write bench report");
+            eprintln!("repro bench: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    if let Some(path) = &ba.against {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("repro bench: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline: BenchReport = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("repro bench: baseline {path} is not a bench report: {e}");
+            std::process::exit(2);
+        });
+        match perf::compare(&report, &baseline, ba.threshold_pct) {
+            Ok(verdict) => eprintln!("repro bench: {verdict}"),
+            Err(e @ (CompareError::BadSchema(_) | CompareError::ConfigMismatch(_))) => {
+                eprintln!("repro bench: {e}");
+                std::process::exit(2);
+            }
+            Err(e @ CompareError::Regression(_)) => {
+                eprintln!("repro bench: {e}");
+                std::process::exit(4);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// `repro trace` — query a recorded GWRS stream.
+// ---------------------------------------------------------------------
+
+struct TraceArgs {
+    stream: PathBuf,
+    campaign: Option<String>,
+    probe: Option<Ipv4Addr>,
+    asn: Option<u32>,
+    fault: Option<String>,
+    gave_up: bool,
+    limit: usize,
+}
+
+fn parse_trace_args(argv: Vec<String>) -> TraceArgs {
+    let mut stream = None;
+    let mut campaign = None;
+    let mut probe = None;
+    let mut asn = None;
+    let mut fault = None;
+    let mut gave_up = false;
+    let mut limit = 50usize;
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        let mut grab = || {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("{a} requires a value")))
+        };
+        match a.as_str() {
+            "--campaign" => campaign = Some(grab()),
+            "--probe" => {
+                probe = Some(grab().parse::<Ipv4Addr>().unwrap_or_else(|_| {
+                    usage_error("--probe expects a dotted IPv4 address");
+                }))
+            }
+            "--asn" => asn = Some(grab().parse().expect("asn")),
+            "--fault" => fault = Some(grab()),
+            "--gave-up" => gave_up = true,
+            "--limit" => limit = grab().parse().expect("limit"),
+            other if !other.starts_with('-') && stream.is_none() => {
+                stream = Some(PathBuf::from(other))
+            }
+            other => usage_error(&format!("unknown trace argument {other}")),
+        }
+    }
+    let Some(stream) = stream else {
+        usage_error("trace requires a recorded stream path (from `repro --record <path>`)");
+    };
+    TraceArgs {
+        stream,
+        campaign,
+        probe,
+        asn,
+        fault,
+        gave_up,
+        limit,
+    }
+}
+
+fn fmt_ms(t_ms: u64) -> String {
+    format!("t+{}.{:03}s", t_ms / 1000, t_ms % 1000)
+}
+
+/// One human-readable timeline line per record.
+fn fmt_record(r: &StoredRecord) -> String {
+    let ip = Ipv4Addr::from(r.ip);
+    match r.kind {
+        RecordKind::Attempt => format!(
+            "{} {:<6} attempt #{} sent to {ip}{}",
+            fmt_ms(r.t_ms),
+            r.campaign,
+            r.attempt,
+            if r.asn != 0 {
+                format!(" (AS{})", r.asn)
+            } else {
+                String::new()
+            }
+        ),
+        RecordKind::Backoff => format!(
+            "{} {:<6} backoff: wait {} ms before attempt #{} (campaign-wide)",
+            fmt_ms(r.t_ms),
+            r.campaign,
+            r.value,
+            r.attempt
+        ),
+        RecordKind::Drop => format!(
+            "{} {:<6} attempt #{}: datagram for {ip} dropped by `{}`",
+            fmt_ms(r.t_ms),
+            r.campaign,
+            r.attempt,
+            r.reason
+        ),
+        RecordKind::Response => format!(
+            "{} {:<6} response from {ip}, rcode {}",
+            fmt_ms(r.t_ms),
+            r.campaign,
+            r.value
+        ),
+        RecordKind::GaveUp => format!(
+            "{} {:<6} gave up on {ip} after {} attempts{}",
+            fmt_ms(r.t_ms),
+            r.campaign,
+            r.value,
+            if r.asn != 0 {
+                format!(" (AS{})", r.asn)
+            } else {
+                String::new()
+            }
+        ),
+    }
+}
+
+fn trace_main(argv: Vec<String>) {
+    let ta = parse_trace_args(argv);
+    let mut records = scanstore::read_stream(&ta.stream).unwrap_or_else(|e| {
+        eprintln!("repro trace: cannot read {}: {e}", ta.stream.display());
+        std::process::exit(1);
+    });
+    if let Some(c) = &ta.campaign {
+        records.retain(|r| &r.campaign == c);
+    }
+    // Buffered output, flushed in one write that ignores errors: a
+    // downstream `head` closing the pipe is not a failure.
+    let mut out = String::new();
+    render_trace(&ta, &records, &mut out);
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(out.as_bytes());
+}
+
+fn render_trace(ta: &TraceArgs, records: &[StoredRecord], out: &mut String) {
+    use std::fmt::Write as _;
+    if records.is_empty() {
+        let _ = writeln!(out, "no records match (stream {})", ta.stream.display());
+        return;
+    }
+
+    if let Some(ip) = ta.probe {
+        // Full timeline for one probe: its own records plus the
+        // campaign-wide backoff decisions of the campaigns it was
+        // probed by, replayed in sequence order.
+        let ip_u32 = u32::from(ip);
+        let campaigns: BTreeSet<&str> = records
+            .iter()
+            .filter(|r| r.ip == ip_u32)
+            .map(|r| r.campaign.as_str())
+            .collect();
+        let timeline: Vec<&StoredRecord> = records
+            .iter()
+            .filter(|r| r.ip == ip_u32 || (r.ip == 0 && campaigns.contains(r.campaign.as_str())))
+            .collect();
+        let _ = writeln!(out, "# timeline for {ip} — {} records", timeline.len());
+        for r in timeline {
+            let _ = writeln!(out, "  [{:>6}] {}", r.seq, fmt_record(r));
+        }
+        return;
+    }
+
+    if let Some(asn) = ta.asn {
+        let ips: BTreeSet<u32> = records
+            .iter()
+            .filter(|r| r.asn == asn && r.ip != 0)
+            .map(|r| r.ip)
+            .collect();
+        let matching: Vec<&StoredRecord> = records.iter().filter(|r| ips.contains(&r.ip)).collect();
+        let _ = writeln!(
+            out,
+            "# AS{asn} — {} probes, {} records",
+            ips.len(),
+            matching.len()
+        );
+        print_limited(&matching, ta.limit, out);
+        return;
+    }
+
+    if let Some(reason) = &ta.fault {
+        let matching: Vec<&StoredRecord> = records
+            .iter()
+            .filter(|r| r.kind == RecordKind::Drop && &r.reason == reason)
+            .collect();
+        let _ = writeln!(
+            out,
+            "# drops caused by `{reason}` — {} records",
+            matching.len()
+        );
+        print_limited(&matching, ta.limit, out);
+        return;
+    }
+
+    if ta.gave_up {
+        let matching: Vec<&StoredRecord> = records
+            .iter()
+            .filter(|r| r.kind == RecordKind::GaveUp)
+            .collect();
+        let _ = writeln!(
+            out,
+            "# probes that exhausted every attempt — {}",
+            matching.len()
+        );
+        print_limited(&matching, ta.limit, out);
+        return;
+    }
+
+    // No filter: summarize the stream.
+    let mut by_campaign: std::collections::BTreeMap<&str, [u64; 5]> =
+        std::collections::BTreeMap::new();
+    let mut drop_reasons: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    let mut probes: BTreeSet<u32> = BTreeSet::new();
+    for r in records {
+        by_campaign.entry(r.campaign.as_str()).or_default()[r.kind.to_u8() as usize] += 1;
+        if r.kind == RecordKind::Drop {
+            *drop_reasons.entry(r.reason.as_str()).or_default() += 1;
+        }
+        if r.ip != 0 {
+            probes.insert(r.ip);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# {} — {} records, {} distinct probes",
+        ta.stream.display(),
+        records.len(),
+        probes.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "campaign", "attempts", "backoffs", "drops", "responses", "gave_up"
+    );
+    for (campaign, counts) in &by_campaign {
+        let _ = writeln!(
+            out,
+            "  {campaign:<8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            counts[0], counts[1], counts[2], counts[3], counts[4]
+        );
+    }
+    if !drop_reasons.is_empty() {
+        let _ = writeln!(out, "  drop reasons:");
+        for (reason, n) in &drop_reasons {
+            let _ = writeln!(out, "    {reason:<12} {n}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  filter with --probe/--asn/--fault/--gave-up/--campaign for timelines"
+    );
+}
+
+fn print_limited(records: &[&StoredRecord], limit: usize, out: &mut String) {
+    use std::fmt::Write as _;
+    let shown = if limit == 0 {
+        records.len()
+    } else {
+        records.len().min(limit)
+    };
+    for r in &records[..shown] {
+        let _ = writeln!(out, "  [{:>6}] {}", r.seq, fmt_record(r));
+    }
+    if shown < records.len() {
+        let _ = writeln!(
+            out,
+            "  … {} more (raise --limit, or 0 for all)",
+            records.len() - shown
+        );
+    }
 }

@@ -1,1 +1,3 @@
 //! Bench crate (criterion benches + repro binaries).
+
+pub mod perf;

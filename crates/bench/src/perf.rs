@@ -1,0 +1,236 @@
+//! The normalized `BENCH_*.json` schema and its regression comparator.
+//!
+//! Every benchmark artifact in the repo — the `repro bench`
+//! subcommand, the single-shot criterion sidecars — emits one
+//! [`BenchReport`] in the `goingwild.bench.v1` shape: bench name, the
+//! exact workload config, wall-clock, sim-time, peak RSS, and the key
+//! pipeline counters. [`compare`] gates a fresh run against a
+//! committed baseline: configs must match exactly (a benchmark against
+//! a different workload is meaningless, not merely slower), and
+//! wall-clock may not regress beyond the caller's threshold.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Schema tag carried by every report.
+pub const SCHEMA: &str = "goingwild.bench.v1";
+
+/// The workload a benchmark ran. Two reports are comparable only when
+/// their configs are identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct BenchConfig {
+    /// Experiment selector (`all`, `fig1`, …); empty for micro-benches.
+    pub exp: String,
+    /// World scale factor.
+    pub scale: f64,
+    /// Simulated weeks.
+    pub weeks: u32,
+    /// World seed.
+    pub seed: u64,
+    /// Snoop-campaign sample size.
+    pub snoop_sample: usize,
+    /// Named fault profile, if any.
+    pub faults: Option<String>,
+    /// Probe attempts per retrying campaign.
+    pub retries: u32,
+}
+
+/// One benchmark result in the normalized schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`].
+    pub bench_schema: String,
+    /// Benchmark name (`repro_all`, `recorder_overhead`, …).
+    pub bench: String,
+    /// The workload configuration.
+    pub config: BenchConfig,
+    /// Elapsed wall-clock of the measured section, in milliseconds.
+    pub wall_clock_ms: u64,
+    /// Simulated time covered by the run, in milliseconds.
+    pub sim_time_ms: u64,
+    /// Peak resident set size of the process, in KiB.
+    pub peak_rss_kb: u64,
+    /// Key pipeline counters at the end of the run.
+    pub counters: BTreeMap<String, u64>,
+    /// Derived figures (ratios, percentages) specific to the bench.
+    pub derived: BTreeMap<String, f64>,
+    /// Free-form provenance note.
+    pub notes: String,
+}
+
+impl BenchReport {
+    /// An empty report for `bench` over `config`, stamped with the
+    /// schema tag.
+    pub fn new(bench: &str, config: BenchConfig) -> BenchReport {
+        BenchReport {
+            bench_schema: SCHEMA.to_string(),
+            bench: bench.to_string(),
+            config,
+            wall_clock_ms: 0,
+            sim_time_ms: 0,
+            peak_rss_kb: 0,
+            counters: BTreeMap::new(),
+            derived: BTreeMap::new(),
+            notes: String::new(),
+        }
+    }
+}
+
+/// Why [`compare`] rejected a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompareError {
+    /// The baseline file is not a `goingwild.bench.v1` report.
+    BadSchema(String),
+    /// Bench name or workload config differs — not comparable.
+    ConfigMismatch(String),
+    /// Wall-clock regressed beyond the threshold.
+    Regression(String),
+}
+
+impl std::fmt::Display for CompareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompareError::BadSchema(m)
+            | CompareError::ConfigMismatch(m)
+            | CompareError::Regression(m) => f.write_str(m),
+        }
+    }
+}
+
+/// Gates `current` against `baseline`: identical bench name and
+/// config, and `current.wall_clock_ms` at most
+/// `(1 + threshold_pct/100) ×` the baseline's. Returns a one-line
+/// human-readable verdict on success.
+pub fn compare(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    threshold_pct: f64,
+) -> Result<String, CompareError> {
+    if baseline.bench_schema != SCHEMA {
+        return Err(CompareError::BadSchema(format!(
+            "baseline schema `{}` is not `{SCHEMA}`",
+            baseline.bench_schema
+        )));
+    }
+    if current.bench != baseline.bench {
+        return Err(CompareError::ConfigMismatch(format!(
+            "bench `{}` cannot be compared against baseline `{}`",
+            current.bench, baseline.bench
+        )));
+    }
+    if current.config != baseline.config {
+        return Err(CompareError::ConfigMismatch(format!(
+            "workload config differs from baseline: current {:?} vs baseline {:?}",
+            current.config, baseline.config
+        )));
+    }
+    let limit = baseline.wall_clock_ms as f64 * (1.0 + threshold_pct / 100.0);
+    let delta_pct = if baseline.wall_clock_ms > 0 {
+        100.0 * (current.wall_clock_ms as f64 - baseline.wall_clock_ms as f64)
+            / baseline.wall_clock_ms as f64
+    } else {
+        0.0
+    };
+    if current.wall_clock_ms as f64 > limit {
+        return Err(CompareError::Regression(format!(
+            "wall clock regressed: {} ms vs baseline {} ms ({delta_pct:+.1}%, threshold +{threshold_pct}%)",
+            current.wall_clock_ms, baseline.wall_clock_ms
+        )));
+    }
+    Ok(format!(
+        "within threshold: {} ms vs baseline {} ms ({delta_pct:+.1}%, threshold +{threshold_pct}%)",
+        current.wall_clock_ms, baseline.wall_clock_ms
+    ))
+}
+
+/// Peak resident set size of this process in KiB (`VmHWM` from
+/// `/proc/self/status`); 0 where procfs is unavailable.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(wall: u64) -> BenchReport {
+        let mut r = BenchReport::new(
+            "repro_all",
+            BenchConfig {
+                exp: "all".into(),
+                scale: 0.0002,
+                weeks: 3,
+                seed: 20151028,
+                snoop_sample: 200,
+                faults: None,
+                retries: 1,
+            },
+        );
+        r.wall_clock_ms = wall;
+        r
+    }
+
+    #[test]
+    fn comparator_gates_on_threshold() {
+        let base = report(1000);
+        assert!(compare(&report(1000), &base, 10.0).is_ok());
+        assert!(compare(&report(1099), &base, 10.0).is_ok());
+        assert!(compare(&report(500), &base, 10.0).is_ok(), "faster is fine");
+        match compare(&report(1200), &base, 10.0) {
+            Err(CompareError::Regression(msg)) => assert!(msg.contains("+20.0%"), "{msg}"),
+            other => panic!("expected regression, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparator_rejects_mismatched_workloads() {
+        let base = report(1000);
+        let mut other = report(1000);
+        other.config.weeks = 4;
+        assert!(matches!(
+            compare(&other, &base, 10.0),
+            Err(CompareError::ConfigMismatch(_))
+        ));
+        let mut renamed = report(1000);
+        renamed.bench = "other".into();
+        assert!(matches!(
+            compare(&renamed, &base, 10.0),
+            Err(CompareError::ConfigMismatch(_))
+        ));
+        let mut old = report(1000);
+        old.bench_schema = "goingwild.metrics.v1".into();
+        assert!(matches!(
+            compare(&report(1000), &old, 10.0),
+            Err(CompareError::BadSchema(_))
+        ));
+    }
+
+    #[test]
+    fn reports_roundtrip_through_json() {
+        let mut r = report(42);
+        r.sim_time_ms = 7 * 24 * 3600 * 1000;
+        r.peak_rss_kb = peak_rss_kb();
+        r.counters.insert("netsim.udp_sent".into(), 9);
+        r.derived.insert("overhead_pct".into(), 1.5);
+        let js = serde_json::to_string_pretty(&r).unwrap();
+        let back: BenchReport = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.bench_schema, SCHEMA);
+        assert_eq!(back.wall_clock_ms, 42);
+        assert_eq!(back.counters["netsim.udp_sent"], 9);
+        assert_eq!(back.derived["overhead_pct"], 1.5);
+        assert_eq!(back.config, r.config);
+    }
+}

@@ -895,6 +895,15 @@ pub fn collect_bundle(
             }
         };
 
+    // Root profiling span for the whole collect phase. Opened only
+    // under `--profile`: an unconditional span would shift span
+    // ids/parents in every trace, breaking byte-identity with
+    // pre-profiler traces.
+    let mut bundle_span = telemetry::profiling_enabled().then(|| {
+        let mut s = telemetry::span("collect.bundle", world.now().millis());
+        s.attr("tasks", tasks.len());
+        s
+    });
     for (anchor, task) in tasks {
         world.advance_to(SimTime(anchor));
         match task {
@@ -1270,6 +1279,12 @@ pub fn collect_bundle(
             }
         }
     }
+    if let Some(s) = bundle_span.take() {
+        s.finish(world.now().millis());
+    }
+    // Final simulated clock, read back by `repro bench` as the run's
+    // sim-time figure.
+    telemetry::gauge("collect.sim_end_ms").set(world.now().millis() as f64);
 
     if opts.coverage {
         for (kind, cov) in &coverage {

@@ -221,7 +221,21 @@ pub fn derive_all(
             telemetry::global()
                 .counter_with("derive.experiment_runs", &[("exp", exps[i].id)])
                 .inc();
-            (exps[i].derive)(bundle, opts)
+            // Quiet spans: they feed the profiler and the
+            // `span.derive.<id>.*` counters but write no trace lines —
+            // rayon closes them in scheduler-dependent order, which
+            // would break trace byte-stability. Gated on `--profile`
+            // so unprofiled runs consume no span ids either.
+            // Derivations burn no simulated time, so their sim
+            // duration is 0; their cost shows up in the `wall_us`
+            // counters.
+            let sp = telemetry::profiling_enabled()
+                .then(|| telemetry::span_quiet(&format!("derive.{}", exps[i].id), 0));
+            let out = (exps[i].derive)(bundle, opts);
+            if let Some(s) = sp {
+                s.finish(0);
+            }
+            out
         })
         .collect()
 }

@@ -271,12 +271,40 @@ pub struct FaultStats {
     pub latency_spiked: u64,
 }
 
+/// Why the fault layer dropped a datagram. Carried on
+/// [`UdpFault::Drop`] so the flight recorder can tag every drop with
+/// the responsible fault kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DropCause {
+    /// Gilbert–Elliott burst loss on the path.
+    Burst,
+    /// Prefix outage (field window or explicit `PrefixDown` event).
+    Outage,
+    /// Host flap (field window or explicit `HostDown` event).
+    Flap,
+    /// Per-destination DNS rate limiting.
+    RateLimit,
+}
+
+impl DropCause {
+    /// Stable reason string, used in recorder records.
+    pub(crate) fn as_str(self) -> &'static str {
+        match self {
+            DropCause::Burst => "burst",
+            DropCause::Outage => "outage",
+            DropCause::Flap => "flap",
+            DropCause::RateLimit => "rate_limit",
+        }
+    }
+}
+
 /// What the fault layer decided for one UDP datagram.
 pub(crate) enum UdpFault {
     /// Deliver, possibly with extra one-way latency.
     Deliver { extra_ms: u64 },
-    /// Drop (the responsible counter has already been bumped).
-    Drop,
+    /// Drop for the tagged cause (the responsible counter has already
+    /// been bumped).
+    Drop(DropCause),
 }
 
 /// Gilbert–Elliott chains regenerate from the stationary distribution
@@ -377,7 +405,7 @@ impl FaultState {
                 FaultEvent::HostDown { ip, from, until } => {
                     if at >= from && at < until && (src == ip || dst == ip) {
                         self.stats.flap_drops += 1;
-                        return Some(UdpFault::Drop);
+                        return Some(UdpFault::Drop(DropCause::Flap));
                     }
                 }
                 FaultEvent::PrefixDown {
@@ -392,7 +420,7 @@ impl FaultState {
                         && (r.contains(&u32::from(src)) || r.contains(&u32::from(dst)))
                     {
                         self.stats.outage_drops += 1;
-                        return Some(UdpFault::Drop);
+                        return Some(UdpFault::Drop(DropCause::Outage));
                     }
                 }
                 FaultEvent::LatencySpike {
@@ -431,7 +459,7 @@ impl FaultState {
 
         // Explicit events first: they exist to hit precise targets.
         match self.event_fault(at, src, dst) {
-            Some(UdpFault::Drop) => return UdpFault::Drop,
+            Some(UdpFault::Drop(cause)) => return UdpFault::Drop(cause),
             Some(UdpFault::Deliver { extra_ms: e }) => extra_ms = e,
             None => {}
         }
@@ -442,7 +470,7 @@ impl FaultState {
             };
             if down(src) || down(dst) {
                 self.stats.outage_drops += 1;
-                return UdpFault::Drop;
+                return UdpFault::Drop(DropCause::Outage);
             }
         }
 
@@ -452,7 +480,7 @@ impl FaultState {
             };
             if down(src) || down(dst) {
                 self.stats.flap_drops += 1;
-                return UdpFault::Drop;
+                return UdpFault::Drop(DropCause::Flap);
             }
         }
 
@@ -466,7 +494,7 @@ impl FaultState {
                 bucket.1 = ms;
                 if bucket.0 < 1.0 {
                     self.stats.rate_limit_drops += 1;
-                    return UdpFault::Drop;
+                    return UdpFault::Drop(DropCause::RateLimit);
                 }
                 bucket.0 -= 1.0;
             }
@@ -480,7 +508,7 @@ impl FaultState {
                 && unit(mix64(seed ^ GE_DROP_CHANNEL, flow_key, slot)) < loss
             {
                 self.stats.burst_drops += 1;
-                return UdpFault::Drop;
+                return UdpFault::Drop(DropCause::Burst);
             }
         }
 
@@ -627,7 +655,7 @@ mod tests {
             // 30 queries in one instant: the burst allowance passes 10.
             match fs.udp_fault(SimTime(0), src, dst, 53, i) {
                 UdpFault::Deliver { .. } => passed += 1,
-                UdpFault::Drop => {}
+                UdpFault::Drop(_) => {}
             }
         }
         assert_eq!(passed, 10);
@@ -637,14 +665,14 @@ mod tests {
         for i in 0..30 {
             match fs.udp_fault(SimTime(2000), src, dst, 53, 100 + i) {
                 UdpFault::Deliver { .. } => later += 1,
-                UdpFault::Drop => {}
+                UdpFault::Drop(_) => {}
             }
         }
         assert_eq!(later, 10);
         // Replies (not port 53) are never rate limited.
         match fs.udp_fault(SimTime(2000), dst, src, 40_000, 999) {
             UdpFault::Deliver { .. } => {}
-            UdpFault::Drop => panic!("reply must not be rate limited"),
+            UdpFault::Drop(_) => panic!("reply must not be rate limited"),
         }
     }
 
@@ -663,8 +691,9 @@ mod tests {
             ..FaultPlan::none()
         };
         let mut fs = FaultState::new(plan, FaultStats::default());
-        let is_drop =
-            |fs: &mut FaultState, at, s, d| matches!(fs.udp_fault(at, s, d, 53, 1), UdpFault::Drop);
+        let is_drop = |fs: &mut FaultState, at, s, d| {
+            matches!(fs.udp_fault(at, s, d, 53, 1), UdpFault::Drop(_))
+        };
         assert!(!is_drop(&mut fs, SimTime::from_secs(5), src, ip));
         assert!(is_drop(&mut fs, SimTime::from_secs(15), src, ip));
         // Both directions are dead while down.

@@ -510,8 +510,17 @@ impl Network {
         let mut fault_latency = 0u64;
         if let Some(fs) = &mut self.faults {
             match fs.udp_fault(at, dgram.src_ip, dgram.dst_ip, dgram.dst_port, key) {
-                UdpFault::Drop => {
+                UdpFault::Drop(cause) => {
                     self.stats.udp_lost += 1;
+                    if telemetry::recorder::enabled() {
+                        telemetry::recorder::drop_fault(
+                            u32::from(dgram.src_ip),
+                            u32::from(dgram.dst_ip),
+                            dgram.dst_port,
+                            cause.as_str(),
+                            at.millis(),
+                        );
+                    }
                     return;
                 }
                 UdpFault::Deliver { extra_ms } => fault_latency = extra_ms,
@@ -521,6 +530,15 @@ impl Network {
         let roll = mix64(self.cfg.seed, LOSS_CHANNEL, key) as f64 / u64::MAX as f64;
         if roll < self.cfg.udp_loss {
             self.stats.udp_lost += 1;
+            if telemetry::recorder::enabled() {
+                telemetry::recorder::drop_fault(
+                    u32::from(dgram.src_ip),
+                    u32::from(dgram.dst_ip),
+                    dgram.dst_port,
+                    "loss",
+                    at.millis(),
+                );
+            }
             return;
         }
 

@@ -43,8 +43,10 @@ pub fn chaos_scan_with_policy(
     seed: u64,
     policy: &ProbePolicy,
 ) -> (HashMap<Ipv4Addr, ChaosObservation>, u64) {
+    let asn_of = super::churn::recorder_asn_map(world, resolvers);
     let scanner = SimScanner::open(world, vantage);
     let mut sp = telemetry::span("campaign.chaos", world.now().millis());
+    telemetry::recorder::set_context("chaos", 1);
     // txid → (resolver, which query).
     let mut results: HashMap<Ipv4Addr, Vec<Option<Message>>> = HashMap::new();
     let mut txid_map: HashMap<u16, (Ipv4Addr, usize)> = HashMap::new();
@@ -64,6 +66,10 @@ pub fn chaos_scan_with_policy(
             let txid = (seed as u16).wrapping_add(seq as u16);
             let msg = MessageBuilder::chaos_query(txid, qname.clone()).build();
             txid_map.insert(txid, (ip, which));
+            if let Some(asns) = &asn_of {
+                let asn = asns.get(&ip).copied().unwrap_or(0);
+                telemetry::recorder::attempt(u32::from(ip), asn, world.now().millis());
+            }
             scanner.send(world, (seq % 509) as u16, ip, msg.encode());
             seq += 1;
             pending += 1;
@@ -104,11 +110,16 @@ pub fn chaos_scan_with_policy(
             if missing.is_empty() {
                 break;
             }
+            telemetry::recorder::set_context("chaos", round as u32 + 2);
             let sent_at = world.now().millis();
             for &(ip, which) in &missing {
                 let txid = (seed as u16).wrapping_add(seq as u16);
                 let msg = MessageBuilder::chaos_query(txid, qnames[which].clone()).build();
                 txid_map.insert(txid, (ip, which));
+                if let Some(asns) = &asn_of {
+                    let asn = asns.get(&ip).copied().unwrap_or(0);
+                    telemetry::recorder::attempt(u32::from(ip), asn, world.now().millis());
+                }
                 scanner.send(world, (seq % 509) as u16, ip, msg.encode());
                 seq += 1;
                 pending += 1;
@@ -136,7 +147,9 @@ pub fn chaos_scan_with_policy(
                 }
             }
             retries += missing.len() as u64;
-            scanner.pump(world, policy.wait_ms(round, &schedule, &est));
+            let wait = policy.wait_ms(round, &schedule, &est);
+            telemetry::recorder::backoff(round as u32, wait, world.now().millis());
+            scanner.pump(world, wait);
             collect(
                 world,
                 &scanner,
@@ -147,6 +160,17 @@ pub fn chaos_scan_with_policy(
             txid_map.clear();
         }
     }
+
+    if let Some(asns) = &asn_of {
+        let now = world.now().millis();
+        for (&ip, slots) in &results {
+            if slots.iter().all(Option::is_none) {
+                let asn = asns.get(&ip).copied().unwrap_or(0);
+                telemetry::recorder::gave_up(u32::from(ip), asn, policy.attempts, now);
+            }
+        }
+    }
+    telemetry::recorder::clear_context();
 
     let out: HashMap<Ipv4Addr, ChaosObservation> = results
         .into_iter()
@@ -224,6 +248,13 @@ fn collect(
         if let Some(&(ip, which)) = txid_map.get(&msg.header.id) {
             if let Some(slots) = results.get_mut(&ip) {
                 if slots[which].is_none() {
+                    if telemetry::recorder::enabled() {
+                        telemetry::recorder::response(
+                            u32::from(ip),
+                            msg.header.rcode.to_u8(),
+                            t.millis(),
+                        );
+                    }
                     slots[which] = Some(msg);
                     // Retransmission rounds feed the adaptive-timeout
                     // estimator with observed round trips.

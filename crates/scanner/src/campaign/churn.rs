@@ -77,21 +77,34 @@ pub fn probe_alive_with_policy(
     policy: &ProbePolicy,
 ) -> (HashSet<Ipv4Addr>, u64) {
     let zone = world.catalog.scan_zone.clone();
+    // When the flight recorder is on, resolve target ASNs once up
+    // front and publish the probe context so netsim drop records and
+    // our attempt/response records share a campaign/attempt identity.
+    let asn_of = recorder_asn_map(world, cohort);
     let scanner = SimScanner::open(world, vantage);
     let tmpl = EnumProbeTemplate::new(&zone, seed);
     const BATCH: usize = 4_096;
     let mut alive = HashSet::new();
+    // Every address that answered at all (any rcode) — only tracked
+    // while the recorder is on, so give-ups aren't misattributed to
+    // resolvers that answered with an error rcode.
+    let mut responded = HashSet::new();
     let mut sent = 0usize;
+    telemetry::recorder::set_context("churn", 1);
     for &ip in cohort {
+        if let Some(asns) = &asn_of {
+            let asn = asns.get(&ip).copied().unwrap_or(0);
+            telemetry::recorder::attempt(u32::from(ip), asn, world.now().millis());
+        }
         scanner.send(world, 0, ip, tmpl.probe(ip));
         sent += 1;
         if sent.is_multiple_of(BATCH) {
             scanner.pump(world, 500);
-            collect_alive(world, &scanner, &mut alive);
+            collect_alive(world, &scanner, &mut alive, &mut responded);
         }
     }
     scanner.pump(world, 5_000);
-    collect_alive(world, &scanner, &mut alive);
+    collect_alive(world, &scanner, &mut alive, &mut responded);
 
     // Retransmission rounds: the probe template is deterministic per
     // target, but resending at a later sim time re-rolls its fate.
@@ -108,21 +121,39 @@ pub fn probe_alive_with_policy(
             if missing.is_empty() {
                 break;
             }
+            telemetry::recorder::set_context("churn", round as u32 + 2);
             let mut batch = 0usize;
             for &ip in &missing {
+                if let Some(asns) = &asn_of {
+                    let asn = asns.get(&ip).copied().unwrap_or(0);
+                    telemetry::recorder::attempt(u32::from(ip), asn, world.now().millis());
+                }
                 scanner.send(world, 0, ip, tmpl.probe(ip));
                 batch += 1;
                 if batch.is_multiple_of(BATCH) {
                     scanner.pump(world, 500);
-                    collect_alive(world, &scanner, &mut alive);
+                    collect_alive(world, &scanner, &mut alive, &mut responded);
                 }
             }
             sent += missing.len();
             retries += missing.len() as u64;
-            scanner.pump(world, policy.wait_ms(round, &schedule, &est));
-            collect_alive(world, &scanner, &mut alive);
+            let wait = policy.wait_ms(round, &schedule, &est);
+            telemetry::recorder::backoff(round as u32, wait, world.now().millis());
+            scanner.pump(world, wait);
+            collect_alive(world, &scanner, &mut alive, &mut responded);
         }
     }
+    if let Some(asns) = &asn_of {
+        let now = world.now().millis();
+        for &ip in cohort
+            .iter()
+            .filter(|ip| !alive.contains(ip) && !responded.contains(ip))
+        {
+            let asn = asns.get(&ip).copied().unwrap_or(0);
+            telemetry::recorder::gave_up(u32::from(ip), asn, policy.attempts, now);
+        }
+    }
+    telemetry::recorder::clear_context();
 
     let reg = telemetry::global();
     let churn = [("campaign", "churn")];
@@ -138,17 +169,51 @@ pub fn probe_alive_with_policy(
     (alive, retries)
 }
 
-fn collect_alive(world: &mut World, scanner: &SimScanner, alive: &mut HashSet<Ipv4Addr>) {
-    for (_o, _t, d) in scanner.drain(world) {
+fn collect_alive(
+    world: &mut World,
+    scanner: &SimScanner,
+    alive: &mut HashSet<Ipv4Addr>,
+    responded: &mut HashSet<Ipv4Addr>,
+) {
+    let record = telemetry::recorder::enabled();
+    for (_o, t, d) in scanner.drain(world) {
         let Ok(msg) = Message::decode(&d.payload) else {
             continue;
         };
-        if msg.header.response && msg.header.rcode == Rcode::NoError && !msg.questions.is_empty() {
+        if msg.header.response && !msg.questions.is_empty() {
             if let Some(target) = target_from_qname(&msg.questions[0].qname) {
-                alive.insert(target);
+                if record {
+                    responded.insert(target);
+                    telemetry::recorder::response(
+                        u32::from(target),
+                        msg.header.rcode.to_u8(),
+                        t.millis(),
+                    );
+                }
+                if msg.header.rcode == Rcode::NoError {
+                    alive.insert(target);
+                }
             }
         }
     }
+}
+
+/// Target → ASN map for recorder records; `None` (free) when the
+/// flight recorder is off.
+pub(crate) fn recorder_asn_map(
+    world: &World,
+    targets: &[Ipv4Addr],
+) -> Option<std::collections::HashMap<Ipv4Addr, u32>> {
+    telemetry::recorder::enabled().then(|| {
+        let idx = world.responder_index();
+        targets
+            .iter()
+            .filter_map(|&ip| {
+                let host = world.net.host_at(ip)?;
+                Some((ip, idx.get(&host)?.asn))
+            })
+            .collect()
+    })
 }
 
 /// Meta keys carried by the `day1` snapshot.

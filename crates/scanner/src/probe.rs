@@ -271,8 +271,14 @@ pub fn tcp_query_with_retry(
     port: u16,
     req: &TcpRequest,
 ) -> (Result<TcpResponse, TcpError>, u64) {
+    let record = telemetry::recorder::enabled();
+    if record {
+        telemetry::recorder::set_context(campaign, 1);
+        telemetry::recorder::attempt(u32::from(dst), 0, net.now().millis());
+    }
     let mut last = net.tcp_query(dst, port, req);
     if policy.attempts <= 1 {
+        record_tcp_outcome(record, dst, &last, 1, net.now().millis());
         return (last, 0);
     }
     let schedule = policy.schedule(mix64(u32::from(dst) as u64, port as u64, 0x7c9e77));
@@ -282,17 +288,46 @@ pub fn tcp_query_with_retry(
             break;
         }
         let delay = schedule[(k - 1) as usize];
+        if record {
+            telemetry::recorder::set_context(campaign, k + 1);
+            telemetry::recorder::backoff(k - 1, delay, net.now().millis());
+        }
         let target = net.now() + delay;
         net.run_until(target);
         retries += 1;
+        if record {
+            telemetry::recorder::attempt(u32::from(dst), 0, net.now().millis());
+        }
         last = net.tcp_query(dst, port, req);
     }
+    record_tcp_outcome(record, dst, &last, policy.attempts, net.now().millis());
     if retries > 0 {
         telemetry::global()
             .counter_with("scanner.retries", &[("campaign", campaign)])
             .add(retries);
     }
     (last, retries)
+}
+
+/// Flight-recorder epilogue for a TCP exchange: a success records a
+/// response (rcode 0 — TCP banners have no DNS rcode), an exhausted
+/// timeout records the give-up.
+fn record_tcp_outcome(
+    record: bool,
+    dst: Ipv4Addr,
+    outcome: &Result<TcpResponse, TcpError>,
+    attempts: u32,
+    now_ms: u64,
+) {
+    if !record {
+        return;
+    }
+    match outcome {
+        Ok(_) => telemetry::recorder::response(u32::from(dst), 0, now_ms),
+        Err(TcpError::Timeout) => telemetry::recorder::gave_up(u32::from(dst), 0, attempts, now_ms),
+        Err(_) => {}
+    }
+    telemetry::recorder::clear_context();
 }
 
 /// SplitMix64-style mixing — same construction as netsim's internal

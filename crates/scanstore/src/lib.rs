@@ -23,6 +23,7 @@
 pub mod crc32;
 pub mod memory;
 pub mod record;
+pub mod recorder;
 pub mod segment;
 pub mod sink;
 pub mod source;
@@ -31,6 +32,7 @@ pub mod varint;
 
 pub use memory::MemoryStore;
 pub use record::{flags, fnv1a, Observation, SnapshotDiff};
+pub use recorder::{read_stream, RecorderStream, StoredRecord};
 pub use sink::{NullSink, ObservationSink, SnapshotSink};
 pub use source::{cohort_survival, Snapshot, SnapshotSource};
 pub use store::{CampaignStore, SegmentEntry, StoreStats};

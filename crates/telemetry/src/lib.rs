@@ -38,6 +38,7 @@
 
 mod json;
 mod metrics;
+pub mod recorder;
 mod registry;
 mod snapshot;
 mod trace;
@@ -46,8 +47,9 @@ pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::{global, Registry};
 pub use snapshot::{HistogramData, Snapshot};
 pub use trace::{
-    attach_trace, detach_trace, enabled, event, set_verbosity, span, trace_enabled, verbosity,
-    Level, Span, Value,
+    attach_trace, detach_trace, enable_profile, enabled, event, profiling_enabled, set_verbosity,
+    span, span_quiet, take_profile, trace_enabled, verbosity, Level, Profile, Span, SpanProfile,
+    Value,
 };
 
 /// A counter handle from the global registry.

@@ -94,6 +94,7 @@ struct HistogramInner {
     counts: Vec<AtomicU64>, // one per bound, plus overflow
     sum: AtomicU64,
     total: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Histogram {
@@ -111,6 +112,7 @@ impl Histogram {
                 counts,
                 sum: AtomicU64::new(0),
                 total: AtomicU64::new(0),
+                max: AtomicU64::new(0),
             }),
         }
     }
@@ -127,6 +129,12 @@ impl Histogram {
         self.inner.counts[i].fetch_add(1, Ordering::Relaxed);
         self.inner.sum.fetch_add(v, Ordering::Relaxed);
         self.inner.total.fetch_add(1, Ordering::Relaxed);
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Largest sample recorded so far (exact; 0 with no samples).
+    pub fn max(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
     }
 
     /// Number of samples recorded.
@@ -192,6 +200,7 @@ mod tests {
         assert_eq!(h.count(), 8);
         assert_eq!(h.sum(), 5313);
         assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
+        assert_eq!(h.max(), 5000, "exact max survives bucketing");
     }
 
     #[test]

@@ -1,0 +1,454 @@
+//! The flight recorder: a bounded, deterministic-sampling ring buffer
+//! of causality-linked probe records.
+//!
+//! Retrying campaigns record the full life of every sampled probe —
+//! attempt sent → backoff decision → fault/loss drop (tagged by the
+//! network layer with the responsible fault kind) → response rcode or
+//! final give-up — so "why did this resolver need three retries?" is
+//! answerable after the run from the persisted stream alone.
+//!
+//! # Causality without plumbing
+//!
+//! The scanner knows the campaign and attempt number; the network
+//! layer knows why a datagram died. Neither API mentions the other:
+//! the scanner publishes a thread-local *probe context*
+//! ([`set_context`]) around its send/pump phases, and the network's
+//! drop paths read it back when recording. This is sound because each
+//! world's simulation is single-threaded — the event loop runs on the
+//! thread that issued the sends.
+//!
+//! # Determinism contract
+//!
+//! * Records carry only simulated time and deterministic fields, and
+//!   sequence numbers are assigned in simulation order — two runs of
+//!   the same seeded workload produce byte-identical streams.
+//! * Sampling is keyed on `hash(sample_seed, target_ip)` compared
+//!   against the rate, so a probe's records are all-or-none: a target
+//!   is either fully recorded across every campaign or not at all,
+//!   and rate `1.0` records everything.
+//! * The ring is bounded: when full, the oldest records are
+//!   overwritten (deterministically, since arrival order is
+//!   deterministic) and the overwrite count is reported.
+//!
+//! # Cost when disabled
+//!
+//! Every entry point is gated on one relaxed atomic load; with the
+//! recorder disabled the scan pipeline's behaviour and output are
+//! byte-identical to a build without the recorder.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// What one [`ProbeRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RecordKind {
+    /// A probe (or re-probe) was sent. `attempt` is 1-based.
+    Attempt = 0,
+    /// The retry engine chose a backoff wait for a retransmission
+    /// round. `value` is the wait in sim-ms; `ip` is 0 when the
+    /// decision is campaign-wide.
+    Backoff = 1,
+    /// The network dropped a datagram of this probe; `reason` names
+    /// the responsible fault (burst/outage/flap/rate_limit/loss).
+    Drop = 2,
+    /// A response arrived; `value` is the DNS rcode.
+    Response = 3,
+    /// Every attempt was exhausted without an answer; `value` is the
+    /// number of attempts spent.
+    GaveUp = 4,
+}
+
+impl RecordKind {
+    /// Stable wire tag.
+    pub fn to_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`RecordKind::to_u8`].
+    pub fn from_u8(v: u8) -> Option<RecordKind> {
+        Some(match v {
+            0 => RecordKind::Attempt,
+            1 => RecordKind::Backoff,
+            2 => RecordKind::Drop,
+            3 => RecordKind::Response,
+            4 => RecordKind::GaveUp,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name, used by `repro trace`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecordKind::Attempt => "attempt",
+            RecordKind::Backoff => "backoff",
+            RecordKind::Drop => "drop",
+            RecordKind::Response => "response",
+            RecordKind::GaveUp => "gave_up",
+        }
+    }
+}
+
+/// One causality-linked record of a probe's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeRecord {
+    /// Global sequence number in simulation order.
+    pub seq: u64,
+    /// Simulated time in milliseconds.
+    pub t_ms: u64,
+    /// What happened.
+    pub kind: RecordKind,
+    /// Owning campaign (`"churn"`, `"chaos"`, …).
+    pub campaign: &'static str,
+    /// Target resolver address (`u32::from(Ipv4Addr)`), 0 when the
+    /// record is campaign-wide (shared backoff schedules).
+    pub ip: u32,
+    /// Target's autonomous system, when the scanner knows it (attempt
+    /// records); 0 otherwise.
+    pub asn: u32,
+    /// 1-based attempt number this record belongs to.
+    pub attempt: u32,
+    /// Kind-specific value (wait ms / rcode / attempts spent).
+    pub value: u64,
+    /// Drop reason, `""` for non-drop records.
+    pub reason: &'static str,
+}
+
+/// Default ring capacity: ~4M records, far above what the retrying
+/// campaigns emit at reproduction scales.
+pub const DEFAULT_CAPACITY: usize = 1 << 22;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+struct State {
+    ring: Vec<ProbeRecord>,
+    /// Next overwrite position once `ring.len() == cap`.
+    head: usize,
+    cap: usize,
+    next_seq: u64,
+    /// Sampling threshold: record when `hash <= threshold`.
+    threshold: u64,
+    seed: u64,
+    overwritten: u64,
+}
+
+thread_local! {
+    /// The issuing campaign and current attempt number, published by
+    /// the scanner around its send/pump phases.
+    static CONTEXT: Cell<Option<(&'static str, u32)>> = const { Cell::new(None) };
+}
+
+/// Recorder occupancy counters, for the end-of-run summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Records currently buffered.
+    pub buffered: u64,
+    /// Records assigned so far (monotone).
+    pub recorded: u64,
+    /// Oldest records lost to ring overwrite.
+    pub overwritten: u64,
+}
+
+/// Turns the recorder on with sampling `rate` in `[0, 1]`, a sampling
+/// seed, and a ring `capacity`. Resets sequence numbers and drops any
+/// buffered records, so seeded reruns produce identical streams.
+pub fn enable(rate: f64, seed: u64, capacity: usize) {
+    let rate = rate.clamp(0.0, 1.0);
+    let threshold = if rate >= 1.0 {
+        u64::MAX
+    } else {
+        (rate * u64::MAX as f64) as u64
+    };
+    let mut g = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    *g = Some(State {
+        ring: Vec::new(),
+        head: 0,
+        cap: capacity.max(1),
+        next_seq: 0,
+        threshold,
+        seed,
+        overwritten: 0,
+    });
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns the recorder off and discards any buffered records.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+    let mut g = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    *g = None;
+}
+
+/// True while the recorder is on (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Publishes the issuing campaign and attempt number for subsequent
+/// sends on this thread. A no-op when the recorder is off.
+pub fn set_context(campaign: &'static str, attempt: u32) {
+    if enabled() {
+        CONTEXT.with(|c| c.set(Some((campaign, attempt))));
+    }
+}
+
+/// Clears the probe context.
+pub fn clear_context() {
+    CONTEXT.with(|c| c.set(None));
+}
+
+/// Deterministic sampling decision for a target: all-or-none per IP.
+pub fn sampled(ip: u32) -> bool {
+    if !enabled() {
+        return false;
+    }
+    let g = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    match g.as_ref() {
+        Some(s) => sample_hit(s, ip),
+        None => false,
+    }
+}
+
+/// Hash channel decorrelating sampling from every other seeded hash.
+const SAMPLE_CHANNEL: u64 = 0x5A301E;
+
+fn sample_hit(s: &State, ip: u32) -> bool {
+    mix64(s.seed, SAMPLE_CHANNEL, ip as u64) <= s.threshold
+}
+
+fn push(s: &mut State, mut rec: ProbeRecord) {
+    rec.seq = s.next_seq;
+    s.next_seq += 1;
+    if s.ring.len() < s.cap {
+        s.ring.push(rec);
+    } else {
+        s.ring[s.head] = rec;
+        s.head = (s.head + 1) % s.cap;
+        s.overwritten += 1;
+    }
+}
+
+fn record(kind: RecordKind, ip: u32, asn: u32, value: u64, reason: &'static str, t_ms: u64) {
+    let Some((campaign, attempt)) = CONTEXT.with(|c| c.get()) else {
+        return;
+    };
+    let mut g = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(s) = g.as_mut() else { return };
+    if ip != 0 && !sample_hit(s, ip) {
+        return;
+    }
+    push(
+        s,
+        ProbeRecord {
+            seq: 0,
+            t_ms,
+            kind,
+            campaign,
+            ip,
+            asn,
+            attempt,
+            value,
+            reason: if kind == RecordKind::Drop { reason } else { "" },
+        },
+    );
+}
+
+/// Records a probe send to `ip` (context supplies campaign/attempt).
+#[inline]
+pub fn attempt(ip: u32, asn: u32, t_ms: u64) {
+    if enabled() {
+        record(RecordKind::Attempt, ip, asn, 0, "", t_ms);
+    }
+}
+
+/// Records a retry engine backoff decision: retransmission `round`
+/// (0-based) will wait `wait_ms`. Campaign-wide (`ip = 0`).
+#[inline]
+pub fn backoff(round: u32, wait_ms: u64, t_ms: u64) {
+    if enabled() {
+        let _ = round; // the context's attempt number already names the round
+        record(RecordKind::Backoff, 0, 0, wait_ms, "", t_ms);
+    }
+}
+
+/// Records a dropped datagram. Called by the network layer; the probe
+/// target is inferred from the DNS direction (queries travel towards
+/// port 53, so replies carry the resolver as their source).
+#[inline]
+pub fn drop_fault(src_ip: u32, dst_ip: u32, dst_port: u16, reason: &'static str, t_ms: u64) {
+    if enabled() {
+        let target = if dst_port == 53 { dst_ip } else { src_ip };
+        record(RecordKind::Drop, target, 0, 0, reason, t_ms);
+    }
+}
+
+/// Records a response from `ip` with DNS `rcode`.
+#[inline]
+pub fn response(ip: u32, rcode: u8, t_ms: u64) {
+    if enabled() {
+        record(RecordKind::Response, ip, 0, rcode as u64, "", t_ms);
+    }
+}
+
+/// Records that every attempt against `ip` was exhausted unanswered.
+#[inline]
+pub fn gave_up(ip: u32, asn: u32, attempts: u32, t_ms: u64) {
+    if enabled() {
+        record(RecordKind::GaveUp, ip, asn, attempts as u64, "", t_ms);
+    }
+}
+
+/// Takes every buffered record, oldest first (sequence order). The
+/// recorder stays enabled and sequence numbers keep counting, so
+/// periodic drains concatenate into one gap-free stream.
+pub fn drain() -> Vec<ProbeRecord> {
+    let mut g = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(s) = g.as_mut() else {
+        return Vec::new();
+    };
+    let head = s.head;
+    s.head = 0;
+    let mut out = std::mem::take(&mut s.ring);
+    out.rotate_left(head);
+    out
+}
+
+/// Occupancy counters.
+pub fn stats() -> RecorderStats {
+    let g = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    match g.as_ref() {
+        Some(s) => RecorderStats {
+            buffered: s.ring.len() as u64,
+            recorded: s.next_seq,
+            overwritten: s.overwritten,
+        },
+        None => RecorderStats::default(),
+    }
+}
+
+/// SplitMix64-style mixing (same construction the simulator uses),
+/// local so the recorder stays std-only and dependency-free.
+fn mix64(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(b.rotate_left(17))
+        .wrapping_add(c.wrapping_mul(0xbf58476d1ce4e5b9));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    /// Recorder state is process-global; tests take turns.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| StdMutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_costs_nothing_and_records_nothing() {
+        let _g = lock();
+        disable();
+        assert!(!enabled());
+        set_context("churn", 1);
+        attempt(1, 2, 3);
+        drop_fault(1, 2, 53, "burst", 4);
+        assert!(drain().is_empty());
+        assert_eq!(stats(), RecorderStats::default());
+    }
+
+    #[test]
+    fn records_link_context_and_preserve_order() {
+        let _g = lock();
+        enable(1.0, 7, 1024);
+        set_context("churn", 1);
+        attempt(0x01020304, 42, 1000);
+        drop_fault(0x0a000001, 0x01020304, 53, "burst", 1010);
+        set_context("churn", 2);
+        backoff(0, 1500, 1500);
+        attempt(0x01020304, 42, 2500);
+        drop_fault(0x01020304, 0x0a000001, 40_000, "flap", 2600);
+        gave_up(0x01020304, 42, 2, 3000);
+        clear_context();
+        attempt(0x01020304, 42, 9999); // no context → not recorded
+        let recs = drain();
+        disable();
+        assert_eq!(recs.len(), 6);
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+        assert_eq!(recs[0].kind, RecordKind::Attempt);
+        assert_eq!(recs[0].attempt, 1);
+        assert_eq!(recs[1].reason, "burst");
+        assert_eq!(recs[1].ip, 0x01020304, "query drop targets the dst");
+        assert_eq!(recs[2].kind, RecordKind::Backoff);
+        assert_eq!(recs[2].value, 1500);
+        assert_eq!(recs[4].ip, 0x01020304, "reply drop targets the src");
+        assert_eq!(recs[4].attempt, 2);
+        assert_eq!(recs[5].kind, RecordKind::GaveUp);
+    }
+
+    #[test]
+    fn sampling_is_all_or_none_per_ip_and_deterministic() {
+        let _g = lock();
+        enable(0.5, 99, 1 << 16);
+        set_context("chaos", 1);
+        let mut kept = 0u32;
+        for ip in 1..=2000u32 {
+            attempt(ip, 0, 10);
+            response(ip, 0, 20);
+        }
+        let recs = drain();
+        for r in &recs {
+            kept += 1;
+            let _ = r;
+        }
+        // Each sampled ip contributed exactly its attempt+response pair.
+        assert!(kept > 0 && kept.is_multiple_of(2), "kept={kept}");
+        let frac = (kept / 2) as f64 / 2000.0;
+        assert!((frac - 0.5).abs() < 0.1, "sample fraction {frac}");
+        // Same seed and rate → same decisions.
+        let first: Vec<u32> = recs.iter().map(|r| r.ip).collect();
+        for ip in 1..=2000u32 {
+            attempt(ip, 0, 10);
+            response(ip, 0, 20);
+        }
+        let again: Vec<u32> = drain().iter().map(|r| r.ip).collect();
+        clear_context();
+        disable();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let _g = lock();
+        enable(1.0, 1, 4);
+        set_context("churn", 1);
+        for i in 0..10u32 {
+            attempt(1000 + i, 0, i as u64);
+        }
+        let s = stats();
+        assert_eq!(s.buffered, 4);
+        assert_eq!(s.recorded, 10);
+        assert_eq!(s.overwritten, 6);
+        let recs = drain();
+        clear_context();
+        disable();
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+}

@@ -133,6 +133,7 @@ impl Registry {
                             counts: h.bucket_counts(),
                             count: h.count(),
                             sum: h.sum(),
+                            max: h.max(),
                         },
                     )
                 })

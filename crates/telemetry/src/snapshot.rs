@@ -14,6 +14,40 @@ pub struct HistogramData {
     pub count: u64,
     /// Sum of all samples.
     pub sum: u64,
+    /// Largest sample recorded (exact, not bucketed).
+    pub max: u64,
+}
+
+impl HistogramData {
+    /// Bucket-interpolated quantile **estimate** for `q` in `[0, 1]`.
+    ///
+    /// The true sample values are gone after bucketing, so this
+    /// locates the bucket holding the nearest-rank sample and
+    /// interpolates linearly inside it; the overflow bucket uses the
+    /// exact [`max`](HistogramData::max) as its upper edge. Error is
+    /// bounded by the width of the bucket the quantile falls in.
+    pub fn quantile_estimate(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            let before = cum;
+            cum += n;
+            if rank <= cum && n > 0 {
+                let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max.max(lo)
+                };
+                let frac = (rank - before) as f64 / n as f64;
+                return lo as f64 + (hi - lo) as f64 * frac;
+            }
+        }
+        self.max as f64
+    }
 }
 
 /// Every metric's value at a point in time, sorted by key.
@@ -97,7 +131,13 @@ impl Snapshot {
                 let _ = write!(out, "[{b}, {n}]");
             }
             let overflow = h.counts.last().copied().unwrap_or(0);
-            let _ = write!(out, "], \"overflow\": {overflow}}}");
+            let _ = write!(out, "], \"overflow\": {overflow}");
+            // Quantiles are bucket-interpolated estimates; max is exact.
+            for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+                let _ = write!(out, ", \"{label}\": ");
+                json::push_f64(&mut out, h.quantile_estimate(q));
+            }
+            let _ = write!(out, ", \"max\": {}}}", h.max);
         }
         out.push_str("\n  }\n}\n");
         out
@@ -134,7 +174,15 @@ impl Snapshot {
                 } else {
                     0.0
                 };
-                let _ = writeln!(out, "  {k:width$}  count={} mean={mean:.1}", h.count);
+                let _ = writeln!(
+                    out,
+                    "  {k:width$}  count={} mean={mean:.1} p50~{:.1} p90~{:.1} p99~{:.1} max={}",
+                    h.count,
+                    h.quantile_estimate(0.50),
+                    h.quantile_estimate(0.90),
+                    h.quantile_estimate(0.99),
+                    h.max
+                );
             }
         }
         out
@@ -166,6 +214,9 @@ mod tests {
         assert!(js.contains("\"scanner.responses{rcode=0}\": 40"));
         assert!(js.contains("\"scanstore.compression_ratio\": 9.9"));
         assert!(js.contains("\"buckets\": [[1, 0], [10, 1]], \"overflow\": 1"));
+        // Derived quantile estimates and the exact max follow overflow.
+        assert!(js.contains("\"p50\": "));
+        assert!(js.contains("\"max\": 500"));
         // Balanced braces/brackets as a cheap well-formedness check.
         let open = js.matches(['{', '[']).count();
         let close = js.matches(['}', ']']).count();
@@ -178,6 +229,31 @@ mod tests {
         assert!(t.contains("scanner.probes_sent"));
         assert!(t.contains("scanstore.compression_ratio"));
         assert!(t.contains("count=2"));
+    }
+
+    #[test]
+    fn quantile_estimates_interpolate_within_buckets() {
+        let h = HistogramData {
+            bounds: vec![10, 100],
+            counts: vec![8, 1, 1],
+            count: 10,
+            sum: 700,
+            max: 400,
+        };
+        // p50: rank 5 of 8 in [0,10] → 10 * 5/8.
+        assert!((h.quantile_estimate(0.50) - 6.25).abs() < 1e-9);
+        // p90: rank 9, the single sample in (10,100].
+        assert!((h.quantile_estimate(0.90) - 100.0).abs() < 1e-9);
+        // p99: rank 10 lands in overflow; upper edge is the exact max.
+        assert!((h.quantile_estimate(0.99) - 400.0).abs() < 1e-9);
+        let empty = HistogramData {
+            bounds: vec![1],
+            counts: vec![0, 0],
+            count: 0,
+            sum: 0,
+            max: 0,
+        };
+        assert_eq!(empty.quantile_estimate(0.5), 0.0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::json;
 use crate::registry::global;
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -275,7 +276,15 @@ pub fn event(level: Level, name: &str, msg: &str, attrs: &[(&str, Value)], sim_m
 // ------------------------------------------------------------------- spans
 
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One open span on this thread's stack: enough to attribute child
+/// sim-time to parents and to reconstruct the folded call path.
+struct Frame {
+    id: u64,
+    name: String,
+    child_sim_ms: u64,
 }
 
 /// An open interval in both clocks. Create with [`span`], close with
@@ -291,15 +300,33 @@ pub struct Span {
     wall_start: Instant,
     attrs: Vec<(String, Value)>,
     done: bool,
+    quiet: bool,
 }
 
 /// Opens a span at simulated time `sim_start_ms`.
 pub fn span(name: &str, sim_start_ms: u64) -> Span {
+    new_span(name, sim_start_ms, false)
+}
+
+/// Opens a *quiet* span: it nests, feeds the `span.<name>.*` counters
+/// and the profiler exactly like [`span`], but never writes a trace
+/// line. Use it in code that may run on rayon worker threads, where
+/// trace emission order would be scheduler-dependent and break the
+/// trace byte-stability contract.
+pub fn span_quiet(name: &str, sim_start_ms: u64) -> Span {
+    new_span(name, sim_start_ms, true)
+}
+
+fn new_span(name: &str, sim_start_ms: u64, quiet: bool) -> Span {
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
     let parent = SPAN_STACK.with(|s| {
         let mut s = s.borrow_mut();
-        let parent = s.last().copied();
-        s.push(id);
+        let parent = s.last().map(|f| f.id);
+        s.push(Frame {
+            id,
+            name: name.to_string(),
+            child_sim_ms: 0,
+        });
         parent
     });
     Span {
@@ -310,6 +337,7 @@ pub fn span(name: &str, sim_start_ms: u64) -> Span {
         wall_start: Instant::now(),
         attrs: Vec::new(),
         done: false,
+        quiet,
     }
 }
 
@@ -328,21 +356,54 @@ impl Span {
     }
 
     fn close(&mut self, sim_end_ms: u64) {
-        SPAN_STACK.with(|s| {
+        let sim_ms = sim_end_ms.saturating_sub(self.sim_start);
+        // Pop our frame, credit our total to the parent's child-time,
+        // and (when profiling) capture the folded ancestor path while
+        // the ancestors are still on the stack.
+        let (child_ms, path) = SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
-            if let Some(pos) = s.iter().rposition(|&id| id == self.id) {
-                s.remove(pos);
+            match s.iter().rposition(|f| f.id == self.id) {
+                Some(pos) => {
+                    let path = profiling_enabled().then(|| {
+                        let mut p = String::new();
+                        for f in &s[..pos] {
+                            p.push_str(&f.name);
+                            p.push(';');
+                        }
+                        p.push_str(&self.name);
+                        p
+                    });
+                    let frame = s.remove(pos);
+                    if pos > 0 {
+                        let parent = &mut s[pos - 1];
+                        parent.child_sim_ms = parent.child_sim_ms.saturating_add(sim_ms);
+                    }
+                    (frame.child_sim_ms, path)
+                }
+                None => (0, profiling_enabled().then(|| self.name.clone())),
             }
         });
+        let self_ms = sim_ms.saturating_sub(child_ms);
         let wall_us = self.wall_start.elapsed().as_micros() as u64;
-        let sim_ms = sim_end_ms.saturating_sub(self.sim_start);
         let reg = global();
         reg.counter(&format!("span.{}.count", self.name)).inc();
         reg.counter(&format!("span.{}.sim_ms", self.name))
             .add(sim_ms);
+        reg.counter(&format!("span.{}.self_sim_ms", self.name))
+            .add(self_ms);
         reg.counter(&format!("span.{}.wall_us", self.name))
             .add(wall_us);
-        if trace_enabled() {
+        if let Some(path) = path {
+            let mut g = PROFILE.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(p) = g.as_mut() {
+                *p.folded.entry(path).or_insert(0) += self_ms;
+                let e = p.per_span.entry(self.name.clone()).or_default();
+                e.count += 1;
+                e.self_ms += self_ms;
+                e.durations.push(sim_ms);
+            }
+        }
+        if !self.quiet && trace_enabled() {
             emit_line(|seq, out| {
                 let _ = write!(out, "{{\"seq\":{seq},\"type\":\"span\",\"id\":{}", self.id);
                 match self.parent {
@@ -373,6 +434,157 @@ impl Drop for Span {
             let start = self.sim_start;
             self.close(start);
         }
+    }
+}
+
+// --------------------------------------------------------------- profiler
+//
+// The sim-time profiler aggregates, per span close: self-time (total
+// minus time attributed to child spans) keyed by the folded ancestor
+// path, and the full duration distribution keyed by span name. All
+// figures are *simulated* milliseconds, so profiles of seeded runs are
+// deterministic — aggregation is order-independent (sums into
+// `BTreeMap`s; duration vectors are sorted before quantiles), which
+// keeps the output stable even when spans close on rayon workers in
+// scheduler-dependent order.
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+static PROFILE: Mutex<Option<ProfileState>> = Mutex::new(None);
+
+#[derive(Default)]
+struct ProfileState {
+    /// Folded call path (`a;b;c`) → accumulated self sim-ms.
+    folded: BTreeMap<String, u64>,
+    per_span: BTreeMap<String, PerSpan>,
+}
+
+#[derive(Default, Clone)]
+struct PerSpan {
+    count: u64,
+    self_ms: u64,
+    durations: Vec<u64>,
+}
+
+/// True while the profiler is collecting (one relaxed load).
+#[inline]
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Starts (or restarts) sim-time profiling, discarding any prior data.
+pub fn enable_profile() {
+    let mut g = PROFILE.lock().unwrap_or_else(|e| e.into_inner());
+    *g = Some(ProfileState::default());
+    PROFILING.store(true, Ordering::SeqCst);
+}
+
+/// Stops profiling and returns what was collected, or `None` if the
+/// profiler was never enabled.
+pub fn take_profile() -> Option<Profile> {
+    PROFILING.store(false, Ordering::SeqCst);
+    let state = {
+        let mut g = PROFILE.lock().unwrap_or_else(|e| e.into_inner());
+        g.take()
+    }?;
+    let spans = state
+        .per_span
+        .into_iter()
+        .map(|(name, p)| {
+            let mut d = p.durations;
+            d.sort_unstable();
+            SpanProfile {
+                name,
+                count: p.count,
+                total_sim_ms: d.iter().sum(),
+                self_sim_ms: p.self_ms,
+                p50: nearest_rank(&d, 0.50),
+                p90: nearest_rank(&d, 0.90),
+                p99: nearest_rank(&d, 0.99),
+                max: d.last().copied().unwrap_or(0),
+            }
+        })
+        .collect();
+    Some(Profile {
+        folded: state.folded,
+        spans,
+    })
+}
+
+/// Exact nearest-rank quantile over a sorted slice.
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Per-span-name sim-time statistics (exact, from every close).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanProfile {
+    /// Span name.
+    pub name: String,
+    /// Number of closes.
+    pub count: u64,
+    /// Sum of total durations (sim-ms).
+    pub total_sim_ms: u64,
+    /// Sum of self time: total minus child-span time (sim-ms).
+    pub self_sim_ms: u64,
+    /// Exact nearest-rank quantiles of the duration distribution.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest single duration.
+    pub max: u64,
+}
+
+/// A finished sim-time profile: folded stacks plus per-span stats.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    folded: BTreeMap<String, u64>,
+    spans: Vec<SpanProfile>,
+}
+
+impl Profile {
+    /// Per-span-name statistics, sorted by name.
+    pub fn spans(&self) -> &[SpanProfile] {
+        &self.spans
+    }
+
+    /// The folded-stack map: `path -> self sim-ms`.
+    pub fn folded(&self) -> &BTreeMap<String, u64> {
+        &self.folded
+    }
+
+    /// Renders the flamegraph "folded" format: one `path value` line
+    /// per stack, value = self sim-ms. Feed straight into
+    /// `flamegraph.pl` or any compatible renderer.
+    pub fn folded_text(&self) -> String {
+        let mut out = String::new();
+        for (path, ms) in &self.folded {
+            let _ = writeln!(out, "{path} {ms}");
+        }
+        out
+    }
+
+    /// Human-readable per-span summary with exact sim-time quantiles.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}",
+            "span", "count", "total_sim_ms", "self_sim_ms", "p50", "p90", "p99", "max"
+        );
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>7} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}",
+                s.name, s.count, s.total_sim_ms, s.self_sim_ms, s.p50, s.p90, s.p99, s.max
+            );
+        }
+        out
     }
 }
 
@@ -465,6 +677,63 @@ mod tests {
         }
         assert_eq!(global().counter("span.leaky.count").get(), before + 1);
         SPAN_STACK.with(|s| assert!(s.borrow().is_empty(), "stack popped on drop"));
+    }
+
+    #[test]
+    fn profiler_attributes_self_time_and_folds_stacks() {
+        let _g = test_lock();
+        enable_profile();
+        let outer = span("p_outer", 0);
+        let inner = span("p_inner", 100);
+        inner.finish(400); // inner total 300
+        let inner2 = span("p_inner", 400);
+        inner2.finish(500); // inner total 100
+        outer.finish(1000); // outer total 1000, self 1000-400=600
+        let prof = take_profile().expect("profile collected");
+        assert!(!profiling_enabled());
+        let folded = prof.folded_text();
+        assert!(folded.contains("p_outer 600\n"), "folded:\n{folded}");
+        assert!(
+            folded.contains("p_outer;p_inner 400\n"),
+            "folded:\n{folded}"
+        );
+        let inner_stats = prof
+            .spans()
+            .iter()
+            .find(|s| s.name == "p_inner")
+            .unwrap()
+            .clone();
+        assert_eq!(inner_stats.count, 2);
+        assert_eq!(inner_stats.total_sim_ms, 400);
+        assert_eq!(inner_stats.self_sim_ms, 400);
+        assert_eq!((inner_stats.p50, inner_stats.max), (100, 300));
+        let outer_stats = prof.spans().iter().find(|s| s.name == "p_outer").unwrap();
+        assert_eq!(outer_stats.self_sim_ms, 600);
+        assert_eq!(outer_stats.p99, 1000);
+    }
+
+    #[test]
+    fn quiet_spans_feed_counters_but_not_the_trace() {
+        let _g = test_lock();
+        let buf = SharedBuf::default();
+        attach_trace(Box::new(buf.clone()));
+        let before = global().counter("span.hush.count").get();
+        let s = span_quiet("hush", 10);
+        s.finish(60);
+        detach_trace().unwrap();
+        assert_eq!(global().counter("span.hush.count").get(), before + 1);
+        assert!(global().counter("span.hush.self_sim_ms").get() >= 50);
+        assert_eq!(buf.take(), "", "quiet span emitted no trace line");
+    }
+
+    #[test]
+    fn nearest_rank_quantiles_are_exact() {
+        let d: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&d, 0.50), 50);
+        assert_eq!(nearest_rank(&d, 0.90), 90);
+        assert_eq!(nearest_rank(&d, 0.99), 99);
+        assert_eq!(nearest_rank(&[7], 0.50), 7);
+        assert_eq!(nearest_rank(&[], 0.99), 0);
     }
 
     #[test]
