@@ -60,11 +60,22 @@
 //!   [--asn n] [--fault reason] [--gave-up] [--limit n]` — query a
 //!   recorded stream: reconstruct a probe's full timeline, list the
 //!   probes a fault kind killed, or summarize the whole stream;
-//! * `repro bench [--bench repro_all|recorder_overhead] [--out p.json]
-//!   [--against baseline.json] [--threshold pct] <workload flags>` —
-//!   run a perf benchmark and emit a `goingwild.bench.v1` report;
-//!   with `--against`, exit 2 on workload mismatch and 4 on a
-//!   wall-clock regression beyond the threshold.
+//! * `repro bench [--bench repro_all|recorder_overhead|serve_qps]
+//!   [--out p.json] [--against baseline.json] [--threshold pct]
+//!   <workload flags>` — run a perf benchmark and emit a
+//!   `goingwild.bench.v1` report; with `--against`, exit 2 on workload
+//!   mismatch and 4 on a wall-clock regression beyond the threshold.
+//!   `serve_qps` collects into `--store`, starts the query daemon on a
+//!   loopback port, and times the seeded client fleet;
+//! * `repro serve --store <dir> [--addr host:port] [--cache-cap n]
+//!   [--refresh-ms n] [--metrics p.json]` — serve the four query
+//!   families (`/classify`, `/churn`, `/amplifiers`, `/coverage`) over
+//!   HTTP/JSON straight from an on-disk store, refreshing when a
+//!   writer commits new segments; SIGINT/SIGTERM drains in-flight
+//!   requests and flushes a final metrics snapshot. With `--selftest
+//!   [--seed n] [--clients n] [--requests n]` it instead starts the
+//!   daemon in-process, replays the deterministic fleet, and prints a
+//!   byte-stable one-line report.
 
 use bench::perf::{self, BenchConfig, BenchReport, CompareError};
 use goingwild::experiments::{self, known_experiment, DeriveOptions, Experiment, REGISTRY};
@@ -72,6 +83,7 @@ use goingwild::{collect_bundle, BundleOptions, CampaignKind, WorldConfig};
 use netsim::FaultPlan;
 use scanner::ProbePolicy;
 use scanstore::StoredRecord;
+use serve::run_fleet;
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 use std::path::{Path, PathBuf};
@@ -115,6 +127,14 @@ fn usage_error(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Parses a numeric flag value, exiting with a one-line usage error
+/// instead of panicking on garbage like `--weeks banana`.
+fn parse_num<T: std::str::FromStr>(flag: &str, value: String) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| usage_error(&format!("{flag} expects a number, got `{value}`")))
+}
+
 fn print_experiment_list() {
     use std::fmt::Write as _;
     let mut out = String::from("experiment ids accepted by --exp (plus `all`):\n");
@@ -152,21 +172,21 @@ fn parse_args(argv: Vec<String>) -> Args {
         };
         match a.as_str() {
             "--exp" => args.exp = grab(),
-            "--scale" => args.scale = grab().parse().expect("scale"),
-            "--weeks" => args.weeks = grab().parse().expect("weeks"),
-            "--seed" => args.seed = grab().parse().expect("seed"),
-            "--snoop-sample" => args.snoop_sample = grab().parse().expect("snoop sample"),
+            "--scale" => args.scale = parse_num("--scale", grab()),
+            "--weeks" => args.weeks = parse_num("--weeks", grab()),
+            "--seed" => args.seed = parse_num("--seed", grab()),
+            "--snoop-sample" => args.snoop_sample = parse_num("--snoop-sample", grab()),
             "--faults" => args.faults = Some(grab()),
-            "--retries" => args.retries = Some(grab().parse().expect("retries")),
+            "--retries" => args.retries = Some(parse_num("--retries", grab())),
             "--strict-coverage" => {
-                args.strict_coverage = Some(grab().parse().expect("strict coverage pct"))
+                args.strict_coverage = Some(parse_num("--strict-coverage", grab()))
             }
             "--json" => args.json = Some(grab()),
             "--store" => args.store = Some(PathBuf::from(grab())),
             "--metrics" => args.metrics = Some(grab()),
             "--trace" => args.trace = Some(grab()),
             "--record" => args.record = Some(grab()),
-            "--record-rate" => args.record_rate = grab().parse().expect("record rate"),
+            "--record-rate" => args.record_rate = parse_num("--record-rate", grab()),
             "--profile" => args.profile = Some(grab()),
             "--quiet" | "-q" => args.verbosity = 0,
             "-v" | "--verbose" => args.verbosity = 2,
@@ -283,7 +303,123 @@ fn main() {
     match argv.first().map(String::as_str) {
         Some("trace") => trace_main(argv[1..].to_vec()),
         Some("bench") => bench_main(argv[1..].to_vec()),
+        Some("serve") => serve_main(argv[1..].to_vec()),
         _ => run_main(argv),
+    }
+}
+
+// ---------------------------------------------------------------------
+// `repro serve` — long-running query service over a campaign store.
+// ---------------------------------------------------------------------
+
+struct ServeArgs {
+    opts: serve::ServeOptions,
+    selftest: bool,
+    seed: u64,
+    clients: usize,
+    requests: usize,
+}
+
+fn parse_serve_args(argv: Vec<String>) -> ServeArgs {
+    let mut sa = ServeArgs {
+        opts: serve::ServeOptions {
+            announce: true,
+            ..serve::ServeOptions::default()
+        },
+        selftest: false,
+        seed: 2015_1028,
+        clients: 4,
+        requests: 100,
+    };
+    let mut store = None;
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        let mut grab = || {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("{a} requires a value")))
+        };
+        match a.as_str() {
+            "--store" => store = Some(PathBuf::from(grab())),
+            "--addr" => sa.opts.addr = grab(),
+            "--cache-cap" => sa.opts.cache_cap = parse_num("--cache-cap", grab()),
+            "--refresh-ms" => sa.opts.refresh_ms = parse_num("--refresh-ms", grab()),
+            "--metrics" => sa.opts.metrics = Some(PathBuf::from(grab())),
+            "--selftest" => sa.selftest = true,
+            "--seed" => sa.seed = parse_num("--seed", grab()),
+            "--clients" => sa.clients = parse_num("--clients", grab()),
+            "--requests" => sa.requests = parse_num("--requests", grab()),
+            other => usage_error(&format!("unknown serve argument {other}")),
+        }
+    }
+    let Some(store) = store else {
+        usage_error(
+            "serve requires --store <dir> (a campaign store from `repro --exp … --store <dir>`)",
+        );
+    };
+    sa.opts.store = store;
+    if sa.selftest && (sa.clients == 0 || sa.requests == 0) {
+        usage_error("--selftest needs at least 1 client and 1 request");
+    }
+    sa
+}
+
+fn serve_main(argv: Vec<String>) {
+    let sa = parse_serve_args(argv);
+    if sa.selftest {
+        // Start the daemon in-process, replay the seeded fleet against
+        // it, and report deterministically: stdout carries exactly one
+        // JSON line which two same-seed runs must reproduce
+        // byte-for-byte; timing-dependent numbers go to stderr.
+        let opts = serve::ServeOptions {
+            announce: false,
+            ..sa.opts.clone()
+        };
+        let server = serve::RunningServer::start(&opts).unwrap_or_else(|e| {
+            eprintln!("repro serve: cannot start daemon: {e}");
+            std::process::exit(1);
+        });
+        let fleet = serve::FleetOptions {
+            addr: server.addr(),
+            store: sa.opts.store.clone(),
+            seed: sa.seed,
+            clients: sa.clients,
+            requests: sa.requests,
+        };
+        let report = run_fleet(&fleet).unwrap_or_else(|e| {
+            eprintln!("repro serve: fleet failed: {e}");
+            std::process::exit(1);
+        });
+        let summary = server.stop().unwrap_or_else(|e| {
+            eprintln!("repro serve: daemon shutdown failed: {e}");
+            std::process::exit(1);
+        });
+        println!("{}", report.deterministic_json());
+        eprintln!(
+            "repro serve: selftest {} requests in {} ms ({} qps), {} served, {} refreshes",
+            report.requests,
+            report.wall_ms,
+            (report.requests * 1000)
+                .checked_div(report.wall_ms)
+                .unwrap_or(0),
+            summary.requests,
+            summary.refreshes,
+        );
+        if report.errors > 0 {
+            eprintln!("repro serve: selftest saw {} errors", report.errors);
+            std::process::exit(1);
+        }
+        return;
+    }
+    serve::signal::install();
+    match serve::server::run(&sa.opts) {
+        Ok(summary) => eprintln!(
+            "repro serve: drained, {} requests served, {} engine refreshes",
+            summary.requests, summary.refreshes
+        ),
+        Err(e) => {
+            eprintln!("repro serve: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -562,13 +698,16 @@ fn parse_bench_args(argv: Vec<String>) -> BenchArgs {
             "--bench" => bench = grab(),
             "--out" => out = Some(grab()),
             "--against" => against = Some(grab()),
-            "--threshold" => threshold_pct = grab().parse().expect("threshold pct"),
+            "--threshold" => threshold_pct = parse_num("--threshold", grab()),
             _ => rest.push(a),
         }
     }
-    if !matches!(bench.as_str(), "repro_all" | "recorder_overhead") {
+    if !matches!(
+        bench.as_str(),
+        "repro_all" | "recorder_overhead" | "serve_qps"
+    ) {
         usage_error(&format!(
-            "unknown bench `{bench}`; known benches: repro_all, recorder_overhead"
+            "unknown bench `{bench}`; known benches: repro_all, recorder_overhead, serve_qps"
         ));
     }
     if threshold_pct < 0.0 {
@@ -635,6 +774,8 @@ const BENCH_COUNTER_PREFIXES: &[&str] = &[
     "scanner.responses",
     "scanner.retries",
     "netsim.udp",
+    "serve.",
+    "scanstore.view.",
 ];
 
 fn bench_report(ba: &BenchArgs, wall_clock_ms: u64) -> BenchReport {
@@ -713,6 +854,76 @@ fn bench_main(argv: Vec<String>) {
             r.notes = "wall_clock_ms is the recorder-on run; overhead_pct = (on-off)/off".into();
             r
         }
+        "serve_qps" => {
+            // Collect the workload's campaigns into the --store dir
+            // (resumed for free when already collected), start the
+            // daemon on a loopback port, and time the seeded fleet.
+            let Some(store) = ba.workload.store.clone() else {
+                usage_error("--bench serve_qps requires --store <dir> for the campaign store");
+            };
+            let cfg = cfg_of(&ba.workload);
+            let selected = select_experiments(&ba.workload.exp);
+            let kinds = union_kinds(&selected);
+            let bundle_opts = BundleOptions {
+                seed: ba.workload.seed,
+                weeks: ba.workload.weeks,
+                snoop_sample: ba.workload.snoop_sample,
+                ..BundleOptions::new(cfg)
+            };
+            if let Err(e) = collect_bundle(&bundle_opts, &kinds, Some(&store)) {
+                eprintln!("repro bench: store collection failed: {e}");
+                std::process::exit(1);
+            }
+            let opts = serve::ServeOptions {
+                store: store.clone(),
+                refresh_ms: 0, // static store: measure pure query service
+                ..serve::ServeOptions::default()
+            };
+            let server = serve::RunningServer::start(&opts).unwrap_or_else(|e| {
+                eprintln!("repro bench: cannot start daemon: {e}");
+                std::process::exit(1);
+            });
+            let fleet = serve::FleetOptions {
+                addr: server.addr(),
+                store,
+                seed: ba.workload.seed,
+                clients: 4,
+                requests: 150,
+            };
+            // Warm-up pass (connects, caches, allocator), then the
+            // timed pass.
+            if let Err(e) = run_fleet(&fleet) {
+                eprintln!("repro bench: fleet failed: {e}");
+                std::process::exit(1);
+            }
+            let rep = run_fleet(&fleet).unwrap_or_else(|e| {
+                eprintln!("repro bench: fleet failed: {e}");
+                std::process::exit(1);
+            });
+            if rep.errors > 0 {
+                eprintln!("repro bench: fleet saw {} errors", rep.errors);
+                std::process::exit(1);
+            }
+            let _ = server.stop();
+            let mut r = bench_report(&ba, rep.wall_ms.max(1));
+            r.derived.insert("requests".into(), rep.requests as f64);
+            r.derived.insert(
+                "qps".into(),
+                rep.requests as f64 * 1000.0 / rep.wall_ms.max(1) as f64,
+            );
+            r.derived.insert("bytes".into(), rep.bytes as f64);
+            let snap = telemetry::snapshot();
+            let hits = snap.counter("serve.cache.hit").unwrap_or(0);
+            let misses = snap.counter("serve.cache.miss").unwrap_or(0);
+            r.derived.insert(
+                "cache_hit_rate".into(),
+                hits as f64 / (hits + misses).max(1) as f64,
+            );
+            r.notes =
+                "wall_clock_ms is the timed fleet pass (4 clients x 150 requests, warm cache)"
+                    .into();
+            r
+        }
         _ => unreachable!("validated by parse_bench_args"),
     };
     report.notes = if report.notes.is_empty() {
@@ -788,10 +999,10 @@ fn parse_trace_args(argv: Vec<String>) -> TraceArgs {
                     usage_error("--probe expects a dotted IPv4 address");
                 }))
             }
-            "--asn" => asn = Some(grab().parse().expect("asn")),
+            "--asn" => asn = Some(parse_num("--asn", grab())),
             "--fault" => fault = Some(grab()),
             "--gave-up" => gave_up = true,
-            "--limit" => limit = grab().parse().expect("limit"),
+            "--limit" => limit = parse_num("--limit", grab()),
             other if !other.starts_with('-') && stream.is_none() => {
                 stream = Some(PathBuf::from(other))
             }
@@ -871,6 +1082,20 @@ fn trace_main(argv: Vec<String>) {
         eprintln!("repro trace: cannot read {}: {e}", ta.stream.display());
         std::process::exit(1);
     });
+    // `read_stream` recovers by keeping the longest valid prefix — but
+    // a non-empty file yielding *zero* records is not a recovery, it's
+    // the wrong (or fully truncated) file. An empty stream file is
+    // legitimate: a recorder armed on a run that probed nothing.
+    if records.is_empty() {
+        let len = std::fs::metadata(&ta.stream).map(|m| m.len()).unwrap_or(0);
+        if len > 0 {
+            eprintln!(
+                "repro trace: {} ({len} bytes) contains no decodable GWRS segments — truncated or not a recorder stream",
+                ta.stream.display()
+            );
+            std::process::exit(1);
+        }
+    }
     if let Some(c) = &ta.campaign {
         records.retain(|r| &r.campaign == c);
     }

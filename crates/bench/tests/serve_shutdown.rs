@@ -1,0 +1,197 @@
+//! Graceful-shutdown integration test: spawn the real `repro serve`
+//! daemon, hit it, send SIGTERM, and verify it drains and flushes the
+//! final metrics snapshot before exiting cleanly.
+
+#![cfg(unix)]
+
+use scanstore::{CampaignStore, Observation, ObservationSink, SnapshotSink};
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("gw-shutdown-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn seed_store(root: &Path) {
+    let mut store = CampaignStore::open(root.join("weekly")).unwrap();
+    for ip in 1u32..=64 {
+        store.observe(Observation::at(ip, 0, 1_000));
+    }
+    store.commit("week-0", 1_000, &[]).unwrap();
+}
+
+#[test]
+fn sigterm_drains_and_flushes_metrics() {
+    let tmp = TempDir::new("sigterm");
+    seed_store(&tmp.0);
+    let metrics = tmp.0.join("serve-metrics.json");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "serve",
+            "--store",
+            tmp.0.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // The daemon announces its bound port on stdout once it is ready.
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let announce = lines.next().unwrap().unwrap();
+    let addr = announce
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected announce line: {announce}"))
+        .to_string();
+
+    // It answers queries while alive.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET /classify?ip=0.0.0.1 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("\"found\":true"), "{response}");
+
+    // SIGTERM → drain → metrics flush → clean exit.
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(status.success(), "kill -TERM failed");
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let exit = loop {
+        if let Some(exit) = child.try_wait().unwrap() {
+            break exit;
+        }
+        assert!(Instant::now() < deadline, "daemon ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(exit.success(), "daemon exited non-zero: {exit:?}");
+
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .unwrap();
+    assert!(
+        stderr.contains("drained"),
+        "no drain confirmation: {stderr}"
+    );
+
+    // The final snapshot was written and records the served request.
+    let snapshot = std::fs::read_to_string(&metrics).unwrap();
+    assert!(snapshot.contains("serve.requests"), "{snapshot}");
+    assert!(snapshot.contains("serve.shutdown.requests"), "{snapshot}");
+}
+
+#[test]
+fn serve_on_missing_store_fails_with_one_line_error() {
+    let tmp = TempDir::new("missing");
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--store", tmp.0.join("nope").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("repro serve:"), "{stderr}");
+}
+
+#[test]
+fn trace_rejects_truncated_streams_without_panicking() {
+    let tmp = TempDir::new("trace-garbage");
+    let garbage = tmp.0.join("not-a-stream.gwrs");
+    std::fs::write(&garbage, b"this is definitely not a GWRS recorder stream").unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["trace", garbage.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1), "expected exit 1");
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(
+        stderr.contains("no decodable GWRS segments"),
+        "missing one-line error: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "trace panicked on garbage input: {stderr}"
+    );
+}
+
+#[test]
+fn bench_against_missing_baseline_exits_2() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "bench",
+            "--bench",
+            "repro_all",
+            "--exp",
+            "fig1",
+            "--scale",
+            "0.00002",
+            "--weeks",
+            "1",
+            "--against",
+            "/nonexistent/baseline.json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2), "expected exit 2");
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("cannot read baseline"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn numeric_flag_garbage_is_a_usage_error_not_a_panic() {
+    for args in [
+        vec!["--weeks", "banana"],
+        vec!["--seed", "not-a-number"],
+        vec!["trace", "x.gwrs", "--limit", "many"],
+        vec!["bench", "--threshold", "high"],
+        vec!["serve", "--store", "s", "--refresh-ms", "soon"],
+    ] {
+        let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(&args)
+            .output()
+            .unwrap();
+        assert_eq!(output.status.code(), Some(2), "args {args:?}");
+        let stderr = String::from_utf8(output.stderr).unwrap();
+        assert!(
+            stderr.contains("expects a number"),
+            "args {args:?}: {stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "args {args:?}: {stderr}");
+    }
+}

@@ -68,6 +68,9 @@ impl ObservationSink for EnrichSink<'_> {
         if let Some(cc) = self.geo.country(ip) {
             obs.country = self.inner.intern(cc.as_str());
         }
+        if let Some(asn) = self.geo.asn(ip) {
+            obs.asn = asn;
+        }
         if self.rdns.lookup(ip).is_some() {
             let token = if self.rdns.is_dynamic(ip) {
                 "dyn"

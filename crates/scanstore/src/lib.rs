@@ -29,6 +29,7 @@ pub mod sink;
 pub mod source;
 pub mod store;
 pub mod varint;
+pub mod view;
 
 pub use memory::MemoryStore;
 pub use record::{flags, fnv1a, Observation, SnapshotDiff};
@@ -36,3 +37,4 @@ pub use recorder::{read_stream, RecorderStream, StoredRecord};
 pub use sink::{NullSink, ObservationSink, SnapshotSink};
 pub use source::{cohort_survival, Snapshot, SnapshotSource};
 pub use store::{CampaignStore, SegmentEntry, StoreStats};
+pub use view::{AsnSeries, IndexEntry, ReadIndex, StoreView};

@@ -58,6 +58,10 @@ pub struct Observation {
     pub device: u32,
     /// Interned ISO 3166 country code, 0 = none.
     pub country: u32,
+    /// Origin AS number of the probed address, 0 = unknown. Carried
+    /// directly (not interned) so AS-scoped queries need no string
+    /// table round-trip.
+    pub asn: u32,
     /// Interned rDNS token (`dyn` / `static`), 0 = none.
     pub rdns: u32,
     /// FNV-1a hash of the TCP banner corpus, 0 = none.
@@ -109,6 +113,7 @@ pub fn encode_record(out: &mut Vec<u8>, o: &Observation, prev_ip: u32, base_ms: 
     put_u64(out, u64::from(o.software));
     put_u64(out, u64::from(o.device));
     put_u64(out, u64::from(o.country));
+    put_u64(out, u64::from(o.asn));
     put_u64(out, u64::from(o.rdns));
     put_u64(out, o.banner_hash);
     put_u64(out, o.value);
@@ -129,6 +134,7 @@ pub fn decode_record(r: &mut Reader<'_>, prev_ip: u32, base_ms: u64) -> io::Resu
     let software = r.u32()?;
     let device = r.u32()?;
     let country = r.u32()?;
+    let asn = r.u32()?;
     let rdns = r.u32()?;
     let banner_hash = r.u64()?;
     let value = r.u64()?;
@@ -141,6 +147,7 @@ pub fn decode_record(r: &mut Reader<'_>, prev_ip: u32, base_ms: u64) -> io::Resu
         software,
         device,
         country,
+        asn,
         rdns,
         banner_hash,
         value,
@@ -238,6 +245,7 @@ mod tests {
             software: 3,
             device: 0,
             country: 7,
+            asn: 64512,
             rdns: 1,
             banner_hash: 0xdead_beef,
             value: (2 << 32) | 86_400,

@@ -50,6 +50,7 @@ fn arb_observation() -> impl Strategy<Value = Observation> {
                 software,
                 device: software % 7,
                 country,
+                asn: country.rotate_left(5),
                 rdns: country % 3,
                 banner_hash,
                 value: banner_hash ^ dur,

@@ -1,0 +1,125 @@
+//! A small LRU cache for hot response bodies.
+//!
+//! Keys embed the engine's generation tag, so entries cached against
+//! an older store generation simply stop being asked for after a
+//! refresh (the server also clears the cache on swap, keeping the map
+//! from accumulating dead generations). Hits and misses are counted
+//! under `serve.cache.hit` / `serve.cache.miss`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Least-recently-used response cache. Not thread-safe by itself; the
+/// server wraps it in a mutex.
+#[derive(Debug)]
+pub struct LruCache {
+    cap: usize,
+    tick: u64,
+    map: HashMap<String, (u64, Arc<Vec<u8>>)>,
+}
+
+impl LruCache {
+    /// A cache holding at most `cap` bodies. `cap == 0` disables
+    /// caching entirely (every lookup misses).
+    pub fn new(cap: usize) -> LruCache {
+        LruCache {
+            cap,
+            tick: 0,
+            map: HashMap::with_capacity(cap.min(1024)),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<Arc<Vec<u8>>> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((stamp, body)) => {
+                *stamp = self.tick;
+                telemetry::counter("serve.cache.hit").inc();
+                Some(Arc::clone(body))
+            }
+            None => {
+                telemetry::counter("serve.cache.miss").inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts `key`, evicting the least-recently-used entry when
+    /// full. The linear eviction scan is fine at the cache sizes the
+    /// daemon runs with (hundreds of entries).
+    pub fn put(&mut self, key: String, body: Arc<Vec<u8>>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                telemetry::counter("serve.cache.evict").inc();
+            }
+        }
+        self.map.insert(key, (self.tick, body));
+    }
+
+    /// Drops every entry (called when a refresh swaps the engine).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of cached bodies.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<Vec<u8>> {
+        Arc::new(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let mut cache = LruCache::new(2);
+        assert!(cache.get("a").is_none());
+        cache.put("a".into(), body("A"));
+        cache.put("b".into(), body("B"));
+        assert_eq!(*cache.get("a").unwrap(), b"A".to_vec());
+        // `b` is now the least recently used entry: inserting `c`
+        // evicts it, not `a`.
+        cache.put("c".into(), body("C"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.put("a".into(), body("A"));
+        assert!(cache.get("a").is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_the_map() {
+        let mut cache = LruCache::new(4);
+        cache.put("a".into(), body("A"));
+        cache.clear();
+        assert!(cache.get("a").is_none());
+    }
+}

@@ -1,0 +1,638 @@
+//! The query engine: an immutable set of [`StoreView`]s answering the
+//! four query families.
+//!
+//! An engine is built once per store generation and shared behind an
+//! `Arc`: request handlers clone the `Arc`, so a refresh that swaps in
+//! a newer engine never invalidates an answer in flight. All JSON is
+//! emitted with fixed key order and integer arithmetic only, so a
+//! response body is byte-stable for a given store.
+
+use crate::http::{escape_json, Response};
+use scanstore::view::IndexEntry;
+use scanstore::{flags, SnapshotSource, StoreView};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+/// An immutable, shareable set of campaign views.
+#[derive(Debug)]
+pub struct QueryEngine {
+    root: PathBuf,
+    views: BTreeMap<String, StoreView>,
+}
+
+/// Campaign subdirectories of `root` that hold a store manifest. The
+/// root itself counts when it is a single-campaign store.
+fn campaign_dirs(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut dirs = Vec::new();
+    if root.join("manifest.json").is_file() {
+        let name = root
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "store".to_string());
+        dirs.push((name, root.to_path_buf()));
+        return Ok(dirs);
+    }
+    for dirent in std::fs::read_dir(root)? {
+        let dirent = dirent?;
+        let path = dirent.path();
+        if path.is_dir() && path.join("manifest.json").is_file() {
+            dirs.push((dirent.file_name().to_string_lossy().into_owned(), path));
+        }
+    }
+    dirs.sort();
+    Ok(dirs)
+}
+
+impl QueryEngine {
+    /// Opens every campaign store under `root` (read-only). `root` may
+    /// be a PR 3 bundle store (`<root>/<campaign>/manifest.json`) or a
+    /// single store directory.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<QueryEngine> {
+        let root = root.as_ref().to_path_buf();
+        if !root.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("store directory {} does not exist", root.display()),
+            ));
+        }
+        let mut views = BTreeMap::new();
+        for (name, dir) in campaign_dirs(&root)? {
+            views.insert(name, StoreView::open(&dir)?);
+        }
+        if views.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "no campaign stores under {} (expected <dir>/<campaign>/manifest.json; \
+                     collect one with `repro --exp fig1 --store <dir>`)",
+                    root.display()
+                ),
+            ));
+        }
+        Ok(QueryEngine { root, views })
+    }
+
+    /// Re-reads every campaign's manifest, decoding only new segments,
+    /// and picks up campaigns that appeared since the engine was
+    /// built. Returns the refreshed engine and whether anything
+    /// actually changed.
+    pub fn refresh(&self) -> io::Result<(QueryEngine, bool)> {
+        let mut views = BTreeMap::new();
+        let mut changed = false;
+        for (name, view) in &self.views {
+            let next = view.refresh()?;
+            changed |= next.generation() != view.generation();
+            views.insert(name.clone(), next);
+        }
+        for (name, dir) in campaign_dirs(&self.root)? {
+            if let std::collections::btree_map::Entry::Vacant(slot) = views.entry(name) {
+                slot.insert(StoreView::open(&dir)?);
+                changed = true;
+            }
+        }
+        Ok((
+            QueryEngine {
+                root: self.root.clone(),
+                views,
+            },
+            changed,
+        ))
+    }
+
+    /// A compact tag identifying the engine's store generations, e.g.
+    /// `banner:3,weekly:8`. Cache keys embed it so a refresh naturally
+    /// invalidates stale entries.
+    pub fn generation_tag(&self) -> String {
+        let mut tag = String::new();
+        for (name, view) in &self.views {
+            if !tag.is_empty() {
+                tag.push(',');
+            }
+            let _ = write!(tag, "{name}:{}", view.generation());
+        }
+        tag
+    }
+
+    /// Campaign names, sorted.
+    pub fn campaigns(&self) -> impl Iterator<Item = &str> {
+        self.views.keys().map(String::as_str)
+    }
+
+    /// One campaign's view.
+    pub fn view(&self, name: &str) -> Option<&StoreView> {
+        self.views.get(name)
+    }
+
+    /// Routes one request target (path + query) to its handler.
+    pub fn handle(&self, target: &str) -> Response {
+        let (path, params) = crate::http::split_target(target);
+        let get =
+            |key: &str| -> Option<&str> { params.iter().find(|(k, _)| *k == key).map(|&(_, v)| v) };
+        let family = match path {
+            "/classify" => "classify",
+            "/churn" => "churn",
+            "/amplifiers" => "amplifiers",
+            "/coverage" => "coverage",
+            "/campaigns" => "campaigns",
+            "/healthz" => "healthz",
+            "/metrics" => "metrics",
+            _ => {
+                telemetry::counter_with("serve.requests", &[("family", "unknown")]).inc();
+                return Response::error(404, &format!("unknown path {path}"));
+            }
+        };
+        telemetry::counter_with("serve.requests", &[("family", family)]).inc();
+        match path {
+            "/classify" => self.classify(get("ip")),
+            "/churn" => self.churn(get("asn"), get("campaign")),
+            "/amplifiers" => self.amplifiers(get("country"), get("limit"), get("campaign")),
+            "/coverage" => self.coverage(get("campaign")),
+            "/campaigns" => self.campaign_inventory(),
+            "/healthz" => self.healthz(),
+            _ => metrics(),
+        }
+    }
+
+    /// The campaign a query runs over: the explicit `campaign` param,
+    /// else `weekly` when present, else the first campaign.
+    fn pick_campaign(&self, requested: Option<&str>) -> Result<(&str, &StoreView), Response> {
+        match requested {
+            Some(name) => match self.views.get_key_value(name) {
+                Some((k, v)) => Ok((k, v)),
+                None => Err(Response::error(
+                    404,
+                    &format!("unknown campaign `{name}`; see /campaigns"),
+                )),
+            },
+            None => {
+                let (k, v) = self
+                    .views
+                    .get_key_value("weekly")
+                    .or_else(|| self.views.iter().next())
+                    .expect("engine has at least one campaign");
+                Ok((k, v))
+            }
+        }
+    }
+
+    fn classify(&self, ip: Option<&str>) -> Response {
+        let Some(ip_str) = ip else {
+            return Response::error(400, "classify requires ?ip=a.b.c.d");
+        };
+        let Ok(ip) = ip_str.parse::<Ipv4Addr>() else {
+            return Response::error(400, &format!("`{ip_str}` is not a dotted IPv4 address"));
+        };
+        let ip_u32 = u32::from(ip);
+        let mut body = String::with_capacity(256);
+        let _ = write!(body, "{{\"query\":\"classify\",\"ip\":\"{ip}\"");
+        let mut found = false;
+        let mut open_live = false;
+        let mut any_live = false;
+        let mut sections = String::new();
+        for (name, view) in &self.views {
+            let Some(e) = view.index().lookup(ip_u32) else {
+                continue;
+            };
+            if !sections.is_empty() {
+                sections.push(',');
+            }
+            found = true;
+            any_live |= e.live;
+            open_live |= e.live && e.latest.rcode == 0;
+            let _ = write!(sections, "\"{name}\":");
+            entry_json(view, e, &mut sections);
+        }
+        let summary = if open_live {
+            "open-resolver-live"
+        } else if any_live {
+            "responding-error"
+        } else if found {
+            "churned"
+        } else {
+            "unknown"
+        };
+        let _ = writeln!(
+            body,
+            ",\"found\":{found},\"summary\":\"{summary}\",\"campaigns\":{{{sections}}}}}"
+        );
+        Response::ok(body)
+    }
+
+    fn churn(&self, asn: Option<&str>, campaign: Option<&str>) -> Response {
+        let Some(asn_str) = asn else {
+            return Response::error(400, "churn requires ?asn=<number>");
+        };
+        let Ok(asn) = asn_str.parse::<u32>() else {
+            return Response::error(400, &format!("`{asn_str}` is not an AS number"));
+        };
+        let (name, view) = match self.pick_campaign(campaign) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let Some(series) = view.index().asn_series(asn) else {
+            return Response::error(404, &format!("AS{asn} was never observed in `{name}`"));
+        };
+        let cohort = series.survivors.first().copied().unwrap_or(0);
+        let mut body = String::with_capacity(256);
+        let _ = write!(
+            body,
+            "{{\"query\":\"churn\",\"asn\":{asn},\"campaign\":\"{name}\",\"cohort\":{cohort}"
+        );
+        body.push_str(",\"snapshots\":[");
+        for seq in 0..view.generation() {
+            if seq > 0 {
+                body.push(',');
+            }
+            let label = view.segment_meta(seq).map(|(l, _, _)| l).unwrap_or("");
+            body.push('"');
+            escape_json(label, &mut body);
+            body.push('"');
+        }
+        body.push_str("],\"present\":");
+        u64_array(&series.present, &mut body);
+        body.push_str(",\"survivors\":");
+        u64_array(&series.survivors, &mut body);
+        // Parts-per-million retention of the snapshot-0 cohort:
+        // integer arithmetic, so the curve is byte-stable.
+        body.push_str(",\"retention_ppm\":[");
+        for (i, &s) in series.survivors.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let ppm = (s * 1_000_000).checked_div(cohort).unwrap_or(0);
+            let _ = write!(body, "{ppm}");
+        }
+        body.push_str("]}\n");
+        Response::ok(body)
+    }
+
+    fn amplifiers(
+        &self,
+        country: Option<&str>,
+        limit: Option<&str>,
+        campaign: Option<&str>,
+    ) -> Response {
+        let Some(country) = country else {
+            return Response::error(400, "amplifiers requires ?country=CC");
+        };
+        let limit = match limit {
+            None => 10usize,
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) if n >= 1 => n.min(200),
+                _ => return Response::error(400, "limit must be a positive integer"),
+            },
+        };
+        let (name, view) = match self.pick_campaign(campaign) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let mut candidates: Vec<&IndexEntry> = view
+            .index()
+            .entries()
+            .iter()
+            .filter(|e| e.live && e.latest.rcode == 0 && view.string(e.latest.country) == country)
+            .collect();
+        let total = candidates.len();
+        // Highest score first; ties resolve by address so the ranking
+        // is a total order.
+        candidates.sort_by_key(|e| (std::cmp::Reverse(amp_score(e)), e.ip));
+        candidates.truncate(limit);
+        let mut body = String::with_capacity(128 + candidates.len() * 96);
+        let _ = write!(
+            body,
+            "{{\"query\":\"amplifiers\",\"country\":\"{}\",\"campaign\":\"{name}\",\
+             \"total_candidates\":{total},\"returned\":{},\"candidates\":[",
+            {
+                let mut esc = String::new();
+                escape_json(country, &mut esc);
+                esc
+            },
+            candidates.len()
+        );
+        for (i, e) in candidates.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let _ = write!(
+                body,
+                "{{\"ip\":\"{}\",\"asn\":{},\"score\":{},\"rounds\":{},\
+                 \"tcp_responsive\":{},\"software\":\"",
+                Ipv4Addr::from(e.ip),
+                e.latest.asn,
+                amp_score(e),
+                e.rounds,
+                e.latest.flags & flags::TCP_RESPONSIVE != 0,
+            );
+            escape_json(view.string(e.latest.software), &mut body);
+            body.push_str("\"}");
+        }
+        body.push_str("]}\n");
+        Response::ok(body)
+    }
+
+    fn coverage(&self, campaign: Option<&str>) -> Response {
+        let (name, view) = match self.pick_campaign(campaign) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let idx = view.index();
+        let live = idx.snapshot_sizes().last().copied().unwrap_or(0);
+        let mut body = String::with_capacity(256);
+        let _ = write!(
+            body,
+            "{{\"query\":\"coverage\",\"campaign\":\"{name}\",\"generation\":{},\
+             \"live_records\":{live},\"distinct_ips\":{},\"snapshots\":[",
+            view.generation(),
+            idx.entries().len()
+        );
+        for seq in 0..view.generation() {
+            if seq > 0 {
+                body.push(',');
+            }
+            let (label, t_ms, meta) = view.segment_meta(seq).expect("seq < generation");
+            let _ = write!(body, "{{\"seq\":{seq},\"label\":\"");
+            escape_json(label, &mut body);
+            let _ = write!(
+                body,
+                "\",\"t_ms\":{t_ms},\"records\":{},\"meta\":{{",
+                idx.snapshot_sizes()[seq as usize]
+            );
+            for (i, (k, v)) in meta.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push('"');
+                escape_json(k, &mut body);
+                body.push_str("\":\"");
+                escape_json(v, &mut body);
+                body.push('"');
+            }
+            body.push_str("}}");
+        }
+        body.push_str("]}\n");
+        Response::ok(body)
+    }
+
+    fn campaign_inventory(&self) -> Response {
+        let mut body = String::from("{\"query\":\"campaigns\",\"campaigns\":[");
+        for (i, (name, view)) in self.views.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let live = view.index().snapshot_sizes().last().copied().unwrap_or(0);
+            let _ = write!(
+                body,
+                "{{\"name\":\"{name}\",\"generation\":{},\"live_records\":{live},\
+                 \"distinct_ips\":{},\"recovered\":{}}}",
+                view.generation(),
+                view.index().entries().len(),
+                view.recovered()
+            );
+        }
+        body.push_str("]}\n");
+        Response::ok(body)
+    }
+
+    fn healthz(&self) -> Response {
+        let mut body = format!(
+            "{{\"ok\":true,\"generations\":\"{}\"}}\n",
+            self.generation_tag()
+        );
+        // healthz is read on every fleet warm-up; keep it cacheable so
+        // the cache sees traffic even on tiny stores.
+        body.shrink_to_fit();
+        Response::ok(body)
+    }
+}
+
+/// The live telemetry snapshot. Never cached and excluded from fleet
+/// digests: counters move between calls by design.
+fn metrics() -> Response {
+    Response {
+        status: 200,
+        body: telemetry::snapshot().to_json().into_bytes(),
+        cacheable: false,
+    }
+}
+
+/// Deterministic integer amplification score: stability (rounds
+/// present) dominates, TCP fallback and a known software banner add
+/// confidence, proxy forwarding a little more.
+fn amp_score(e: &IndexEntry) -> u64 {
+    let mut score = u64::from(e.rounds) * 1000;
+    if e.latest.flags & flags::TCP_RESPONSIVE != 0 {
+        score += 500;
+    }
+    if e.latest.software != 0 {
+        score += 100;
+    }
+    if e.latest.flags & flags::PROXY != 0 {
+        score += 25;
+    }
+    score
+}
+
+fn u64_array(values: &[u64], out: &mut String) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+fn entry_json(view: &StoreView, e: &IndexEntry, out: &mut String) {
+    let o = &e.latest;
+    let chaos = match flags::chaos_outcome(o.flags) {
+        flags::CHAOS_ERRORS => "errors",
+        flags::CHAOS_EMPTY => "empty",
+        flags::CHAOS_VERSION => "version",
+        _ => "silent",
+    };
+    let _ = write!(
+        out,
+        "{{\"live\":{},\"rcode\":{},\"proxy\":{},\"tcp_responsive\":{},\"chaos\":\"{chaos}\",",
+        e.live,
+        o.rcode,
+        o.flags & flags::PROXY != 0,
+        o.flags & flags::TCP_RESPONSIVE != 0,
+    );
+    for (key, id) in [
+        ("software", o.software),
+        ("device", o.device),
+        ("country", o.country),
+        ("rdns", o.rdns),
+    ] {
+        let _ = write!(out, "\"{key}\":\"");
+        escape_json(view.string(id), out);
+        out.push_str("\",");
+    }
+    let _ = write!(
+        out,
+        "\"asn\":{},\"banner_hash\":{},\"value\":{},\"first_seq\":{},\"last_seq\":{},\
+         \"rounds\":{},\"snapshots\":{},\"first_seen_ms\":{},\"last_seen_ms\":{}}}",
+        o.asn,
+        o.banner_hash,
+        o.value,
+        e.first_seq,
+        e.last_seq,
+        e.rounds,
+        view.generation(),
+        o.first_seen_ms,
+        o.last_seen_ms
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanstore::{CampaignStore, Observation, ObservationSink, SnapshotSink};
+    use std::fs;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(name: &str) -> TempDir {
+            let path =
+                std::env::temp_dir().join(format!("gw-engine-{}-{name}", std::process::id()));
+            let _ = fs::remove_dir_all(&path);
+            fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn seed_store(dir: &Path) {
+        let mut store = CampaignStore::open(dir.join("weekly")).unwrap();
+        let us = store.intern("US");
+        let de = store.intern("DE");
+        let soft = store.intern("dnsmasq-2.51");
+        for week in 0u32..3 {
+            for ip in [10u32, 20, 30, 40] {
+                if ip == 40 && week > 0 {
+                    continue; // 40 churns out after week 0
+                }
+                let mut o =
+                    Observation::at(ip, if ip == 30 { 5 } else { 0 }, 1_000 + u64::from(week));
+                o.country = if ip == 20 { de } else { us };
+                o.asn = if ip == 20 { 2 } else { 1 };
+                if ip == 10 {
+                    o.software = soft;
+                    o.flags = scanstore::flags::TCP_RESPONSIVE;
+                }
+                store.observe(o);
+            }
+            store
+                .commit(&format!("week-{week}"), 1_000 + u64::from(week), &[])
+                .unwrap();
+        }
+    }
+
+    fn body(r: &Response) -> String {
+        String::from_utf8(r.body.clone()).unwrap()
+    }
+
+    #[test]
+    fn classify_answers_from_the_index() {
+        let tmp = TempDir::new("classify");
+        seed_store(&tmp.0);
+        let engine = QueryEngine::open(&tmp.0).unwrap();
+
+        let r = engine.handle("/classify?ip=0.0.0.10");
+        assert_eq!(r.status, 200);
+        let b = body(&r);
+        assert!(b.contains("\"summary\":\"open-resolver-live\""), "{b}");
+        assert!(b.contains("\"software\":\"dnsmasq-2.51\""), "{b}");
+        assert!(b.contains("\"tcp_responsive\":true"), "{b}");
+        assert!(b.contains("\"rounds\":3"), "{b}");
+
+        let churned = body(&engine.handle("/classify?ip=0.0.0.40"));
+        assert!(churned.contains("\"summary\":\"churned\""), "{churned}");
+        let unknown = body(&engine.handle("/classify?ip=9.9.9.9"));
+        assert!(unknown.contains("\"found\":false"), "{unknown}");
+        assert_eq!(engine.handle("/classify?ip=banana").status, 400);
+        assert_eq!(engine.handle("/classify").status, 400);
+    }
+
+    #[test]
+    fn churn_and_amplifiers_and_coverage() {
+        let tmp = TempDir::new("families");
+        seed_store(&tmp.0);
+        let engine = QueryEngine::open(&tmp.0).unwrap();
+
+        let churn = body(&engine.handle("/churn?asn=1"));
+        assert!(churn.contains("\"present\":[3,2,2]"), "{churn}");
+        assert!(churn.contains("\"survivors\":[3,2,2]"), "{churn}");
+        assert!(churn.contains("\"cohort\":3"), "{churn}");
+        assert_eq!(engine.handle("/churn?asn=999").status, 404);
+        assert_eq!(engine.handle("/churn").status, 400);
+
+        let amp = body(&engine.handle("/amplifiers?country=US&limit=5"));
+        assert!(amp.contains("\"total_candidates\":1"), "{amp}");
+        assert!(amp.contains("\"ip\":\"0.0.0.10\""), "{amp}");
+        // 30 has rcode 5 and 40 churned: neither is a candidate.
+        assert!(!amp.contains("0.0.0.30"), "{amp}");
+        assert_eq!(engine.handle("/amplifiers").status, 400);
+
+        let cov = body(&engine.handle("/coverage?campaign=weekly"));
+        assert!(cov.contains("\"generation\":3"), "{cov}");
+        assert!(cov.contains("\"label\":\"week-2\""), "{cov}");
+        assert_eq!(engine.handle("/coverage?campaign=nope").status, 404);
+
+        assert_eq!(engine.handle("/nope").status, 404);
+    }
+
+    #[test]
+    fn responses_are_byte_identical() {
+        let tmp = TempDir::new("stable");
+        seed_store(&tmp.0);
+        let engine = QueryEngine::open(&tmp.0).unwrap();
+        for target in [
+            "/classify?ip=0.0.0.10",
+            "/churn?asn=1",
+            "/amplifiers?country=US",
+            "/coverage",
+            "/campaigns",
+        ] {
+            assert_eq!(engine.handle(target), engine.handle(target), "{target}");
+        }
+        // A freshly opened engine over the same bytes agrees too.
+        let engine2 = QueryEngine::open(&tmp.0).unwrap();
+        assert_eq!(
+            engine.handle("/classify?ip=0.0.0.10"),
+            engine2.handle("/classify?ip=0.0.0.10")
+        );
+    }
+
+    #[test]
+    fn refresh_picks_up_new_commits() {
+        let tmp = TempDir::new("refresh");
+        seed_store(&tmp.0);
+        let engine = QueryEngine::open(&tmp.0).unwrap();
+        assert_eq!(engine.generation_tag(), "weekly:3");
+        let (same, changed) = engine.refresh().unwrap();
+        assert!(!changed);
+        assert_eq!(same.generation_tag(), "weekly:3");
+
+        let mut store = CampaignStore::open(tmp.0.join("weekly")).unwrap();
+        store.observe(Observation::at(50, 0, 2_000));
+        store.commit("week-3", 2_000, &[]).unwrap();
+        let (next, changed) = engine.refresh().unwrap();
+        assert!(changed);
+        assert_eq!(next.generation_tag(), "weekly:4");
+        let b = body(&next.handle("/classify?ip=0.0.0.50"));
+        assert!(b.contains("\"found\":true"), "{b}");
+        // The old engine still answers from its own generation.
+        assert!(body(&engine.handle("/classify?ip=0.0.0.50")).contains("\"found\":false"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Minimal HTTP/1.1 plumbing for the query service.
+//!
+//! The daemon speaks just enough HTTP for curl, browsers, and the
+//! synthetic fleet: `GET` requests, `Connection: close`, explicit
+//! `Content-Length`, JSON bodies. Responses carry no wall-clock
+//! headers, so a response is a pure function of (store, request).
+
+/// A computed response, before serialization to the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code (200, 400, 404, 405).
+    pub status: u16,
+    /// JSON body, newline-terminated.
+    pub body: Vec<u8>,
+    /// Whether the body may be stored in the response cache.
+    pub cacheable: bool,
+}
+
+impl Response {
+    /// A cacheable 200 with a JSON body.
+    pub fn ok(body: String) -> Response {
+        Response {
+            status: 200,
+            body: body.into_bytes(),
+            cacheable: true,
+        }
+    }
+
+    /// An error response with a one-field JSON body.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::from("{\"error\":\"");
+        escape_json(message, &mut body);
+        body.push_str("\"}\n");
+        Response {
+            status,
+            body: body.into_bytes(),
+            cacheable: false,
+        }
+    }
+
+    /// Serializes status line + headers + body.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Error",
+        };
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.body.len()
+        );
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(&self.body);
+        wire
+    }
+}
+
+/// Parses the request line of an HTTP request head, returning
+/// `(method, target)`.
+pub fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    Some((method, target))
+}
+
+/// Splits a request target into `(path, query pairs)`. No percent
+/// decoding: every value this API accepts is plain ASCII.
+pub fn split_target(target: &str) -> (&str, Vec<(&str, &str)>) {
+    match target.split_once('?') {
+        None => (target, Vec::new()),
+        Some((path, query)) => {
+            let params = query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| p.split_once('=').unwrap_or((p, "")))
+                .collect();
+            (path, params)
+        }
+    }
+}
+
+/// Escapes `s` into `out` as JSON string contents (no quotes added).
+pub fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_and_target() {
+        let (m, t) =
+            parse_request_line("GET /classify?ip=1.2.3.4 HTTP/1.1\r\nHost: x\r\n").unwrap();
+        assert_eq!((m, t), ("GET", "/classify?ip=1.2.3.4"));
+        let (path, params) = split_target(t);
+        assert_eq!(path, "/classify");
+        assert_eq!(params, vec![("ip", "1.2.3.4")]);
+        let (path, params) = split_target("/campaigns");
+        assert_eq!(path, "/campaigns");
+        assert!(params.is_empty());
+    }
+
+    #[test]
+    fn wire_format_is_deterministic() {
+        let r = Response::ok("{\"ok\":true}\n".to_string());
+        let wire = String::from_utf8(r.to_wire()).unwrap();
+        assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(wire.contains("Content-Length: 12\r\n"));
+        assert!(wire.ends_with("{\"ok\":true}\n"));
+        assert!(!wire.contains("Date:"), "no wall-clock headers");
+    }
+
+    #[test]
+    fn escaping() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

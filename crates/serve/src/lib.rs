@@ -1,0 +1,42 @@
+//! serve: a long-running HTTP/JSON query service over on-disk
+//! [`scanstore`] campaigns.
+//!
+//! The collection pipeline ends in static tables; this crate turns a
+//! committed store into a *service*. Four query families, answered
+//! straight from [`scanstore::StoreView`] read indexes:
+//!
+//! * `GET /classify?ip=a.b.c.d` — everything the campaigns know about
+//!   one resolver: liveness, rcode, proxy/TCP flags, CHAOS outcome,
+//!   software, device, country, AS, rDNS token, presence history;
+//! * `GET /churn?asn=N[&campaign=c]` — per-snapshot presence and
+//!   cohort-survival series for one AS (Fig. 2 shape, scoped to an AS);
+//! * `GET /amplifiers?country=CC[&limit=n][&campaign=c]` — top
+//!   amplification candidates in a country, ranked by a deterministic
+//!   integer score (stability, open recursion, TCP fallback);
+//! * `GET /coverage?campaign=c` — per-snapshot record counts, labels,
+//!   and commit metadata for one campaign.
+//!
+//! Plus `GET /campaigns` (inventory), `GET /healthz`, and
+//! `GET /metrics` (telemetry snapshot; never cached).
+//!
+//! Architecture (DESIGN §10): the daemon holds an immutable
+//! [`QueryEngine`] behind a swap lock. Requests clone the current
+//! `Arc<QueryEngine>` and keep answering from it even if a refresh
+//! swaps in a newer engine mid-flight, so a new campaign commit is
+//! served without dropping in-flight queries. Responses are cached in
+//! an LRU keyed by `(engine generation, request path)` with
+//! `serve.cache.hit` / `serve.cache.miss` telemetry. Every response
+//! body is a pure function of (store bytes, request), so two runs of
+//! the seeded [`fleet`] against the same store are byte-identical.
+
+pub mod cache;
+pub mod engine;
+pub mod fleet;
+pub mod http;
+pub mod server;
+pub mod signal;
+
+pub use cache::LruCache;
+pub use engine::QueryEngine;
+pub use fleet::{run_fleet, FleetOptions, FleetReport};
+pub use server::{RunningServer, ServeOptions, ServeSummary};

@@ -1,0 +1,320 @@
+//! The daemon: accept loop, response cache, engine refresh, and
+//! graceful drain.
+//!
+//! Concurrency model: one [`QueryEngine`] lives behind a swap lock as
+//! an `Arc`. Each connection clones the `Arc` and answers from that
+//! engine even if a background refresh swaps in a newer one mid-flight
+//! — a campaign commit therefore becomes visible between requests,
+//! never inside one, and no in-flight query is dropped. Shutdown
+//! (SIGINT/SIGTERM or [`RunningServer::stop`]) closes the accept loop,
+//! drains in-flight connections, and flushes a final telemetry
+//! snapshot.
+
+use crate::cache::LruCache;
+use crate::engine::QueryEngine;
+use crate::http::{parse_request_line, Response};
+use crate::signal;
+use parking_lot::{Mutex, RwLock};
+use std::io::{self, Write as _};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tokio::net::{TcpListener, TcpStream};
+
+/// Requests larger than this are rejected outright; real queries are
+/// one short GET line plus a handful of headers.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// How long a connection may take end-to-end before being dropped, so
+/// a stalled client cannot wedge the drain phase.
+const CONN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Store root: a bundle directory of campaigns or a single store.
+    pub store: PathBuf,
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Response-cache capacity in entries; 0 disables caching.
+    pub cache_cap: usize,
+    /// Manifest re-check interval; 0 disables background refresh.
+    pub refresh_ms: u64,
+    /// Where to write the final telemetry snapshot on shutdown.
+    pub metrics: Option<PathBuf>,
+    /// Print the `listening on ...` line to stdout (daemon mode).
+    pub announce: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            store: PathBuf::from("store"),
+            addr: "127.0.0.1:0".to_string(),
+            cache_cap: 256,
+            refresh_ms: 1_000,
+            metrics: None,
+            announce: false,
+        }
+    }
+}
+
+/// What the daemon did, reported after shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections answered (including error responses).
+    pub requests: u64,
+    /// Engine swaps performed by the background refresh.
+    pub refreshes: u64,
+}
+
+/// State shared between the accept loop, connection tasks, and the
+/// controlling thread.
+struct ServerState {
+    engine: RwLock<Arc<QueryEngine>>,
+    cache: Mutex<LruCache>,
+    inflight: AtomicUsize,
+    requests: AtomicU64,
+    refreshes: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl ServerState {
+    fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || signal::triggered()
+    }
+}
+
+/// Runs the daemon on the current thread until shutdown is requested,
+/// then drains and returns the summary. This is what `repro serve`
+/// calls.
+pub fn run(opts: &ServeOptions) -> io::Result<ServeSummary> {
+    let engine = QueryEngine::open(&opts.store)?;
+    let state = Arc::new(ServerState {
+        engine: RwLock::new(Arc::new(engine)),
+        cache: Mutex::new(LruCache::new(opts.cache_cap)),
+        inflight: AtomicUsize::new(0),
+        requests: AtomicU64::new(0),
+        refreshes: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+    });
+    let rt = tokio::runtime::Runtime::new()?;
+    let opts = opts.clone();
+    rt.block_on(async move {
+        let listener = TcpListener::bind(opts.addr.as_str()).await?;
+        let addr = listener.local_addr()?;
+        if opts.announce {
+            println!("listening on http://{addr}");
+            io::stdout().flush()?;
+        }
+        serve_loop(state, listener, &opts).await
+    })
+}
+
+/// A daemon started on a background thread, for `--selftest`, benches,
+/// and integration tests.
+pub struct RunningServer {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    thread: Option<std::thread::JoinHandle<io::Result<ServeSummary>>>,
+}
+
+impl RunningServer {
+    /// Opens the store (errors surface here, synchronously), then
+    /// starts the accept loop on a background thread and waits for the
+    /// bound address.
+    pub fn start(opts: &ServeOptions) -> io::Result<RunningServer> {
+        let engine = QueryEngine::open(&opts.store)?;
+        let state = Arc::new(ServerState {
+            engine: RwLock::new(Arc::new(engine)),
+            cache: Mutex::new(LruCache::new(opts.cache_cap)),
+            inflight: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let (tx, rx) = std::sync::mpsc::channel::<io::Result<SocketAddr>>();
+        let thread_state = Arc::clone(&state);
+        let opts = opts.clone();
+        let thread = std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || {
+                let rt = tokio::runtime::Runtime::new()?;
+                rt.block_on(async move {
+                    let listener = match TcpListener::bind(opts.addr.as_str()).await {
+                        Ok(l) => l,
+                        Err(e) => {
+                            let kind = e.kind();
+                            let _ = tx.send(Err(e));
+                            return Err(io::Error::new(kind, "bind failed"));
+                        }
+                    };
+                    let _ = tx.send(listener.local_addr());
+                    serve_loop(thread_state, listener, &opts).await
+                })
+            })?;
+        let addr = rx
+            .recv()
+            .map_err(|_| io::Error::other("server thread died at startup"))??;
+        Ok(RunningServer {
+            addr,
+            state,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address the daemon actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown, waits for the drain, and returns the
+    /// summary.
+    pub fn stop(mut self) -> io::Result<ServeSummary> {
+        self.state.stop.store(true, Ordering::SeqCst);
+        let thread = self.thread.take().expect("stop called once");
+        thread
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        // Stop the background thread even if `stop()` was never
+        // called (e.g. a test panicked).
+        if let Some(thread) = self.thread.take() {
+            self.state.stop.store(true, Ordering::SeqCst);
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Accepts connections until shutdown, refreshing the engine on a
+/// timer, then drains and flushes metrics.
+async fn serve_loop(
+    state: Arc<ServerState>,
+    listener: TcpListener,
+    opts: &ServeOptions,
+) -> io::Result<ServeSummary> {
+    let mut last_refresh = Instant::now();
+    loop {
+        // Checked at the top of every iteration, not in the timer
+        // branch: under sustained load the accept branch wins every
+        // select, and a sleep future recreated per iteration would
+        // never reach its deadline.
+        if state.stop_requested() {
+            break;
+        }
+        if opts.refresh_ms > 0 && last_refresh.elapsed() >= Duration::from_millis(opts.refresh_ms) {
+            last_refresh = Instant::now();
+            refresh_engine(&state);
+        }
+        tokio::select! {
+            accepted = listener.accept() => {
+                if let Ok((stream, _peer)) = accepted {
+                    state.inflight.fetch_add(1, Ordering::SeqCst);
+                    let conn_state = Arc::clone(&state);
+                    tokio::spawn(async move {
+                        let _ = tokio::time::timeout(
+                            CONN_TIMEOUT,
+                            handle_connection(Arc::clone(&conn_state), stream),
+                        )
+                        .await;
+                        conn_state.inflight.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+            },
+            _ = tokio::time::sleep(Duration::from_millis(25)) => {},
+        }
+    }
+
+    // Drain: stop accepting, keep driving in-flight connection tasks.
+    while state.inflight.load(Ordering::SeqCst) > 0 {
+        tokio::time::sleep(Duration::from_millis(1)).await;
+    }
+    let summary = ServeSummary {
+        requests: state.requests.load(Ordering::SeqCst),
+        refreshes: state.refreshes.load(Ordering::SeqCst),
+    };
+    telemetry::gauge("serve.shutdown.requests").set(summary.requests as f64);
+    if let Some(path) = &opts.metrics {
+        std::fs::write(path, telemetry::snapshot().to_json())?;
+    }
+    Ok(summary)
+}
+
+/// Re-reads manifests; on change, swaps the engine `Arc` and clears
+/// the cache. In-flight tasks keep their old `Arc` until they finish.
+fn refresh_engine(state: &ServerState) {
+    let current = state.engine.read().clone();
+    match current.refresh() {
+        Ok((_, false)) => {}
+        Ok((next, true)) => {
+            *state.engine.write() = Arc::new(next);
+            state.cache.lock().clear();
+            state.refreshes.fetch_add(1, Ordering::SeqCst);
+            telemetry::counter("serve.engine.swaps").inc();
+        }
+        Err(e) => {
+            // Keep serving the last good generation; the writer may be
+            // mid-commit.
+            telemetry::counter("serve.engine.refresh_errors").inc();
+            eprintln!("serve: refresh failed (serving previous generation): {e}");
+        }
+    }
+}
+
+/// Reads one request, answers it (through the cache), and closes.
+async fn handle_connection(state: Arc<ServerState>, mut stream: TcpStream) {
+    let Some(head) = read_head(&mut stream).await else {
+        return;
+    };
+    state.requests.fetch_add(1, Ordering::SeqCst);
+    let wire = match parse_request_line(&head) {
+        Some(("GET", target)) => answer(&state, target),
+        Some((_method, _)) => Arc::new(Response::error(405, "only GET is supported").to_wire()),
+        None => Arc::new(Response::error(400, "malformed request line").to_wire()),
+    };
+    let _ = stream.write_all(&wire).await;
+    let _ = stream.shutdown_write();
+}
+
+/// Computes (or recalls) the wire bytes for one request target.
+fn answer(state: &ServerState, target: &str) -> Arc<Vec<u8>> {
+    // Clone the Arc once: this request is now pinned to one engine
+    // generation no matter what the refresh timer does.
+    let engine = state.engine.read().clone();
+    let key = format!("{}|{target}", engine.generation_tag());
+    if let Some(hit) = state.cache.lock().get(&key) {
+        return hit;
+    }
+    let response = engine.handle(target);
+    let wire = Arc::new(response.to_wire());
+    if response.cacheable {
+        state.cache.lock().put(key, Arc::clone(&wire));
+    }
+    wire
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`). Returns
+/// `None` on early EOF or an oversized head.
+async fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf).await.ok()?;
+        if n == 0 {
+            return None;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            return String::from_utf8(head).ok();
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return None;
+        }
+    }
+}

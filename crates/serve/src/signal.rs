@@ -1,0 +1,74 @@
+//! Process-signal plumbing for graceful shutdown.
+//!
+//! A single atomic flag is flipped by SIGINT/SIGTERM (or by
+//! [`trigger`] for in-process shutdown in tests and `--selftest`).
+//! The accept loop polls [`triggered`] between accepts; once set, the
+//! server stops accepting, drains in-flight requests, and flushes a
+//! final metrics snapshot.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once shutdown has been requested.
+pub fn triggered() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests shutdown from inside the process.
+pub fn trigger() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Re-arms the flag so a fresh server can run in the same process
+/// (selftest starts a daemon, stops it, and may start another).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::ffi::c_void;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // libc's simplified signal(2) binding; enough for a
+        // set-a-flag handler without vendoring all of sigaction.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> *mut c_void;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Installs SIGINT/SIGTERM handlers that flip the shutdown flag.
+/// No-op on non-unix targets ([`trigger`] still works everywhere).
+pub fn install() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_and_reset_round_trip() {
+        reset();
+        assert!(!triggered());
+        trigger();
+        assert!(triggered());
+        reset();
+        assert!(!triggered());
+    }
+}

@@ -1,0 +1,199 @@
+//! End-to-end tests: a real daemon on a loopback port, answering the
+//! four query families from a store collected by the PR 3 bundle
+//! pipeline, plus determinism and live-refresh guarantees.
+
+use goingwild::{collect_bundle, BundleOptions, CampaignKind, WorldConfig};
+use scanstore::{CampaignStore, Observation, ObservationSink, SnapshotSink};
+use serve::{run_fleet, FleetOptions, RunningServer, ServeOptions};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("gw-serve-e2e-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Collects a small two-week weekly campaign into `dir` with the real
+/// bundle pipeline.
+fn collect_store(dir: &Path) {
+    let mut cfg = WorldConfig::tiny(11);
+    cfg.weeks = 2;
+    let mut opts = BundleOptions::new(cfg);
+    opts.weeks = 2;
+    collect_bundle(&opts, &[CampaignKind::Weekly], Some(dir)).unwrap();
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8(raw).unwrap();
+    let status: u16 = text["HTTP/1.1 ".len()..][..3].parse().unwrap();
+    let body = text.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+fn options(store: &Path) -> ServeOptions {
+    ServeOptions {
+        store: store.to_path_buf(),
+        addr: "127.0.0.1:0".to_string(),
+        cache_cap: 64,
+        refresh_ms: 50,
+        metrics: None,
+        announce: false,
+    }
+}
+
+#[test]
+fn four_families_over_a_collected_bundle() {
+    let tmp = TempDir::new("families");
+    collect_store(&tmp.0);
+    let server = RunningServer::start(&options(&tmp.0)).unwrap();
+    let addr = server.addr();
+
+    let (status, campaigns) = get(addr, "/campaigns");
+    assert_eq!(status, 200);
+    assert!(campaigns.contains("\"name\":\"weekly\""), "{campaigns}");
+    assert!(campaigns.contains("\"generation\":2"), "{campaigns}");
+
+    // Pull a live IP out of the coverage answer's campaign, then
+    // classify it.
+    let (status, coverage) = get(addr, "/coverage?campaign=weekly");
+    assert_eq!(status, 200);
+    assert!(coverage.contains("\"generation\":2"), "{coverage}");
+    assert!(coverage.contains("\"label\":\"week-"), "{coverage}");
+
+    // The weekly campaign observes real resolvers; ask the fleet
+    // planner for a known-hot one by querying an aggregate first.
+    let (status, amp) = get(addr, "/amplifiers?country=CN&limit=3");
+    assert_eq!(status, 200, "{amp}");
+
+    let (status, churn_err) = get(addr, "/churn?asn=4294967294");
+    assert_eq!(status, 404, "{churn_err}");
+
+    let (status, classify) = get(addr, "/classify?ip=198.51.100.77");
+    assert_eq!(status, 200);
+    assert!(classify.contains("\"summary\":"), "{classify}");
+
+    let (status, health) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"ok\":true"), "{health}");
+
+    let summary = server.stop().unwrap();
+    assert!(summary.requests >= 6, "{summary:?}");
+}
+
+#[test]
+fn same_seed_fleet_runs_are_byte_identical() {
+    let tmp = TempDir::new("determinism");
+    collect_store(&tmp.0);
+    let server = RunningServer::start(&options(&tmp.0)).unwrap();
+
+    let fleet = FleetOptions {
+        addr: server.addr(),
+        store: tmp.0.clone(),
+        seed: 42,
+        clients: 3,
+        requests: 40,
+    };
+    let first = run_fleet(&fleet).unwrap();
+    let second = run_fleet(&fleet).unwrap();
+    assert_eq!(first.errors, 0, "{first:?}");
+    assert_eq!(first.requests, 120);
+    assert_eq!(first.digest, second.digest);
+    assert_eq!(first.bytes, second.bytes);
+    assert_eq!(first.deterministic_json(), second.deterministic_json());
+
+    let other = run_fleet(&FleetOptions { seed: 43, ..fleet }).unwrap();
+    assert_ne!(first.digest, other.digest, "different seed, same digest");
+
+    // The second identical run must have hit the response cache, and
+    // cold paths must have missed it.
+    let snap = telemetry::snapshot();
+    assert!(snap.counter("serve.cache.hit").unwrap_or(0) > 0);
+    assert!(snap.counter("serve.cache.miss").unwrap_or(0) > 0);
+    server.stop().unwrap();
+}
+
+#[test]
+fn refresh_serves_new_commits_without_dropping_queries() {
+    let tmp = TempDir::new("refresh");
+    // A handwritten store this time: the test needs to commit while
+    // the daemon is live.
+    let mut store = CampaignStore::open(tmp.0.join("weekly")).unwrap();
+    for ip in 1u32..=32 {
+        store.observe(Observation::at(ip, 0, 1_000));
+    }
+    store.commit("week-0", 1_000, &[]).unwrap();
+
+    let server = RunningServer::start(&options(&tmp.0)).unwrap();
+    let addr = server.addr();
+    let (_, before) = get(addr, "/classify?ip=0.0.1.1");
+    assert!(before.contains("\"found\":false"), "{before}");
+
+    // Hammer the daemon from background threads while the writer
+    // commits a new generation.
+    let stop_flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for t in 0..4u32 {
+        let stop = std::sync::Arc::clone(&stop_flag);
+        readers.push(std::thread::spawn(move || {
+            let mut answered = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                let ip = 1 + (answered + t) % 32;
+                let (status, _) = get(addr, &format!("/classify?ip=0.0.0.{ip}"));
+                assert_eq!(status, 200);
+                answered += 1;
+            }
+            answered
+        }));
+    }
+
+    store.observe(Observation::at(257, 0, 2_000)); // 0.0.1.1
+    for ip in 1u32..=32 {
+        store.observe(Observation::at(ip, 0, 2_000));
+    }
+    store.commit("week-1", 2_000, &[]).unwrap();
+
+    // The daemon must pick the commit up via its refresh timer.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = get(addr, "/classify?ip=0.0.1.1");
+        assert_eq!(status, 200);
+        if body.contains("\"found\":true") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "refresh never surfaced week-1");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    stop_flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    for reader in readers {
+        let answered = reader.join().unwrap();
+        assert!(answered > 0, "reader thread made no progress");
+    }
+    let summary = server.stop().unwrap();
+    assert!(summary.refreshes >= 1, "{summary:?}");
+}

@@ -123,11 +123,114 @@ pub mod task {
     }
 }
 
-/// Nonblocking UDP networking.
+/// Nonblocking UDP and TCP networking.
 pub mod net {
     use std::io;
+    use std::io::{Read as _, Write as _};
     use std::net::SocketAddr;
     use std::task::Poll;
+
+    /// An async TCP listener over a nonblocking `std::net::TcpListener`.
+    #[derive(Debug)]
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+    }
+
+    impl TcpListener {
+        /// Binds to `addr` and starts listening.
+        pub async fn bind<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+            let inner = std::net::TcpListener::bind(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpListener { inner })
+        }
+
+        /// The locally bound address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        /// Accepts one inbound connection, waiting until one arrives.
+        pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            std::future::poll_fn(|_cx| match self.inner.accept() {
+                Ok((stream, addr)) => {
+                    if let Err(e) = stream.set_nonblocking(true) {
+                        return Poll::Ready(Err(e));
+                    }
+                    Poll::Ready(Ok((TcpStream { inner: stream }, addr)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+                Err(e) => Poll::Ready(Err(e)),
+            })
+            .await
+        }
+    }
+
+    /// An async TCP stream over a nonblocking `std::net::TcpStream`.
+    #[derive(Debug)]
+    pub struct TcpStream {
+        inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Connects to `addr`. The handshake itself runs blocking (it
+        /// is instantaneous on loopback, the runtime's only use case);
+        /// the returned stream is nonblocking.
+        pub async fn connect<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+            let inner = std::net::TcpStream::connect(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpStream { inner })
+        }
+
+        /// The peer's address.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        /// The local address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        /// Reads some bytes, waiting until at least one is available.
+        /// `Ok(0)` means the peer closed its half.
+        pub async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            std::future::poll_fn(|_cx| match self.inner.read(buf) {
+                Ok(n) => Poll::Ready(Ok(n)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => Poll::Pending,
+                Err(e) => Poll::Ready(Err(e)),
+            })
+            .await
+        }
+
+        /// Writes the whole buffer.
+        pub async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+            let mut written = 0usize;
+            std::future::poll_fn(|_cx| {
+                while written < buf.len() {
+                    match self.inner.write(&buf[written..]) {
+                        Ok(0) => {
+                            return Poll::Ready(Err(io::Error::new(
+                                io::ErrorKind::WriteZero,
+                                "peer closed",
+                            )))
+                        }
+                        Ok(n) => written += n,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Poll::Pending,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Poll::Ready(Err(e)),
+                    }
+                }
+                Poll::Ready(Ok(()))
+            })
+            .await
+        }
+
+        /// Shuts down the write half, flushing buffered bytes.
+        pub fn shutdown_write(&mut self) -> io::Result<()> {
+            self.inner.shutdown(std::net::Shutdown::Write)
+        }
+    }
 
     /// An async UDP socket over a nonblocking `std::net::UdpSocket`.
     #[derive(Debug)]
@@ -414,6 +517,31 @@ mod tests {
             n
         });
         assert_eq!(out, 10);
+    }
+
+    #[test]
+    fn tcp_loopback_echo() {
+        let rt = Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = crate::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                let (mut conn, _) = listener.accept().await.unwrap();
+                let mut buf = [0u8; 16];
+                let n = conn.read(&mut buf).await.unwrap();
+                conn.write_all(&buf[..n]).await.unwrap();
+            });
+            let mut client = crate::net::TcpStream::connect(addr).await.unwrap();
+            client.write_all(b"ping").await.unwrap();
+            client.shutdown_write().unwrap();
+            let mut buf = [0u8; 16];
+            let n = crate::time::timeout(std::time::Duration::from_secs(2), client.read(&mut buf))
+                .await
+                .unwrap()
+                .unwrap();
+            assert_eq!(&buf[..n], b"ping");
+            server.await.unwrap();
+        });
     }
 
     #[test]
